@@ -1,0 +1,53 @@
+//! Criterion bench for the CDSSpec checking overhead: the same unit test
+//! explored bare vs. with the specification plugin attached — the paper's
+//! implicit performance claim is that spec checking adds tolerable
+//! overhead on top of exploration (Figure 7's times include it).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cdsspec_mc as mc;
+use cdsspec_structures::blocking_queue;
+use cdsspec_structures::Ords;
+
+fn bench_checker_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec-overhead");
+    group.sample_size(10);
+
+    group.bench_function("blocking-queue-bare", |b| {
+        b.iter(|| {
+            let stats = mc::explore(
+                mc::Config::default(),
+                blocking_queue::unit_test(Ords::defaults(blocking_queue::SITES)),
+            );
+            assert!(!stats.buggy());
+            stats.executions
+        })
+    });
+
+    group.bench_function("blocking-queue-with-spec", |b| {
+        b.iter(|| {
+            let stats = blocking_queue::check(
+                mc::Config::default(),
+                Ords::defaults(blocking_queue::SITES),
+            );
+            assert!(!stats.buggy());
+            stats.executions
+        })
+    });
+
+    group.bench_function("ms-queue-with-spec", |b| {
+        b.iter(|| {
+            let stats = cdsspec_structures::ms_queue::check(
+                mc::Config::default(),
+                Ords::defaults(cdsspec_structures::ms_queue::SITES),
+            );
+            assert!(!stats.buggy());
+            stats.executions
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_checker_overhead);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion benches for the model checker's exploration engine, including
+//! the DESIGN.md ablation: sleep-set partial-order reduction on vs. off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdsspec_mc as mc;
+use mc::MemOrd::*;
+use mc::{Atomic, Config};
+
+/// The message-passing litmus: small and synchronization-heavy.
+fn mp_workload() -> impl Fn() + Send + Sync + Clone + 'static {
+    || {
+        let data = Atomic::new(0i64);
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            data.store(42, Relaxed);
+            flag.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            assert_eq!(data.load(Relaxed), 42);
+        }
+        t.join();
+    }
+}
+
+/// Two-thread ticket-lock contention: RMW-heavy, conflict-dense.
+fn lock_workload() -> impl Fn() + Send + Sync + Clone + 'static {
+    || {
+        let l = cdsspec_structures::ticket_lock::TicketLock::new();
+        let c = mc::Data::new(0i64);
+        let l1 = l.clone();
+        let t = mc::thread::spawn(move || {
+            l1.lock();
+            c.write(c.read() + 1);
+            l1.unlock();
+        });
+        l.lock();
+        c.write(c.read() + 1);
+        l.unlock();
+        t.join();
+    }
+}
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+
+    for (name, sleep) in [("sleep-sets-on", true), ("sleep-sets-off", false)] {
+        group.bench_with_input(BenchmarkId::new("mp", name), &sleep, |b, &sleep| {
+            b.iter(|| {
+                let config = Config { sleep_sets: sleep, ..Config::default() };
+                let stats = mc::explore(config, mp_workload());
+                assert!(!stats.buggy());
+                stats.executions
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ticket-lock", name), &sleep, |b, &sleep| {
+            b.iter(|| {
+                let config = Config { sleep_sets: sleep, ..Config::default() };
+                let stats = mc::explore(config, lock_workload());
+                assert!(!stats.buggy());
+                stats.executions
+            })
+        });
+    }
+    group.finish();
+
+    // Per-operation baton-passing cost: a single-threaded, single-execution
+    // program with many visible ops isolates the scheduler round-trip.
+    c.bench_function("visible-op-roundtrip-x100", |b| {
+        b.iter(|| {
+            let stats = mc::explore(Config::default(), || {
+                let x = Atomic::new(0i64);
+                for i in 0..100 {
+                    x.store(i, Relaxed);
+                }
+            });
+            assert_eq!(stats.executions, 1);
+        })
+    });
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion benches for sequential-history enumeration (the checker's
+//! inner loop), including the DESIGN.md ablation: exhaustive enumeration
+//! vs. random sampling as the call graph widens.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cdsspec_core::{all_histories, CallOrder, HistoryPolicy};
+
+/// `k` chains of length `len` with no cross edges — the worst case for
+/// exhaustive enumeration (multinomial growth).
+fn parallel_chains(k: usize, len: usize) -> CallOrder {
+    let mut o = CallOrder::new(k * len);
+    for chain in 0..k {
+        for i in 1..len {
+            o.add_edge(chain * len + i - 1, chain * len + i);
+        }
+    }
+    o.close();
+    o
+}
+
+fn bench_history_enum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("history-enumeration");
+
+    for &(k, len) in &[(2usize, 3usize), (3, 3), (2, 5)] {
+        let order = parallel_chains(k, len);
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive", format!("{k}x{len}")),
+            &order,
+            |b, order| {
+                b.iter(|| all_histories(order, HistoryPolicy::Exhaustive { cap: 100_000 }).len())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sample-64", format!("{k}x{len}")),
+            &order,
+            |b, order| {
+                b.iter(|| {
+                    all_histories(order, HistoryPolicy::Sample { count: 64, seed: 1 }).len()
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Transitive closure cost on a dense order.
+    c.bench_function("call-order-close-32", |b| {
+        b.iter(|| {
+            let mut o = CallOrder::new(32);
+            for i in 0..31 {
+                o.add_edge(i, i + 1);
+            }
+            o.close();
+            o.ordered(0, 31)
+        })
+    });
+}
+
+criterion_group!(benches, bench_history_enum);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Regenerates the paper's §6.2 ease-of-use statistics: methods,
+//! ordering-point annotations per method, and admissibility rules across
+//! the benchmark suite.
+//!
+//! Paper: 27 API methods, 33 ordering points (1.22 per method), 7
+//! admissibility-rule lines across 1,253 lines of code.
+//!
+//! ```text
+//! cargo run -p cdsspec-bench --release --bin spec_stats
+//! ```
+
+use cdsspec_structures::registry::benchmarks;
+
+fn main() {
+    println!("§6.2 — specification statistics\n");
+    println!(
+        "{:<20} {:>8} {:>10} {:>12} {:>10}",
+        "Benchmark", "Methods", "OP annots", "OP/method", "Admit rules"
+    );
+    println!("{}", "-".repeat(66));
+
+    let (mut methods, mut ops, mut rules) = (0usize, 0usize, 0usize);
+    for bench in benchmarks() {
+        let m = bench.meta;
+        println!(
+            "{:<20} {:>8} {:>10} {:>12.2} {:>10}",
+            bench.name,
+            m.methods,
+            m.ordering_point_annotations,
+            m.ordering_point_annotations as f64 / m.methods as f64,
+            m.admissibility_rules
+        );
+        methods += m.methods;
+        ops += m.ordering_point_annotations;
+        rules += m.admissibility_rules;
+    }
+    println!("{}", "-".repeat(66));
+    println!(
+        "{:<20} {:>8} {:>10} {:>12.2} {:>10}",
+        "Total",
+        methods,
+        ops,
+        ops as f64 / methods as f64,
+        rules
+    );
+    println!(
+        "\nPaper reports 27 methods / 33 ordering points (1.22 per method) / 7 rules.\n\
+         Shape claims preserved: ~1 ordering point per method on average, a handful of\n\
+         admissibility rules across the whole suite, specs of ~a dozen lines each."
+    );
+}

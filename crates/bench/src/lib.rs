@@ -1,0 +1,1 @@
+//! Evaluation harness crate; see the binaries in `src/bin`.

@@ -1,0 +1,245 @@
+//! Vector clocks extended with per-location coherence indices.
+//!
+//! The model checker derives modification order (`mo`) from per-location
+//! store execution order. Under that choice the C/C++11 coherence axioms
+//! reduce to *lower bounds on the mo index a load may read from*:
+//!
+//! * **CoWR** ("no hidden store"): a load `R` may not read store `W` if some
+//!   store `W'` to the same location with `mo(W) < mo(W')` happens-before
+//!   `R`. We track, per location, the maximal mo index of a store that
+//!   happens-before the current point: [`Clock::wmax`].
+//! * **CoRR** (read coherence): a load `R` may not read `W` if a load `R'`
+//!   with `R' hb R` read a store `W'` with `mo(W) < mo(W')`. We track the
+//!   maximal mo index *read* so far: [`Clock::rmax`].
+//!
+//! Both tables are joined pointwise whenever clocks join (program order,
+//! synchronizes-with, thread create/join), so the bounds flow along exactly
+//! the happens-before edges.
+
+use crate::event::Tid;
+use crate::loc::LocId;
+
+/// A plain vector clock: `vc[t]` = number of events of thread `t` known to
+/// happen-before (or equal) the current point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VecClock {
+    counts: Vec<u32>,
+}
+
+impl VecClock {
+    /// The empty clock (knows nothing).
+    pub fn new() -> Self {
+        VecClock { counts: Vec::new() }
+    }
+
+    /// Number of events of `tid` known at this clock.
+    #[inline]
+    pub fn get(&self, tid: Tid) -> u32 {
+        self.counts.get(tid.idx()).copied().unwrap_or(0)
+    }
+
+    /// Record that `tid` has performed `count` events.
+    pub fn set(&mut self, tid: Tid, count: u32) {
+        if self.counts.len() <= tid.idx() {
+            self.counts.resize(tid.idx() + 1, 0);
+        }
+        self.counts[tid.idx()] = count;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VecClock) {
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+
+    /// Does this clock dominate `other` pointwise (`other ⊑ self`)?
+    pub fn includes(&self, other: &VecClock) -> bool {
+        (0..other.counts.len()).all(|i| {
+            other.counts[i] <= self.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+
+    /// Does this clock know about event number `seq` (1-based) of `tid`?
+    #[inline]
+    pub fn knows(&self, tid: Tid, seq: u32) -> bool {
+        self.get(tid) >= seq
+    }
+}
+
+/// A per-location table of mo-index lower bounds. Index `loc.idx()`;
+/// `None` is encoded as `i64::MIN` so joins are a plain `max`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceMap {
+    bounds: Vec<i64>,
+}
+
+const NO_BOUND: i64 = i64::MIN;
+
+impl CoherenceMap {
+    /// Empty table: no location constrained.
+    pub fn new() -> Self {
+        CoherenceMap { bounds: Vec::new() }
+    }
+
+    /// Current bound for `loc`, or `None` if unconstrained.
+    #[inline]
+    pub fn get(&self, loc: LocId) -> Option<u32> {
+        match self.bounds.get(loc.idx()).copied().unwrap_or(NO_BOUND) {
+            NO_BOUND => None,
+            b => Some(b as u32),
+        }
+    }
+
+    /// Raise the bound for `loc` to at least `idx`.
+    pub fn raise(&mut self, loc: LocId, idx: u32) {
+        if self.bounds.len() <= loc.idx() {
+            self.bounds.resize(loc.idx() + 1, NO_BOUND);
+        }
+        let slot = &mut self.bounds[loc.idx()];
+        *slot = (*slot).max(idx as i64);
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &CoherenceMap) {
+        if self.bounds.len() < other.bounds.len() {
+            self.bounds.resize(other.bounds.len(), NO_BOUND);
+        }
+        for (mine, theirs) in self.bounds.iter_mut().zip(&other.bounds) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// The full clock carried by threads and attached to synchronizing stores:
+/// a vector clock plus the two coherence tables described in the module
+/// docs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Clock {
+    /// Happens-before knowledge.
+    pub vc: VecClock,
+    /// Per-location max mo index of stores that happen-before here (CoWR).
+    pub wmax: CoherenceMap,
+    /// Per-location max mo index read by loads that happen-before here
+    /// (CoRR).
+    pub rmax: CoherenceMap,
+}
+
+impl Clock {
+    /// The empty clock.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Join every component pointwise.
+    pub fn join(&mut self, other: &Clock) {
+        self.vc.join(&other.vc);
+        self.wmax.join(&other.wmax);
+        self.rmax.join(&other.rmax);
+    }
+
+    /// The least mo index a load of `loc` holding this clock may read from
+    /// (`max(wmax, rmax)`), or `None` if unconstrained.
+    pub fn read_floor(&self, loc: LocId) -> Option<u32> {
+        match (self.wmax.get(loc), self.rmax.get(loc)) {
+            (None, None) => None,
+            (a, b) => Some(a.unwrap_or(0).max(b.unwrap_or(0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> Tid {
+        Tid(i)
+    }
+
+    #[test]
+    fn vecclock_join_is_pointwise_max() {
+        let mut a = VecClock::new();
+        a.set(t(0), 3);
+        a.set(t(2), 1);
+        let mut b = VecClock::new();
+        b.set(t(0), 1);
+        b.set(t(1), 5);
+        a.join(&b);
+        assert_eq!(a.get(t(0)), 3);
+        assert_eq!(a.get(t(1)), 5);
+        assert_eq!(a.get(t(2)), 1);
+        assert_eq!(a.get(t(9)), 0);
+    }
+
+    #[test]
+    fn vecclock_includes_and_knows() {
+        let mut a = VecClock::new();
+        a.set(t(0), 2);
+        let mut b = VecClock::new();
+        b.set(t(0), 1);
+        assert!(a.includes(&b));
+        assert!(!b.includes(&a));
+        assert!(a.includes(&a));
+        assert!(a.knows(t(0), 2));
+        assert!(!a.knows(t(0), 3));
+        assert!(!a.knows(t(5), 1));
+        // empty clock is included in everything
+        assert!(b.includes(&VecClock::new()));
+    }
+
+    #[test]
+    fn coherence_map_raise_and_join() {
+        let l0 = LocId(0);
+        let l3 = LocId(3);
+        let mut m = CoherenceMap::new();
+        assert_eq!(m.get(l0), None);
+        m.raise(l3, 2);
+        m.raise(l3, 1); // lower raise is a no-op
+        assert_eq!(m.get(l3), Some(2));
+        assert_eq!(m.get(l0), None);
+
+        let mut n = CoherenceMap::new();
+        n.raise(l0, 0);
+        n.join(&m);
+        assert_eq!(n.get(l0), Some(0));
+        assert_eq!(n.get(l3), Some(2));
+    }
+
+    #[test]
+    fn coherence_index_zero_is_a_real_bound() {
+        // Regression guard: mo index 0 must be distinguishable from "no
+        // bound" — reading the very first store must still be floor-checked.
+        let mut m = CoherenceMap::new();
+        m.raise(LocId(1), 0);
+        assert_eq!(m.get(LocId(1)), Some(0));
+    }
+
+    #[test]
+    fn clock_read_floor_combines_tables() {
+        let l = LocId(0);
+        let mut c = Clock::new();
+        assert_eq!(c.read_floor(l), None);
+        c.wmax.raise(l, 1);
+        assert_eq!(c.read_floor(l), Some(1));
+        c.rmax.raise(l, 4);
+        assert_eq!(c.read_floor(l), Some(4));
+        c.wmax.raise(l, 9);
+        assert_eq!(c.read_floor(l), Some(9));
+    }
+
+    #[test]
+    fn clock_join_joins_all_components() {
+        let l = LocId(2);
+        let mut a = Clock::new();
+        a.vc.set(t(1), 7);
+        a.rmax.raise(l, 3);
+        let mut b = Clock::new();
+        b.wmax.raise(l, 5);
+        a.join(&b);
+        assert_eq!(a.vc.get(t(1)), 7);
+        assert_eq!(a.read_floor(l), Some(5));
+    }
+}

@@ -1,0 +1,251 @@
+//! Execution-trace events.
+
+use crate::clock::Clock;
+use crate::loc::{DataId, LocId};
+use crate::ordering::MemOrd;
+use crate::value::Val;
+
+/// Thread identifier. Thread 0 is the modeled "main" thread (the body of
+/// the `model(..)` closure), matching CDSChecker's convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u32);
+
+impl Tid {
+    /// The modeled main thread.
+    pub const MAIN: Tid = Tid(0);
+
+    /// Index form for dense per-thread tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Index of an event in [`crate::trace::Trace::events`] (global execution
+/// order, which is also the order the scheduler committed operations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// Index form.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for EventId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// What an event did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// An atomic load. `rf` is the store read from (`None` = the location
+    /// was uninitialized — always reported as a built-in bug). `val` is the
+    /// value observed.
+    AtomicLoad {
+        loc: LocId,
+        ord: MemOrd,
+        rf: Option<EventId>,
+        val: Val,
+    },
+    /// An atomic store. `mo_index` is its position in the location's
+    /// modification order.
+    AtomicStore {
+        loc: LocId,
+        ord: MemOrd,
+        val: Val,
+        mo_index: u32,
+    },
+    /// An atomic read-modify-write (fetch_add/fetch_sub/swap/CAS…).
+    /// `written = None` means a failed compare-exchange (pure load).
+    Rmw {
+        loc: LocId,
+        ord: MemOrd,
+        rf: Option<EventId>,
+        read_val: Val,
+        written: Option<Val>,
+        /// mo position of the written store (meaningless when `written`
+        /// is `None`).
+        mo_index: u32,
+    },
+    /// A memory fence.
+    Fence { ord: MemOrd },
+    /// Creation of a child thread (the `sw` edge to its first event is
+    /// implicit in the clocks).
+    ThreadCreate { child: Tid },
+    /// Join on `target` (synchronizes with its finish).
+    ThreadJoin { target: Tid },
+    /// Thread ran to completion.
+    ThreadFinish,
+    /// A non-atomic write (participates in race detection only).
+    DataWrite { loc: DataId },
+    /// A non-atomic read.
+    DataRead { loc: DataId },
+}
+
+impl EventKind {
+    /// Atomic location touched, if any.
+    pub fn atomic_loc(&self) -> Option<LocId> {
+        match self {
+            EventKind::AtomicLoad { loc, .. }
+            | EventKind::AtomicStore { loc, .. }
+            | EventKind::Rmw { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// Is this a store or successful RMW (i.e. does it add to mo)?
+    pub fn is_write(&self) -> bool {
+        matches!(
+            self,
+            EventKind::AtomicStore { .. } | EventKind::Rmw { written: Some(_), .. }
+        )
+    }
+
+    /// Is this a load or RMW (i.e. does it read)?
+    pub fn is_read(&self) -> bool {
+        matches!(self, EventKind::AtomicLoad { .. } | EventKind::Rmw { .. })
+    }
+
+    /// The store this event read from, if it reads.
+    pub fn rf(&self) -> Option<EventId> {
+        match self {
+            EventKind::AtomicLoad { rf, .. } | EventKind::Rmw { rf, .. } => *rf,
+            _ => None,
+        }
+    }
+
+    /// The ordering parameter, if the event has one.
+    pub fn ord(&self) -> Option<MemOrd> {
+        match self {
+            EventKind::AtomicLoad { ord, .. }
+            | EventKind::AtomicStore { ord, .. }
+            | EventKind::Rmw { ord, .. }
+            | EventKind::Fence { ord } => Some(*ord),
+            _ => None,
+        }
+    }
+
+    /// Value written to the location, if any.
+    pub fn written_val(&self) -> Option<Val> {
+        match self {
+            EventKind::AtomicStore { val, .. } => Some(*val),
+            EventKind::Rmw { written, .. } => *written,
+            _ => None,
+        }
+    }
+
+    /// mo index of the write, if this event writes.
+    pub fn mo_index(&self) -> Option<u32> {
+        match self {
+            EventKind::AtomicStore { mo_index, .. } => Some(*mo_index),
+            EventKind::Rmw { written: Some(_), mo_index, .. } => Some(*mo_index),
+            _ => None,
+        }
+    }
+}
+
+/// One committed operation of an execution.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Position in global execution order.
+    pub id: EventId,
+    /// Executing thread.
+    pub tid: Tid,
+    /// 1-based per-thread sequence number (`clock.vc[tid] == seq` right
+    /// after this event).
+    pub seq: u32,
+    /// The operation.
+    pub kind: EventKind,
+    /// Happens-before clock *after* this event (includes the event itself).
+    pub clock: Clock,
+    /// Position in the SC total order *S*, when `ord` is `seq_cst`.
+    pub sc_index: Option<u32>,
+}
+
+impl Event {
+    /// Does this event happen-before `other`? (Irreflexive: an event does
+    /// not happen-before itself.)
+    pub fn happens_before(&self, other: &Event) -> bool {
+        if self.id == other.id {
+            return false;
+        }
+        other.clock.vc.knows(self.tid, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+
+    fn ev(id: u32, tid: u32, seq: u32) -> Event {
+        let mut clock = Clock::new();
+        clock.vc.set(Tid(tid), seq);
+        Event {
+            id: EventId(id),
+            tid: Tid(tid),
+            seq,
+            kind: EventKind::Fence { ord: MemOrd::SeqCst },
+            clock,
+            sc_index: None,
+        }
+    }
+
+    #[test]
+    fn happens_before_is_irreflexive() {
+        let e = ev(0, 0, 1);
+        assert!(!e.happens_before(&e));
+    }
+
+    #[test]
+    fn happens_before_follows_clock_knowledge() {
+        let e1 = ev(0, 0, 1);
+        let mut e2 = ev(1, 1, 1);
+        assert!(!e1.happens_before(&e2));
+        e2.clock.vc.set(Tid(0), 1);
+        assert!(e1.happens_before(&e2));
+        assert!(!e2.happens_before(&e1));
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let store = EventKind::AtomicStore {
+            loc: LocId(0),
+            ord: MemOrd::Release,
+            val: 7,
+            mo_index: 2,
+        };
+        assert!(store.is_write() && !store.is_read());
+        assert_eq!(store.atomic_loc(), Some(LocId(0)));
+        assert_eq!(store.written_val(), Some(7));
+        assert_eq!(store.mo_index(), Some(2));
+
+        let failed_cas = EventKind::Rmw {
+            loc: LocId(1),
+            ord: MemOrd::SeqCst,
+            rf: Some(EventId(0)),
+            read_val: 3,
+            written: None,
+            mo_index: 0,
+        };
+        assert!(!failed_cas.is_write() && failed_cas.is_read());
+        assert_eq!(failed_cas.rf(), Some(EventId(0)));
+        assert_eq!(failed_cas.written_val(), None);
+        assert_eq!(failed_cas.mo_index(), None);
+
+        let fence = EventKind::Fence { ord: MemOrd::AcqRel };
+        assert_eq!(fence.atomic_loc(), None);
+        assert_eq!(fence.ord(), Some(MemOrd::AcqRel));
+    }
+}

@@ -1,0 +1,36 @@
+//! # cdsspec-c11
+//!
+//! Foundation crate for the CDSSpec reproduction: the vocabulary of the
+//! C/C++11 memory model as used by the model checker (`cdsspec-mc`) and the
+//! specification checker (`cdsspec-core`).
+//!
+//! This crate is deliberately free of any execution machinery. It defines:
+//!
+//! * [`ordering::MemOrd`] — the five C/C++11 memory orderings (with
+//!   `memory_order_consume` folded into `Acquire`, as every practical
+//!   compiler and CDSChecker itself do);
+//! * [`value::Val`] and [`value::PrimVal`] — the bit-level value model
+//!   (every atomic cell holds a `u64`);
+//! * [`event::Event`] — one node of an execution trace (atomic load/store,
+//!   RMW, fence, thread lifecycle);
+//! * [`clock::Clock`] — vector clocks extended with per-location coherence
+//!   indices, the core of our coherence enforcement;
+//! * [`trace::Trace`] — a completed execution: events, per-location
+//!   modification order, SC order, and spec annotations;
+//! * [`relations`] — derived relations (`hb`, SC order, `mo`) plus an
+//!   *independent* axiom validator used to property-test the model checker.
+
+pub mod clock;
+pub mod event;
+pub mod loc;
+pub mod ordering;
+pub mod relations;
+pub mod trace;
+pub mod value;
+
+pub use clock::{Clock, VecClock};
+pub use event::{Event, EventId, EventKind, Tid};
+pub use loc::{DataId, LocId};
+pub use ordering::MemOrd;
+pub use trace::{Annotation, SpecNote, SpecVal, Trace};
+pub use value::{PrimVal, Val};

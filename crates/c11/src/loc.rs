@@ -1,0 +1,54 @@
+//! Location identifiers.
+//!
+//! Locations are allocated in deterministic program order by the model
+//! checker, which makes them stable across the replay of an execution
+//! prefix — the property the DFS explorer relies on.
+
+/// Identifier of a modeled *atomic* memory location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LocId(pub u32);
+
+/// Identifier of a modeled *non-atomic* memory location (subject to
+/// data-race detection rather than coherence).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DataId(pub u32);
+
+impl LocId {
+    /// Index form for dense per-location tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl DataId {
+    /// Index form for dense per-location tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl std::fmt::Display for DataId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(LocId(3).to_string(), "a3");
+        assert_eq!(DataId(0).to_string(), "d0");
+        assert_eq!(LocId(7).idx(), 7);
+    }
+}

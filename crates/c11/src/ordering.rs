@@ -1,0 +1,185 @@
+//! The C/C++11 memory orderings.
+//!
+//! `memory_order_consume` is intentionally absent: every practical compiler
+//! (and CDSChecker, the substrate of the original paper) strengthens it to
+//! `Acquire`, and so do we.
+
+/// A C/C++11 memory ordering parameter.
+///
+/// Ordered from weakest to strongest so that `Ord` comparisons follow the
+/// intuitive strength lattice for the subsets that are totally ordered
+/// (`Relaxed < Acquire < AcqRel < SeqCst` and
+/// `Relaxed < Release < AcqRel < SeqCst`). `Acquire` and `Release` are
+/// incomparable in the model; their derived `Ord` order is arbitrary and
+/// must not be used for strength reasoning — use [`MemOrd::at_least`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MemOrd {
+    /// `memory_order_relaxed`: atomicity only, no synchronization.
+    Relaxed,
+    /// `memory_order_acquire`: a load that reads from a release store (or a
+    /// store carrying a release-fence clock) synchronizes with it.
+    Acquire,
+    /// `memory_order_release`: a store that is read by an acquire load
+    /// synchronizes with it.
+    Release,
+    /// `memory_order_acq_rel`: both of the above (meaningful for RMWs and
+    /// fences).
+    AcqRel,
+    /// `memory_order_seq_cst`: acquire+release plus membership in the single
+    /// total order *S* over all SC operations.
+    SeqCst,
+}
+
+impl MemOrd {
+    /// Does this ordering include acquire semantics (for loads, RMW reads,
+    /// and fences)?
+    #[inline]
+    pub fn is_acquire(self) -> bool {
+        matches!(self, MemOrd::Acquire | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    /// Does this ordering include release semantics (for stores, RMW writes,
+    /// and fences)?
+    #[inline]
+    pub fn is_release(self) -> bool {
+        matches!(self, MemOrd::Release | MemOrd::AcqRel | MemOrd::SeqCst)
+    }
+
+    /// Is this operation part of the SC total order *S*?
+    #[inline]
+    pub fn is_seq_cst(self) -> bool {
+        matches!(self, MemOrd::SeqCst)
+    }
+
+    /// `true` when `self` is at least as strong as `other` in the strength
+    /// lattice (`AcqRel` ≥ both `Acquire` and `Release`; `Acquire` and
+    /// `Release` are incomparable).
+    pub fn at_least(self, other: MemOrd) -> bool {
+        use MemOrd::*;
+        match (self, other) {
+            (_, Relaxed) => true,
+            (SeqCst, _) => true,
+            (AcqRel, SeqCst) => false,
+            (AcqRel, _) => true,
+            (Acquire, Acquire) | (Release, Release) => true,
+            _ => false,
+        }
+    }
+
+    /// The next-weaker ordering for a *load*, following the paper's §6.4.2
+    /// injection ladder (`seq_cst → acquire → relaxed`). Returns `None`
+    /// when already `Relaxed` (nothing to weaken).
+    pub fn weaken_load(self) -> Option<MemOrd> {
+        match self {
+            MemOrd::SeqCst | MemOrd::AcqRel => Some(MemOrd::Acquire),
+            MemOrd::Acquire | MemOrd::Release => Some(MemOrd::Relaxed),
+            MemOrd::Relaxed => None,
+        }
+    }
+
+    /// The next-weaker ordering for a *store*
+    /// (`seq_cst → release → relaxed`).
+    pub fn weaken_store(self) -> Option<MemOrd> {
+        match self {
+            MemOrd::SeqCst | MemOrd::AcqRel => Some(MemOrd::Release),
+            MemOrd::Release | MemOrd::Acquire => Some(MemOrd::Relaxed),
+            MemOrd::Relaxed => None,
+        }
+    }
+
+    /// The next-weaker ordering for an *RMW or fence*
+    /// (`seq_cst → acq_rel → release → relaxed`, the paper's
+    /// "acq_rel to release/acquire" step instantiated with `release`; the
+    /// `acquire` twin is available as a distinct injection site via
+    /// [`MemOrd::weaken_rmw_acq`]).
+    pub fn weaken_rmw(self) -> Option<MemOrd> {
+        match self {
+            MemOrd::SeqCst => Some(MemOrd::AcqRel),
+            MemOrd::AcqRel => Some(MemOrd::Release),
+            MemOrd::Release | MemOrd::Acquire => Some(MemOrd::Relaxed),
+            MemOrd::Relaxed => None,
+        }
+    }
+
+    /// Like [`MemOrd::weaken_rmw`] but steps `acq_rel → acquire`.
+    pub fn weaken_rmw_acq(self) -> Option<MemOrd> {
+        match self {
+            MemOrd::SeqCst => Some(MemOrd::AcqRel),
+            MemOrd::AcqRel => Some(MemOrd::Acquire),
+            MemOrd::Release | MemOrd::Acquire => Some(MemOrd::Relaxed),
+            MemOrd::Relaxed => None,
+        }
+    }
+
+    /// Short human-readable name matching the C11 spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemOrd::Relaxed => "relaxed",
+            MemOrd::Acquire => "acquire",
+            MemOrd::Release => "release",
+            MemOrd::AcqRel => "acq_rel",
+            MemOrd::SeqCst => "seq_cst",
+        }
+    }
+}
+
+impl std::fmt::Display for MemOrd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::MemOrd::*;
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(Acquire.is_acquire() && !Acquire.is_release());
+        assert!(Release.is_release() && !Release.is_acquire());
+        assert!(AcqRel.is_acquire() && AcqRel.is_release());
+        assert!(SeqCst.is_acquire() && SeqCst.is_release() && SeqCst.is_seq_cst());
+        assert!(!Relaxed.is_acquire() && !Relaxed.is_release() && !Relaxed.is_seq_cst());
+    }
+
+    #[test]
+    fn strength_lattice() {
+        assert!(SeqCst.at_least(AcqRel) && SeqCst.at_least(Acquire));
+        assert!(AcqRel.at_least(Acquire) && AcqRel.at_least(Release));
+        assert!(!Acquire.at_least(Release) && !Release.at_least(Acquire));
+        assert!(Acquire.at_least(Relaxed) && !Relaxed.at_least(Acquire));
+        // reflexivity
+        for o in [Relaxed, Acquire, Release, AcqRel, SeqCst] {
+            assert!(o.at_least(o));
+        }
+    }
+
+    #[test]
+    fn weakening_ladders_terminate_at_relaxed() {
+        let mut o = SeqCst;
+        let mut steps = 0;
+        while let Some(w) = o.weaken_rmw() {
+            o = w;
+            steps += 1;
+            assert!(steps < 10);
+        }
+        assert_eq!(o, Relaxed);
+        assert_eq!(SeqCst.weaken_load(), Some(Acquire));
+        assert_eq!(Acquire.weaken_load(), Some(Relaxed));
+        assert_eq!(SeqCst.weaken_store(), Some(Release));
+        assert_eq!(Relaxed.weaken_store(), None);
+        assert_eq!(AcqRel.weaken_rmw_acq(), Some(Acquire));
+    }
+
+    #[test]
+    fn weakening_strictly_weakens() {
+        for o in [Relaxed, Acquire, Release, AcqRel, SeqCst] {
+            for w in [o.weaken_load(), o.weaken_store(), o.weaken_rmw(), o.weaken_rmw_acq()]
+                .into_iter()
+                .flatten()
+            {
+                assert!(o.at_least(w) && o != w, "{o} -> {w} must strictly weaken");
+            }
+        }
+    }
+}

@@ -1,0 +1,783 @@
+//! Derived relations and an independent memory-model axiom validator.
+//!
+//! The model checker computes happens-before *online* with vector clocks.
+//! This module recomputes everything *offline* from first principles — sb,
+//! thread create/join edges, synchronizes-with from reads-from (including
+//! release sequences continued through RMWs and the C11 fence rules) — and
+//! checks the coherence, RMW-atomicity, and SC axioms on a finished trace.
+//!
+//! Property tests in `cdsspec-mc` run every explored execution of random
+//! programs through [`validate`], so a divergence between the online clocks
+//! and this oracle is caught immediately.
+//!
+//! The SC-fence strengthening rules (C++11 29.3 p4–p6) are re-derived
+//! here from first principles (S = the trace's SC order, sb = per-thread
+//! sequence) and checked as mo lower bounds on every read.
+
+use crate::event::{EventId, EventKind, Tid};
+use crate::ordering::MemOrd;
+use crate::trace::Trace;
+
+/// A violation of the C/C++11 axioms found by [`validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AxiomError {
+    /// `hb` contradicts execution order (would imply a cycle).
+    HbCycle { a: EventId, b: EventId },
+    /// The stored vector clocks disagree with the recomputed `hb`.
+    ClockMismatch { a: EventId, b: EventId, online: bool, offline: bool },
+    /// A read's `rf` edge is malformed (wrong location, wrong value, or
+    /// points forward in execution order).
+    BadRf { read: EventId, detail: String },
+    /// Write-read coherence: a newer store to the location happens-before
+    /// the read, hiding the store it read from.
+    CoWr { read: EventId, hidden_by: EventId },
+    /// Read-read coherence: an hb-earlier read observed a newer store.
+    CoRr { first: EventId, second: EventId },
+    /// Write-write coherence: hb contradicts mo.
+    CoWw { first: EventId, second: EventId },
+    /// Read-write coherence: a read observed a store mo-after a write it
+    /// happens-before.
+    CoRw { read: EventId, write: EventId },
+    /// A successful RMW did not read its immediate mo predecessor.
+    RmwAtomicity { rmw: EventId },
+    /// An SC read violated C++11 29.3p3 (read an SC store other than the
+    /// last preceding one in *S*, or a store hidden behind it).
+    ScRead { read: EventId, detail: String },
+    /// A read violated one of the SC-fence rules (C++11 29.3 p4–p6): it
+    /// observed a store older than the fence-published floor.
+    ScFence { read: EventId, rule: &'static str },
+}
+
+impl std::fmt::Display for AxiomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AxiomError::HbCycle { a, b } => write!(f, "hb cycle between {a} and {b}"),
+            AxiomError::ClockMismatch { a, b, online, offline } => write!(
+                f,
+                "clock mismatch for ({a},{b}): online hb={online}, offline hb={offline}"
+            ),
+            AxiomError::BadRf { read, detail } => write!(f, "bad rf at {read}: {detail}"),
+            AxiomError::CoWr { read, hidden_by } => {
+                write!(f, "CoWR: {read} reads a store hidden by {hidden_by}")
+            }
+            AxiomError::CoRr { first, second } => {
+                write!(f, "CoRR: {first} hb {second} but read a newer store")
+            }
+            AxiomError::CoWw { first, second } => {
+                write!(f, "CoWW: {first} hb {second} but mo disagrees")
+            }
+            AxiomError::CoRw { read, write } => {
+                write!(f, "CoRW: {read} hb {write} but read an mo-later store")
+            }
+            AxiomError::RmwAtomicity { rmw } => {
+                write!(f, "RMW {rmw} did not read its immediate mo predecessor")
+            }
+            AxiomError::ScRead { read, detail } => write!(f, "SC read {read}: {detail}"),
+            AxiomError::ScFence { read, rule } => {
+                write!(f, "SC-fence rule {rule} violated by read {read}")
+            }
+        }
+    }
+}
+
+/// Dense reachability matrix over events.
+struct HbMatrix {
+    n: usize,
+    bits: Vec<bool>,
+}
+
+impl HbMatrix {
+    fn new(n: usize) -> Self {
+        HbMatrix { n, bits: vec![false; n * n] }
+    }
+
+    #[inline]
+    fn get(&self, a: usize, b: usize) -> bool {
+        self.bits[a * self.n + b]
+    }
+
+    #[inline]
+    fn set(&mut self, a: usize, b: usize) {
+        self.bits[a * self.n + b] = true;
+    }
+
+    /// Transitive closure (Floyd–Warshall; traces are small).
+    fn close(&mut self) {
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if self.get(i, k) {
+                    for j in 0..self.n {
+                        if self.get(k, j) {
+                            self.set(i, j);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The release-sequence elements a read of `w` may synchronize through:
+/// `w` itself plus the chain of RMWs it (transitively) read from, ending at
+/// the first non-RMW store. Returned from `w` backwards.
+fn release_chain(trace: &Trace, w: EventId) -> Vec<EventId> {
+    let mut chain = vec![w];
+    let mut cur = w;
+    while let EventKind::Rmw { rf: Some(prev), .. } = &trace.event(cur).kind {
+        cur = *prev;
+        chain.push(cur);
+    }
+    chain
+}
+
+/// Recompute `hb` offline. Returns the closed matrix.
+fn compute_hb(trace: &Trace) -> HbMatrix {
+    let n = trace.events.len();
+    let mut hb = HbMatrix::new(n);
+
+    // sb: consecutive events of the same thread.
+    let mut last_of_thread: Vec<Option<usize>> = vec![None; trace.num_threads as usize];
+    // First event of each thread (for create edges).
+    let mut first_of_thread: Vec<Option<usize>> = vec![None; trace.num_threads as usize];
+    // Finish event of each thread (for join edges).
+    let mut finish_of_thread: Vec<Option<usize>> = vec![None; trace.num_threads as usize];
+
+    for (i, e) in trace.events.iter().enumerate() {
+        let t = e.tid.idx();
+        if let Some(prev) = last_of_thread[t] {
+            hb.set(prev, i);
+        }
+        if first_of_thread[t].is_none() {
+            first_of_thread[t] = Some(i);
+        }
+        if matches!(e.kind, EventKind::ThreadFinish) {
+            finish_of_thread[t] = Some(i);
+        }
+        last_of_thread[t] = Some(i);
+    }
+
+    // create / join edges.
+    for (i, e) in trace.events.iter().enumerate() {
+        match e.kind {
+            EventKind::ThreadCreate { child } => {
+                if let Some(Some(first)) = first_of_thread.get(child.idx()) {
+                    hb.set(i, *first);
+                }
+            }
+            EventKind::ThreadJoin { target } => {
+                if let Some(Some(fin)) = finish_of_thread.get(target.idx()) {
+                    hb.set(*fin, i);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // sw from rf (+ release sequences + fences).
+    // Pre-index fences per thread.
+    let release_fences_before = |tid: Tid, seq: u32| -> Vec<usize> {
+        trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.tid == tid
+                    && f.seq < seq
+                    && matches!(f.kind, EventKind::Fence { ord } if ord.is_release())
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let acquire_fences_after = |tid: Tid, seq: u32| -> Vec<usize> {
+        trace
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| {
+                f.tid == tid
+                    && f.seq > seq
+                    && matches!(f.kind, EventKind::Fence { ord } if ord.is_acquire())
+            })
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    for (ri, r) in trace.events.iter().enumerate() {
+        let (r_ord, rf) = match &r.kind {
+            EventKind::AtomicLoad { ord, rf, .. } => (*ord, *rf),
+            EventKind::Rmw { ord, rf, .. } => (*ord, *rf),
+            _ => continue,
+        };
+        let Some(w) = rf else { continue };
+
+        // Collect sync sources.
+        let mut sources: Vec<usize> = Vec::new();
+        for elem in release_chain(trace, w) {
+            let we = trace.event(elem);
+            let w_ord = we.kind.ord().unwrap_or(MemOrd::Relaxed);
+            if w_ord.is_release() {
+                sources.push(elem.idx());
+            }
+            // A release fence sequenced before a store in the (hypothetical)
+            // release sequence synchronizes too.
+            for f in release_fences_before(we.tid, we.seq) {
+                sources.push(f);
+            }
+        }
+        if sources.is_empty() {
+            continue;
+        }
+
+        // Collect sync destinations.
+        let mut dests: Vec<usize> = Vec::new();
+        if r_ord.is_acquire() {
+            dests.push(ri);
+        }
+        for f in acquire_fences_after(r.tid, r.seq) {
+            dests.push(f);
+        }
+
+        for &s in &sources {
+            for &d in &dests {
+                if s != d {
+                    hb.set(s, d);
+                }
+            }
+        }
+    }
+
+    hb.close();
+    hb
+}
+
+/// Validate a finished trace against the memory-model axioms. Returns every
+/// violation found (empty = consistent).
+///
+/// When `check_clocks` is set, the trace's stored vector clocks are compared
+/// pairwise against the recomputed `hb` — the strongest cross-check of the
+/// online implementation.
+pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
+    let mut errors = Vec::new();
+    let n = trace.events.len();
+    let hb = compute_hb(trace);
+
+    // Acyclicity: hb must embed into execution order.
+    for a in 0..n {
+        for b in 0..n {
+            if hb.get(a, b) && b <= a {
+                errors.push(AxiomError::HbCycle { a: EventId(a as u32), b: EventId(b as u32) });
+            }
+        }
+    }
+
+    if check_clocks {
+        for a in 0..n {
+            for b in 0..n {
+                if a == b {
+                    continue;
+                }
+                let online = trace.hb(EventId(a as u32), EventId(b as u32));
+                let offline = hb.get(a, b);
+                if online != offline {
+                    errors.push(AxiomError::ClockMismatch {
+                        a: EventId(a as u32),
+                        b: EventId(b as u32),
+                        online,
+                        offline,
+                    });
+                }
+            }
+        }
+    }
+
+    // rf well-formedness + coherence.
+    for (ri, r) in trace.events.iter().enumerate() {
+        let (loc, rf, read_val) = match &r.kind {
+            EventKind::AtomicLoad { loc, rf, val, .. } => (*loc, *rf, *val),
+            EventKind::Rmw { loc, rf, read_val, .. } => (*loc, *rf, *read_val),
+            _ => continue,
+        };
+        let Some(w) = rf else { continue };
+        let we = trace.event(w);
+        if we.kind.atomic_loc() != Some(loc) {
+            errors.push(AxiomError::BadRf {
+                read: EventId(ri as u32),
+                detail: format!("rf {w} is to a different location"),
+            });
+            continue;
+        }
+        match we.kind.written_val() {
+            Some(v) if v == read_val => {}
+            other => errors.push(AxiomError::BadRf {
+                read: EventId(ri as u32),
+                detail: format!("value mismatch: read {read_val}, store wrote {other:?}"),
+            }),
+        }
+        if w.idx() >= ri {
+            errors.push(AxiomError::BadRf {
+                read: EventId(ri as u32),
+                detail: "reads from a later event (load buffering is out of scope)".into(),
+            });
+        }
+
+        let w_mo = we.kind.mo_index().unwrap_or(0);
+
+        // CoWR: no store to loc with larger mo index hb-before the read.
+        for &w2 in trace.mo_of(loc) {
+            let w2e = trace.event(w2);
+            if w2e.kind.mo_index().unwrap_or(0) > w_mo && hb.get(w2.idx(), ri) {
+                errors.push(AxiomError::CoWr { read: EventId(ri as u32), hidden_by: w2 });
+            }
+        }
+
+        // CoRW: read hb-before a same-loc write with smaller-or-equal mo.
+        for &w2 in trace.mo_of(loc) {
+            let w2e = trace.event(w2);
+            if hb.get(ri, w2.idx()) && w2e.kind.mo_index().unwrap_or(0) <= w_mo && w2 != w {
+                errors.push(AxiomError::CoRw { read: EventId(ri as u32), write: w2 });
+            }
+        }
+    }
+
+    // CoRR: pairwise over reads of the same location.
+    for (i, a) in trace.events.iter().enumerate() {
+        let (la, rfa) = match &a.kind {
+            EventKind::AtomicLoad { loc, rf, .. } | EventKind::Rmw { loc, rf, .. } => (*loc, *rf),
+            _ => continue,
+        };
+        let Some(wa) = rfa else { continue };
+        for (j, b) in trace.events.iter().enumerate() {
+            if i == j || !hb.get(i, j) {
+                continue;
+            }
+            let (lb, rfb) = match &b.kind {
+                EventKind::AtomicLoad { loc, rf, .. } | EventKind::Rmw { loc, rf, .. } => {
+                    (*loc, *rf)
+                }
+                _ => continue,
+            };
+            if la != lb {
+                continue;
+            }
+            let Some(wb) = rfb else { continue };
+            let ma = trace.event(wa).kind.mo_index().unwrap_or(0);
+            let mb = trace.event(wb).kind.mo_index().unwrap_or(0);
+            if ma > mb {
+                errors.push(AxiomError::CoRr { first: EventId(i as u32), second: EventId(j as u32) });
+            }
+        }
+    }
+
+    // CoWW: hb over same-loc writes must agree with mo.
+    for locs in &trace.mo {
+        for (x, &w1) in locs.iter().enumerate() {
+            for &w2 in &locs[x + 1..] {
+                if hb.get(w2.idx(), w1.idx()) {
+                    errors.push(AxiomError::CoWw { first: w2, second: w1 });
+                }
+            }
+        }
+    }
+
+    // RMW atomicity.
+    for (i, e) in trace.events.iter().enumerate() {
+        if let EventKind::Rmw { rf, written: Some(_), mo_index, .. } = &e.kind {
+            let expected_prev = match rf {
+                Some(w) => trace.event(*w).kind.mo_index().map(|m| m + 1),
+                None => Some(0),
+            };
+            if expected_prev != Some(*mo_index) {
+                errors.push(AxiomError::RmwAtomicity { rmw: EventId(i as u32) });
+            }
+        }
+    }
+
+    // SC reads (29.3p3).
+    for (i, e) in trace.events.iter().enumerate() {
+        let (loc, rf, ord) = match &e.kind {
+            EventKind::AtomicLoad { loc, rf, ord, .. } => (*loc, *rf, *ord),
+            EventKind::Rmw { loc, rf, ord, .. } => (*loc, *rf, *ord),
+            _ => continue,
+        };
+        if !ord.is_seq_cst() {
+            continue;
+        }
+        let Some(w) = rf else { continue };
+        let r_sc = e.sc_index.expect("SC event must have an S index");
+        // B = last SC write to loc preceding the read in S.
+        let b = trace
+            .mo_of(loc)
+            .iter()
+            .filter(|&&x| {
+                let xe = trace.event(x);
+                xe.kind.ord().map(|o| o.is_seq_cst()).unwrap_or(false)
+                    && xe.sc_index.map(|s| s < r_sc).unwrap_or(false)
+            })
+            .copied()
+            .last();
+        let Some(b) = b else { continue };
+        if w == b {
+            continue;
+        }
+        let we = trace.event(w);
+        let w_is_sc = we.kind.ord().map(|o| o.is_seq_cst()).unwrap_or(false);
+        if w_is_sc {
+            errors.push(AxiomError::ScRead {
+                read: EventId(i as u32),
+                detail: format!("read SC store {w} but the last preceding SC store in S is {b}"),
+            });
+        } else if hb.get(w.idx(), b.idx()) {
+            errors.push(AxiomError::ScRead {
+                read: EventId(i as u32),
+                detail: format!("read non-SC store {w} that happens-before the last SC store {b}"),
+            });
+        }
+    }
+
+    // SC-fence rules (29.3 p4–p6), recomputed from scratch: walk the trace
+    // in commit order maintaining (a) the mo index of the last SC store
+    // per location, (b) per-thread "own stores" tables, and (c) the global
+    // fence-published floor; snapshot per-thread floors at each SC fence.
+    {
+        use crate::clock::CoherenceMap;
+        let nthreads = trace.num_threads as usize;
+        let mut sc_last_store = CoherenceMap::new();
+        let mut published = CoherenceMap::new();
+        let mut own_stores: Vec<CoherenceMap> = (0..nthreads).map(|_| CoherenceMap::new()).collect();
+        let mut fence_floor: Vec<CoherenceMap> = (0..nthreads).map(|_| CoherenceMap::new()).collect();
+
+        for e in &trace.events {
+            match &e.kind {
+                EventKind::AtomicStore { loc, ord, mo_index, .. } => {
+                    own_stores[e.tid.idx()].raise(*loc, *mo_index);
+                    if ord.is_seq_cst() {
+                        sc_last_store.raise(*loc, *mo_index);
+                    }
+                }
+                EventKind::Rmw { loc, ord, written: Some(_), mo_index, .. } => {
+                    own_stores[e.tid.idx()].raise(*loc, *mo_index);
+                    if ord.is_seq_cst() {
+                        sc_last_store.raise(*loc, *mo_index);
+                    }
+                }
+                EventKind::Fence { ord } if ord.is_seq_cst() => {
+                    let t = e.tid.idx();
+                    fence_floor[t].join(&sc_last_store); // p4
+                    fence_floor[t].join(&published); // p6
+                    let own = own_stores[t].clone();
+                    published.join(&own); // p5 (and later p6)
+                }
+                EventKind::AtomicLoad { loc, ord, rf: Some(w), .. }
+                | EventKind::Rmw { loc, ord, rf: Some(w), .. } => {
+                    let got = trace.event(*w).kind.mo_index().unwrap_or(0);
+                    if let Some(fl) = fence_floor[e.tid.idx()].get(*loc) {
+                        if got < fl {
+                            errors.push(AxiomError::ScFence { read: e.id, rule: "p4/p6" });
+                        }
+                    }
+                    if ord.is_seq_cst() {
+                        if let Some(fl) = published.get(*loc) {
+                            if got < fl {
+                                errors.push(AxiomError::ScFence { read: e.id, rule: "p5" });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::event::Event;
+    use crate::loc::LocId;
+    use crate::value::Val;
+
+    /// Tiny hand-rolled trace builder for validator tests. Clocks are
+    /// computed with the same sb/create/join/sw rules (but a simpler,
+    /// obviously-correct algorithm: rebuild from compute_hb).
+    struct Builder {
+        events: Vec<Event>,
+        mo: Vec<Vec<EventId>>,
+        sc: Vec<EventId>,
+        seqs: Vec<u32>,
+    }
+
+    impl Builder {
+        fn new(threads: usize) -> Self {
+            Builder { events: Vec::new(), mo: Vec::new(), sc: Vec::new(), seqs: vec![0; threads] }
+        }
+
+        fn push(&mut self, tid: u32, kind: EventKind) -> EventId {
+            let id = EventId(self.events.len() as u32);
+            self.seqs[tid as usize] += 1;
+            let sc_index = match kind.ord() {
+                Some(o) if o.is_seq_cst() => {
+                    self.sc.push(id);
+                    Some(self.sc.len() as u32 - 1)
+                }
+                _ => None,
+            };
+            if let Some(loc) = kind.atomic_loc() {
+                if kind.is_write() {
+                    while self.mo.len() <= loc.idx() {
+                        self.mo.push(Vec::new());
+                    }
+                    self.mo[loc.idx()].push(id);
+                }
+            }
+            self.events.push(Event {
+                id,
+                tid: Tid(tid),
+                seq: self.seqs[tid as usize],
+                kind,
+                clock: Clock::new(),
+                sc_index,
+            });
+            id
+        }
+
+        fn store(&mut self, tid: u32, loc: u32, ord: MemOrd, val: Val) -> EventId {
+            let mo_index =
+                self.mo.get(loc as usize).map(|v| v.len() as u32).unwrap_or(0);
+            self.push(tid, EventKind::AtomicStore { loc: LocId(loc), ord, val, mo_index })
+        }
+
+        fn load(&mut self, tid: u32, loc: u32, ord: MemOrd, rf: Option<EventId>) -> EventId {
+            let val = rf.map(|w| self.events[w.idx()].kind.written_val().unwrap()).unwrap_or(0);
+            self.push(tid, EventKind::AtomicLoad { loc: LocId(loc), ord, rf, val })
+        }
+
+        fn finish(mut self) -> Trace {
+            // Populate clocks from the offline hb so trace.hb works in
+            // validator tests that don't exercise clock checking.
+            let n = self.events.len();
+            let mut t = Trace {
+                events: self.events.clone(),
+                mo: self.mo.clone(),
+                sc_order: self.sc.clone(),
+                num_threads: self.seqs.len() as u32,
+                annotations: vec![],
+            };
+            let hb = compute_hb(&t);
+            for i in 0..n {
+                let (tid, seq) = (self.events[i].tid, self.events[i].seq);
+                self.events[i].clock.vc.set(tid, seq);
+                for j in 0..n {
+                    if hb.get(j, i) {
+                        let je = &t.events[j];
+                        let have = self.events[i].clock.vc.get(je.tid);
+                        if je.seq > have {
+                            self.events[i].clock.vc.set(je.tid, je.seq);
+                        }
+                    }
+                }
+            }
+            t.events = self.events;
+            t
+        }
+    }
+
+    use MemOrd::*;
+
+    #[test]
+    fn consistent_message_passing_validates() {
+        // T0: store d=1 rlx; store f=1 rel.  T1: load f=1 acq; load d=1 rlx.
+        let mut b = Builder::new(2);
+        let d = b.store(0, 0, Relaxed, 1);
+        let f = b.store(0, 1, Release, 1);
+        b.load(1, 1, Acquire, Some(f));
+        b.load(1, 0, Relaxed, Some(d));
+        let t = b.finish();
+        assert!(validate(&t, true).is_empty(), "{:?}", validate(&t, true));
+    }
+
+    #[test]
+    fn hidden_store_is_a_cowr_violation() {
+        // T0: store x=1; store x=2 rel. T1: load x acq reads 2 (sync), then
+        // loads x=1 again — reads a store hidden behind one it has seen.
+        let mut b = Builder::new(2);
+        let w1 = b.store(0, 0, Relaxed, 1);
+        let w2 = b.store(0, 0, Release, 2);
+        b.load(1, 0, Acquire, Some(w2));
+        b.load(1, 0, Relaxed, Some(w1));
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::CoWr { .. } | AxiomError::CoRr { .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn corr_violation_detected_without_sync() {
+        // Same thread reads x=2 then x=1 with no synchronization at all:
+        // still a CoRR violation via sb.
+        let mut b = Builder::new(2);
+        let w1 = b.store(0, 0, Relaxed, 1);
+        let w2 = b.store(0, 0, Relaxed, 2);
+        b.load(1, 0, Relaxed, Some(w2));
+        b.load(1, 0, Relaxed, Some(w1));
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(errs.iter().any(|e| matches!(e, AxiomError::CoRr { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn stale_read_without_sync_is_legal() {
+        // Relaxed MP: reading the flag does NOT make the data store
+        // hb-visible, so reading stale data is consistent.
+        let mut b = Builder::new(2);
+        let _d = b.store(0, 0, Relaxed, 1);
+        let f = b.store(0, 1, Relaxed, 1);
+        b.load(1, 1, Relaxed, Some(f));
+        b.load(1, 0, Relaxed, None); // uninitialized read: rf = None
+        let t = b.finish();
+        // validate ignores rf=None (uninit is the *checker's* built-in bug,
+        // not an axiom violation).
+        assert!(validate(&t, false).is_empty());
+    }
+
+    #[test]
+    fn sc_read_must_see_last_sc_store() {
+        // T0: store x=1 sc. T1: store x=2 sc. T2: load x sc reading 1 while
+        // the last SC store in S is 2 → violation.
+        let mut b = Builder::new(3);
+        let w1 = b.store(0, 0, SeqCst, 1);
+        let _w2 = b.store(1, 0, SeqCst, 2);
+        b.load(2, 0, SeqCst, Some(w1));
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(errs.iter().any(|e| matches!(e, AxiomError::ScRead { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn release_sequence_through_rmw_synchronizes() {
+        // T0: store x=1 rel. T1: rmw x 1->2 rlx. T2: load x acq reads the
+        // RMW → synchronizes with the release head, so a CoWR check on data
+        // would hold. Here we just confirm hb(T0 store, T2 load).
+        let mut b = Builder::new(3);
+        let h = b.store(0, 0, Release, 1);
+        let rmw = b.push(
+            1,
+            EventKind::Rmw {
+                loc: LocId(0),
+                ord: Relaxed,
+                rf: Some(h),
+                read_val: 1,
+                written: Some(2),
+                mo_index: 1,
+            },
+        );
+        let r = b.load(2, 0, Acquire, Some(rmw));
+        let t = b.finish();
+        assert!(validate(&t, true).is_empty());
+        assert!(t.hb(h, r), "release sequence must give hb(head, acquire reader)");
+    }
+
+    #[test]
+    fn fence_synchronization_gives_hb() {
+        // T0: store d rlx; release fence; store f rlx.
+        // T1: load f rlx (reads f); acquire fence; load d.
+        let mut b = Builder::new(2);
+        let d = b.store(0, 0, Relaxed, 1);
+        b.push(0, EventKind::Fence { ord: Release });
+        let f = b.store(0, 1, Relaxed, 1);
+        b.load(1, 1, Relaxed, Some(f));
+        b.push(1, EventKind::Fence { ord: Acquire });
+        let r = b.load(1, 0, Relaxed, Some(d));
+        let t = b.finish();
+        assert!(validate(&t, true).is_empty());
+        assert!(t.hb(d, r), "fence-fence synchronization must order the data accesses");
+    }
+
+    #[test]
+    fn rmw_atomicity_enforced() {
+        let mut b = Builder::new(2);
+        let w1 = b.store(0, 0, Relaxed, 1);
+        let _w2 = b.store(0, 0, Relaxed, 2);
+        // RMW claims to read w1 but its write is appended at mo index 2
+        // (not adjacent) → atomicity violation.
+        b.push(
+            1,
+            EventKind::Rmw {
+                loc: LocId(0),
+                ord: Relaxed,
+                rf: Some(w1),
+                read_val: 1,
+                written: Some(5),
+                mo_index: 2,
+            },
+        );
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(errs.iter().any(|e| matches!(e, AxiomError::RmwAtomicity { .. })), "{errs:?}");
+    }
+
+    #[test]
+    fn sc_fence_p5_violation_detected() {
+        // T0: store x=1 rlx; SC fence (publishes x=1).
+        // T1: SC load of x reading the stale init — p5 forbids it.
+        let mut b = Builder::new(2);
+        let w0 = b.store(0, 0, Relaxed, 0); // init
+        let _w1 = b.store(0, 0, Relaxed, 1);
+        b.push(0, EventKind::Fence { ord: SeqCst });
+        b.load(1, 0, SeqCst, Some(w0));
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::ScFence { rule: "p5", .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn sc_fence_p4_violation_detected() {
+        // T0: SC store x=1. T1: SC fence; then a relaxed load of x reading
+        // the init — p4 forbids reading anything older than the last SC
+        // store preceding the fence in S.
+        let mut b = Builder::new(2);
+        let w0 = b.store(0, 0, Relaxed, 0); // init
+        let _w1 = b.store(0, 0, SeqCst, 1);
+        b.push(1, EventKind::Fence { ord: SeqCst });
+        b.load(1, 0, Relaxed, Some(w0));
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::ScFence { rule: "p4/p6", .. })),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn sc_fences_clean_trace_passes() {
+        // The compliant version of the p5 scenario: the SC load reads the
+        // published store.
+        let mut b = Builder::new(2);
+        let _w0 = b.store(0, 0, Relaxed, 0);
+        let w1 = b.store(0, 0, Relaxed, 1);
+        b.push(0, EventKind::Fence { ord: SeqCst });
+        b.load(1, 0, SeqCst, Some(w1));
+        let t = b.finish();
+        assert!(validate(&t, false).is_empty());
+    }
+
+    #[test]
+    fn bad_rf_value_mismatch_detected() {
+        let mut b = Builder::new(1);
+        let w = b.store(0, 0, Relaxed, 1);
+        b.push(
+            0,
+            EventKind::AtomicLoad { loc: LocId(0), ord: Relaxed, rf: Some(w), val: 99 },
+        );
+        let t = b.finish();
+        let errs = validate(&t, false);
+        assert!(errs.iter().any(|e| matches!(e, AxiomError::BadRf { .. })), "{errs:?}");
+    }
+}

@@ -1,0 +1,350 @@
+//! Completed-execution traces.
+//!
+//! A [`Trace`] is what the model checker hands to plugins (notably the
+//! CDSSpec checker in `cdsspec-core`) after each feasible execution: the
+//! committed events with their happens-before clocks, the per-location
+//! modification orders, the SC total order *S*, and the stream of
+//! *specification annotations* recorded by instrumented data-structure code
+//! (method boundaries, arguments/return values, and ordering-point
+//! markers — the run-time counterpart of the paper's `@OPDefine`,
+//! `@PotentialOP`, `@OPCheck`, `@OPClear` and `@OPClearDefine`).
+
+use crate::event::{Event, EventId, EventKind, Tid};
+use crate::loc::LocId;
+
+/// A dynamic value crossing the concurrent/sequential boundary (method
+/// arguments and return values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpecVal {
+    /// No value (e.g. a `void` method).
+    Unit,
+    /// Signed integer (the common case; the paper's examples use `int`).
+    I64(i64),
+    /// Unsigned integer / pointer bits.
+    U64(u64),
+    /// Boolean (e.g. `trylock` results).
+    Bool(bool),
+}
+
+impl SpecVal {
+    /// Interpret as `i64`, panicking on `Unit` (spec-writer error).
+    pub fn as_i64(self) -> i64 {
+        match self {
+            SpecVal::I64(v) => v,
+            SpecVal::U64(v) => v as i64,
+            SpecVal::Bool(b) => b as i64,
+            SpecVal::Unit => panic!("SpecVal::Unit interpreted as integer"),
+        }
+    }
+
+    /// Interpret as `u64`.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            SpecVal::I64(v) => v as u64,
+            SpecVal::U64(v) => v,
+            SpecVal::Bool(b) => b as u64,
+            SpecVal::Unit => panic!("SpecVal::Unit interpreted as integer"),
+        }
+    }
+
+    /// Interpret as `bool` (nonzero integers are `true`).
+    pub fn as_bool(self) -> bool {
+        match self {
+            SpecVal::Bool(b) => b,
+            SpecVal::I64(v) => v != 0,
+            SpecVal::U64(v) => v != 0,
+            SpecVal::Unit => panic!("SpecVal::Unit interpreted as bool"),
+        }
+    }
+}
+
+impl From<i64> for SpecVal {
+    fn from(v: i64) -> Self {
+        SpecVal::I64(v)
+    }
+}
+impl From<i32> for SpecVal {
+    fn from(v: i32) -> Self {
+        SpecVal::I64(v as i64)
+    }
+}
+impl From<u64> for SpecVal {
+    fn from(v: u64) -> Self {
+        SpecVal::U64(v)
+    }
+}
+impl From<usize> for SpecVal {
+    fn from(v: usize) -> Self {
+        SpecVal::U64(v as u64)
+    }
+}
+impl From<bool> for SpecVal {
+    fn from(v: bool) -> Self {
+        SpecVal::Bool(v)
+    }
+}
+impl From<()> for SpecVal {
+    fn from(_: ()) -> Self {
+        SpecVal::Unit
+    }
+}
+
+/// One specification annotation recorded by instrumented code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpecNote {
+    /// Start of an API method call (paper: method *invocation* event).
+    /// `obj` identifies the data-structure instance, enabling the
+    /// composition of specifications (paper §3.2): each object is checked
+    /// against its own sequential state.
+    MethodBegin { obj: u64, name: &'static str },
+    /// An argument value of the current method call.
+    MethodArg { val: SpecVal },
+    /// End of an API method call with its return value (paper: *response*).
+    MethodEnd { ret: SpecVal },
+    /// `@OPDefine`: the thread's immediately-preceding atomic operation is
+    /// an ordering point of the current method call.
+    OpDefine,
+    /// `@OPClear`: discard all ordering points (confirmed and potential)
+    /// observed so far in the current method call.
+    OpClear,
+    /// `@PotentialOP(label)`: the preceding atomic operation *may* be an
+    /// ordering point; a later `OpCheck` with the same label confirms it.
+    PotentialOp { label: &'static str },
+    /// `@OPCheck(label)`: confirm all pending potential ordering points
+    /// with `label`.
+    OpCheck { label: &'static str },
+}
+
+/// An annotation bound to its position in the execution: the recording
+/// thread and the thread's last committed event at recording time (the
+/// operation "immediately preceding the annotation" in the paper's prose).
+#[derive(Clone, Debug)]
+pub struct Annotation {
+    /// Recording thread.
+    pub tid: Tid,
+    /// The thread's most recent event when the annotation was recorded
+    /// (`None` if the thread had not yet performed any visible operation).
+    pub after: Option<EventId>,
+    /// Payload.
+    pub note: SpecNote,
+}
+
+/// A completed execution.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in global execution (commit) order.
+    pub events: Vec<Event>,
+    /// Per-location modification order: `mo[loc.idx()]` lists the writes to
+    /// `loc` in mo order (equal to their commit order).
+    pub mo: Vec<Vec<EventId>>,
+    /// The SC total order *S* (ids of `seq_cst` events in commit order).
+    pub sc_order: Vec<EventId>,
+    /// Number of threads that participated.
+    pub num_threads: u32,
+    /// Specification annotations in global recording order (per-thread
+    /// subsequences are each thread's program order).
+    pub annotations: Vec<Annotation>,
+}
+
+impl Trace {
+    /// Event lookup.
+    #[inline]
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.idx()]
+    }
+
+    /// Does `a` happen-before `b`? (`hb = (sb ∪ sw)⁺`, irreflexive.)
+    pub fn hb(&self, a: EventId, b: EventId) -> bool {
+        self.event(a).happens_before(self.event(b))
+    }
+
+    /// Are `a` and `b` both SC and is `a` before `b` in *S*?
+    pub fn sc_before(&self, a: EventId, b: EventId) -> bool {
+        match (self.event(a).sc_index, self.event(b).sc_index) {
+            (Some(x), Some(y)) => x < y,
+            _ => false,
+        }
+    }
+
+    /// The paper's ordering test for ordering points: `a` is ordered before
+    /// `b` when `a` happens-before `b` **or** `a` precedes `b` in *S*.
+    pub fn ordered_before(&self, a: EventId, b: EventId) -> bool {
+        self.hb(a, b) || self.sc_before(a, b)
+    }
+
+    /// All writes to `loc` in modification order.
+    pub fn mo_of(&self, loc: LocId) -> &[EventId] {
+        self.mo.get(loc.idx()).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of atomic operations (loads, stores, RMWs, fences).
+    pub fn atomic_op_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::AtomicLoad { .. }
+                        | EventKind::AtomicStore { .. }
+                        | EventKind::Rmw { .. }
+                        | EventKind::Fence { .. }
+                )
+            })
+            .count()
+    }
+
+    /// A compact multi-line rendering for diagnostics.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for e in &self.events {
+            let _ = write!(s, "{:>4} {} #{:<3} ", e.id, e.tid, e.seq);
+            match &e.kind {
+                EventKind::AtomicLoad { loc, ord, rf, val } => {
+                    let _ = write!(s, "load  {loc} {ord} = {val}");
+                    match rf {
+                        Some(w) => {
+                            let _ = write!(s, " (rf {w})");
+                        }
+                        None => {
+                            let _ = write!(s, " (UNINITIALIZED)");
+                        }
+                    }
+                }
+                EventKind::AtomicStore { loc, ord, val, mo_index } => {
+                    let _ = write!(s, "store {loc} {ord} := {val} (mo {mo_index})");
+                }
+                EventKind::Rmw { loc, ord, rf, read_val, written, mo_index } => {
+                    match written {
+                        Some(w) => {
+                            let _ = write!(
+                                s,
+                                "rmw   {loc} {ord} {read_val} -> {w} (mo {mo_index})"
+                            );
+                        }
+                        None => {
+                            let _ = write!(s, "rmw   {loc} {ord} read {read_val} (failed)");
+                        }
+                    }
+                    if let Some(r) = rf {
+                        let _ = write!(s, " (rf {r})");
+                    }
+                }
+                EventKind::Fence { ord } => {
+                    let _ = write!(s, "fence {ord}");
+                }
+                EventKind::ThreadCreate { child } => {
+                    let _ = write!(s, "create {child}");
+                }
+                EventKind::ThreadJoin { target } => {
+                    let _ = write!(s, "join   {target}");
+                }
+                EventKind::ThreadFinish => {
+                    let _ = write!(s, "finish");
+                }
+                EventKind::DataWrite { loc } => {
+                    let _ = write!(s, "write {loc}");
+                }
+                EventKind::DataRead { loc } => {
+                    let _ = write!(s, "read  {loc}");
+                }
+            }
+            if let Some(sc) = e.sc_index {
+                let _ = write!(s, "  [S{sc}]");
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::ordering::MemOrd;
+
+    fn mk_event(id: u32, tid: u32, seq: u32, kind: EventKind, sc: Option<u32>) -> Event {
+        let mut clock = Clock::new();
+        clock.vc.set(Tid(tid), seq);
+        Event { id: EventId(id), tid: Tid(tid), seq, kind, clock, sc_index: sc }
+    }
+
+    fn two_event_trace() -> Trace {
+        let store = mk_event(
+            0,
+            0,
+            1,
+            EventKind::AtomicStore { loc: LocId(0), ord: MemOrd::SeqCst, val: 1, mo_index: 0 },
+            Some(0),
+        );
+        let mut load = mk_event(
+            1,
+            1,
+            1,
+            EventKind::AtomicLoad {
+                loc: LocId(0),
+                ord: MemOrd::SeqCst,
+                rf: Some(EventId(0)),
+                val: 1,
+            },
+            Some(1),
+        );
+        load.clock.vc.set(Tid(0), 1);
+        Trace {
+            events: vec![store, load],
+            mo: vec![vec![EventId(0)]],
+            sc_order: vec![EventId(0), EventId(1)],
+            num_threads: 2,
+            annotations: vec![],
+        }
+    }
+
+    #[test]
+    fn hb_and_sc_queries() {
+        let t = two_event_trace();
+        assert!(t.hb(EventId(0), EventId(1)));
+        assert!(!t.hb(EventId(1), EventId(0)));
+        assert!(t.sc_before(EventId(0), EventId(1)));
+        assert!(!t.sc_before(EventId(1), EventId(0)));
+        assert!(t.ordered_before(EventId(0), EventId(1)));
+    }
+
+    #[test]
+    fn mo_lookup_handles_untouched_locations() {
+        let t = two_event_trace();
+        assert_eq!(t.mo_of(LocId(0)), &[EventId(0)]);
+        assert!(t.mo_of(LocId(17)).is_empty());
+    }
+
+    #[test]
+    fn specval_conversions() {
+        assert_eq!(SpecVal::from(-1i32).as_i64(), -1);
+        assert_eq!(SpecVal::from(7u64).as_u64(), 7);
+        assert!(SpecVal::from(true).as_bool());
+        assert!(SpecVal::from(3i64).as_bool());
+        assert_eq!(SpecVal::from(()).to_owned(), SpecVal::Unit);
+    }
+
+    #[test]
+    #[should_panic]
+    fn specval_unit_as_int_panics() {
+        SpecVal::Unit.as_i64();
+    }
+
+    #[test]
+    fn render_mentions_all_events() {
+        let t = two_event_trace();
+        let r = t.render();
+        assert!(r.contains("store"));
+        assert!(r.contains("load"));
+        assert!(r.contains("[S0]") && r.contains("[S1]"));
+    }
+
+    #[test]
+    fn atomic_op_count_ignores_thread_events() {
+        let mut t = two_event_trace();
+        t.events.push(mk_event(2, 0, 2, EventKind::ThreadFinish, None));
+        assert_eq!(t.atomic_op_count(), 2);
+    }
+}

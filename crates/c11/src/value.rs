@@ -1,0 +1,123 @@
+//! The bit-level value model.
+//!
+//! Every modeled atomic or non-atomic cell holds a [`Val`] (`u64`). Typed
+//! front-ends (`Atomic<T>`, `Data<T>` in `cdsspec-mc`) convert through the
+//! [`PrimVal`] trait. Pointers are carried as their address bits, which is
+//! how CDSChecker models them too.
+
+/// The raw value stored in a modeled memory cell.
+pub type Val = u64;
+
+/// Types that can live in a modeled atomic/non-atomic cell.
+///
+/// Implementations must round-trip: `from_bits(to_bits(x)) == x`.
+pub trait PrimVal: Copy {
+    /// Encode into the 64-bit cell representation.
+    fn to_bits(self) -> Val;
+    /// Decode from the 64-bit cell representation.
+    fn from_bits(bits: Val) -> Self;
+}
+
+macro_rules! prim_unsigned {
+    ($($t:ty),*) => {$(
+        impl PrimVal for $t {
+            #[inline]
+            fn to_bits(self) -> Val { self as Val }
+            #[inline]
+            fn from_bits(bits: Val) -> Self { bits as $t }
+        }
+    )*};
+}
+
+macro_rules! prim_signed {
+    ($($t:ty),*) => {$(
+        impl PrimVal for $t {
+            // Sign-extend through i64 so negative values round-trip.
+            #[inline]
+            fn to_bits(self) -> Val { self as i64 as Val }
+            #[inline]
+            fn from_bits(bits: Val) -> Self { bits as i64 as $t }
+        }
+    )*};
+}
+
+prim_unsigned!(u8, u16, u32, u64, usize);
+prim_signed!(i8, i16, i32, i64, isize);
+
+impl PrimVal for bool {
+    #[inline]
+    fn to_bits(self) -> Val {
+        self as Val
+    }
+    #[inline]
+    fn from_bits(bits: Val) -> Self {
+        bits != 0
+    }
+}
+
+impl<T> PrimVal for *mut T {
+    #[inline]
+    fn to_bits(self) -> Val {
+        self as usize as Val
+    }
+    #[inline]
+    fn from_bits(bits: Val) -> Self {
+        bits as usize as *mut T
+    }
+}
+
+impl<T> PrimVal for *const T {
+    #[inline]
+    fn to_bits(self) -> Val {
+        self as usize as Val
+    }
+    #[inline]
+    fn from_bits(bits: Val) -> Self {
+        bits as usize as *const T
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: PrimVal + PartialEq + std::fmt::Debug>(x: T) {
+        assert_eq!(T::from_bits(x.to_bits()), x);
+    }
+
+    #[test]
+    fn unsigned_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(42u32);
+        roundtrip(u32::MAX);
+        roundtrip(usize::MAX);
+        roundtrip(255u8);
+    }
+
+    #[test]
+    fn signed_roundtrip_preserves_sign() {
+        roundtrip(-1i32);
+        roundtrip(i32::MIN);
+        roundtrip(i64::MIN);
+        roundtrip(-1isize);
+        roundtrip(-128i8);
+        // The canonical CDSSpec "empty" sentinel must survive the cell.
+        assert_eq!(i32::from_bits((-1i32).to_bits()), -1);
+    }
+
+    #[test]
+    fn bool_roundtrip() {
+        roundtrip(true);
+        roundtrip(false);
+        assert!(bool::from_bits(7)); // any nonzero is true
+    }
+
+    #[test]
+    fn pointer_roundtrip() {
+        let x = Box::into_raw(Box::new(7i32));
+        roundtrip(x);
+        roundtrip(std::ptr::null_mut::<i32>());
+        unsafe { drop(Box::from_raw(x)) };
+    }
+}

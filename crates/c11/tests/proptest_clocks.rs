@@ -1,0 +1,145 @@
+//! Property tests for the clock lattice: `VecClock` and `CoherenceMap`
+//! joins must form a join-semilattice (associative, commutative,
+//! idempotent, monotone), and `Clock::read_floor` must be monotone under
+//! join — the properties the coherence machinery silently relies on.
+
+use cdsspec_c11::clock::CoherenceMap;
+use cdsspec_c11::{Clock, LocId, Tid, VecClock};
+use proptest::prelude::*;
+
+fn vecclock_strategy() -> impl Strategy<Value = VecClock> {
+    prop::collection::vec(0u32..20, 0..6).prop_map(|counts| {
+        let mut c = VecClock::new();
+        for (i, v) in counts.into_iter().enumerate() {
+            c.set(Tid(i as u32), v);
+        }
+        c
+    })
+}
+
+fn cohmap_strategy() -> impl Strategy<Value = CoherenceMap> {
+    prop::collection::vec(prop::option::of(0u32..10), 0..5).prop_map(|bounds| {
+        let mut m = CoherenceMap::new();
+        for (i, b) in bounds.into_iter().enumerate() {
+            if let Some(b) = b {
+                m.raise(LocId(i as u32), b);
+            }
+        }
+        m
+    })
+}
+
+fn joined(a: &VecClock, b: &VecClock) -> VecClock {
+    let mut x = a.clone();
+    x.join(b);
+    x
+}
+
+fn mjoined(a: &CoherenceMap, b: &CoherenceMap) -> CoherenceMap {
+    let mut x = a.clone();
+    x.join(b);
+    x
+}
+
+proptest! {
+    #[test]
+    fn vecclock_join_commutative(a in vecclock_strategy(), b in vecclock_strategy()) {
+        let ab = joined(&a, &b);
+        let ba = joined(&b, &a);
+        // Compare observationally (vectors may differ in trailing zeros).
+        for i in 0..8u32 {
+            prop_assert_eq!(ab.get(Tid(i)), ba.get(Tid(i)));
+        }
+    }
+
+    #[test]
+    fn vecclock_join_associative(
+        a in vecclock_strategy(),
+        b in vecclock_strategy(),
+        c in vecclock_strategy()
+    ) {
+        let left = joined(&joined(&a, &b), &c);
+        let right = joined(&a, &joined(&b, &c));
+        for i in 0..8u32 {
+            prop_assert_eq!(left.get(Tid(i)), right.get(Tid(i)));
+        }
+    }
+
+    #[test]
+    fn vecclock_join_idempotent_and_upper_bound(a in vecclock_strategy(), b in vecclock_strategy()) {
+        let aa = joined(&a, &a);
+        for i in 0..8u32 {
+            prop_assert_eq!(aa.get(Tid(i)), a.get(Tid(i)));
+        }
+        let ab = joined(&a, &b);
+        prop_assert!(ab.includes(&a));
+        prop_assert!(ab.includes(&b));
+    }
+
+    #[test]
+    fn vecclock_includes_is_a_partial_order(
+        a in vecclock_strategy(),
+        b in vecclock_strategy(),
+        c in vecclock_strategy()
+    ) {
+        prop_assert!(a.includes(&a));
+        if a.includes(&b) && b.includes(&c) {
+            prop_assert!(a.includes(&c), "transitivity");
+        }
+        if a.includes(&b) && b.includes(&a) {
+            for i in 0..8u32 {
+                prop_assert_eq!(a.get(Tid(i)), b.get(Tid(i)), "antisymmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn cohmap_join_laws(a in cohmap_strategy(), b in cohmap_strategy()) {
+        let ab = mjoined(&a, &b);
+        let ba = mjoined(&b, &a);
+        for i in 0..6u32 {
+            prop_assert_eq!(ab.get(LocId(i)), ba.get(LocId(i)), "commutative");
+            // join is an upper bound
+            let lo = a.get(LocId(i)).max(b.get(LocId(i)));
+            prop_assert_eq!(ab.get(LocId(i)), lo, "pointwise max");
+        }
+    }
+
+    #[test]
+    fn read_floor_monotone_under_join(
+        w1 in cohmap_strategy(),
+        r1 in cohmap_strategy(),
+        w2 in cohmap_strategy(),
+        r2 in cohmap_strategy()
+    ) {
+        let a = Clock { vc: VecClock::new(), wmax: w1, rmax: r1 };
+        let b = Clock { vc: VecClock::new(), wmax: w2, rmax: r2 };
+        let mut ab = a.clone();
+        ab.join(&b);
+        for i in 0..6u32 {
+            let loc = LocId(i);
+            // The joined floor can never be lower than either input's.
+            let fa = a.read_floor(loc).unwrap_or(0);
+            let fb = b.read_floor(loc).unwrap_or(0);
+            if a.read_floor(loc).is_some() || b.read_floor(loc).is_some() {
+                let fab = ab.read_floor(loc).expect("join keeps constraints");
+                prop_assert!(fab >= fa.max(fb));
+            } else {
+                prop_assert!(ab.read_floor(loc).is_none());
+            }
+        }
+    }
+
+    /// `raise` never lowers a bound.
+    #[test]
+    fn cohmap_raise_monotone(m in cohmap_strategy(), loc in 0u32..6, v in 0u32..10) {
+        let before = m.get(LocId(loc));
+        let mut m2 = m.clone();
+        m2.raise(LocId(loc), v);
+        let after = m2.get(LocId(loc)).expect("raised");
+        prop_assert!(after >= v);
+        if let Some(b) = before {
+            prop_assert!(after >= b);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Dynamic instrumentation API — the run-time counterpart of the paper's
+//! ordering-point and method-boundary annotations.
+//!
+//! Data-structure methods call these free functions at exactly the program
+//! points where the C version carries `/** @... */` comments:
+//!
+//! ```ignore
+//! pub fn enq(&self, val: i64) {
+//!     method_begin("enq");
+//!     arg(val);
+//!     loop {
+//!         let t = self.tail.load(acquire);
+//!         if tail_next.compare_exchange(...).is_ok() {
+//!             op_define();            // @OPDefine: true
+//!             self.tail.store(...);
+//!             break;
+//!         }
+//!     }
+//!     method_end(());
+//! }
+//! ```
+//!
+//! Outside a model-checking run (`mc::in_model() == false`) every function
+//! is a no-op, so instrumented structures remain usable as ordinary code —
+//! the same property the paper gets from putting annotations in comments.
+
+use cdsspec_c11::{SpecNote, SpecVal};
+use cdsspec_mc as mc;
+
+#[inline]
+fn note(n: SpecNote) {
+    if mc::in_model() {
+        mc::annotate(n);
+    }
+}
+
+/// Mark the start of an API method call (its *invocation* event) on the
+/// data-structure instance identified by `obj` (from
+/// [`cdsspec_mc::new_object_id`]); instances are specified and checked
+/// independently (composition, paper §3.2).
+pub fn method_begin(obj: u64, name: &'static str) {
+    note(SpecNote::MethodBegin { obj, name });
+}
+
+/// Record an argument of the current method call.
+pub fn arg(v: impl Into<SpecVal>) {
+    note(SpecNote::MethodArg { val: v.into() });
+}
+
+/// Mark the end of the current method call with its return value (the
+/// *response* event; the value becomes `C_RET`).
+pub fn method_end(ret: impl Into<SpecVal>) {
+    note(SpecNote::MethodEnd { ret: ret.into() });
+}
+
+/// `@OPDefine: true` — the immediately-preceding atomic operation is an
+/// ordering point of the current method call.
+pub fn op_define() {
+    note(SpecNote::OpDefine);
+}
+
+/// `@OPDefine: cond` — conditional form.
+pub fn op_define_if(cond: bool) {
+    if cond {
+        op_define();
+    }
+}
+
+/// `@OPClear` — discard all ordering points observed so far in this call.
+pub fn op_clear() {
+    note(SpecNote::OpClear);
+}
+
+/// `@OPClearDefine` — the paper's syntactic sugar for `@OPClear` followed
+/// by `@OPDefine` (the common "last loop iteration wins" idiom).
+pub fn op_clear_define() {
+    note(SpecNote::OpClear);
+    note(SpecNote::OpDefine);
+}
+
+/// `@OPClearDefine: cond` — conditional form.
+pub fn op_clear_define_if(cond: bool) {
+    if cond {
+        op_clear_define();
+    }
+}
+
+/// `@PotentialOP(label)` — the preceding atomic operation may be an
+/// ordering point, to be confirmed by a later [`op_check`].
+pub fn potential_op(label: &'static str) {
+    note(SpecNote::PotentialOp { label });
+}
+
+/// `@PotentialOP(label): cond` — conditional form.
+pub fn potential_op_if(label: &'static str, cond: bool) {
+    if cond {
+        potential_op(label);
+    }
+}
+
+/// `@OPCheck(label)` — confirm all pending potential ordering points with
+/// `label`.
+pub fn op_check(label: &'static str) {
+    note(SpecNote::OpCheck { label });
+}
+
+/// `@OPCheck(label): cond` — conditional form.
+pub fn op_check_if(label: &'static str, cond: bool) {
+    if cond {
+        op_check(label);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Outside a model run every annotation is a no-op (no panic).
+    #[test]
+    fn noop_outside_model() {
+        method_begin(0, "m");
+        arg(1i64);
+        op_define();
+        op_clear();
+        op_clear_define();
+        potential_op("x");
+        op_check("x");
+        op_define_if(true);
+        op_check_if("x", false);
+        method_end(-1i64);
+    }
+}

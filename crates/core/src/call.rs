@@ -1,0 +1,347 @@
+//! Method-call records and their extraction from annotated traces.
+//!
+//! Instrumented data-structure code records [`SpecNote`]s (method
+//! boundaries, arguments, return values, ordering-point markers). This
+//! module reassembles them into [`MethodCall`]s — the unit the paper's
+//! correctness model quantifies over — resolving the ordering-point state
+//! machine (`OPDefine` / `OPClear` / `PotentialOP(label)` / `OPCheck`).
+//!
+//! Nested API calls follow the paper's rule: only the outermost call is an
+//! API method call; ordering points recorded inside nested calls attach to
+//! the outermost one, and inner boundaries/conditions are ignored.
+
+use cdsspec_c11::{EventId, SpecNote, SpecVal, Tid, Trace};
+
+/// Index of a method call within one execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CallId(pub u32);
+
+impl CallId {
+    /// Index form.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One completed API method call.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodCall {
+    /// Position in extraction order (per-thread program order preserved).
+    pub id: CallId,
+    /// Executing thread.
+    pub tid: Tid,
+    /// Data-structure instance the call was made on (composition, §3.2).
+    pub obj: u64,
+    /// Method name (as given to `begin`).
+    pub name: &'static str,
+    /// Argument values in recording order.
+    pub args: Vec<SpecVal>,
+    /// Concrete return value (the paper's `C_RET`).
+    pub ret: SpecVal,
+    /// Confirmed ordering points (event ids of atomic operations).
+    pub ordering_points: Vec<EventId>,
+}
+
+impl MethodCall {
+    /// `i`-th argument (panics on out-of-range: a spec-writer error).
+    pub fn arg(&self, i: usize) -> SpecVal {
+        self.args[i]
+    }
+}
+
+/// A malformed annotation stream (spec-writer error, reported as a bug so
+/// it cannot be silently ignored).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtractError {
+    /// `OpDefine`/`PotentialOp` with no preceding atomic operation.
+    OpWithoutOperation { tid: Tid, method: &'static str },
+    /// `MethodEnd` without a matching `MethodBegin`.
+    EndWithoutBegin { tid: Tid },
+    /// An annotation that only makes sense inside a method call appeared
+    /// outside one.
+    NoteOutsideMethod { tid: Tid },
+    /// Thread finished with an open method call.
+    UnclosedMethod { tid: Tid, method: &'static str },
+    /// A method call ended with no ordering points at all — the `r`
+    /// relation cannot order it, which almost always means a missing
+    /// `OPDefine` (flagged to help spec debugging; see paper §6.2).
+    NoOrderingPoints { tid: Tid, method: &'static str },
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::OpWithoutOperation { tid, method } => {
+                write!(f, "{tid}: ordering-point annotation in `{method}` precedes any atomic op")
+            }
+            ExtractError::EndWithoutBegin { tid } => {
+                write!(f, "{tid}: method end without begin")
+            }
+            ExtractError::NoteOutsideMethod { tid } => {
+                write!(f, "{tid}: spec annotation outside any method call")
+            }
+            ExtractError::UnclosedMethod { tid, method } => {
+                write!(f, "{tid}: thread finished inside method `{method}`")
+            }
+            ExtractError::NoOrderingPoints { tid, method } => {
+                write!(f, "{tid}: method `{method}` completed without any ordering point")
+            }
+        }
+    }
+}
+
+/// Per-thread in-progress call state.
+struct OpenCall {
+    obj: u64,
+    name: &'static str,
+    args: Vec<SpecVal>,
+    confirmed: Vec<EventId>,
+    potential: Vec<(&'static str, EventId)>,
+    depth: u32,
+}
+
+/// Extract the method calls of an execution from its annotation stream.
+pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
+    let mut open: Vec<Option<OpenCall>> = (0..trace.num_threads).map(|_| None).collect();
+    let mut calls: Vec<MethodCall> = Vec::new();
+
+    for ann in &trace.annotations {
+        let slot = &mut open[ann.tid.idx()];
+        match &ann.note {
+            SpecNote::MethodBegin { obj, name } => match slot {
+                Some(oc) => oc.depth += 1, // nested: ignored
+                None => {
+                    *slot = Some(OpenCall {
+                        obj: *obj,
+                        name,
+                        args: Vec::new(),
+                        confirmed: Vec::new(),
+                        potential: Vec::new(),
+                        depth: 0,
+                    })
+                }
+            },
+            SpecNote::MethodArg { val } => {
+                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                if oc.depth == 0 {
+                    oc.args.push(*val);
+                }
+            }
+            SpecNote::MethodEnd { ret } => {
+                let oc = slot.as_mut().ok_or(ExtractError::EndWithoutBegin { tid: ann.tid })?;
+                if oc.depth > 0 {
+                    oc.depth -= 1;
+                    continue;
+                }
+                let oc = slot.take().expect("checked above");
+                if oc.confirmed.is_empty() {
+                    return Err(ExtractError::NoOrderingPoints { tid: ann.tid, method: oc.name });
+                }
+                calls.push(MethodCall {
+                    id: CallId(calls.len() as u32),
+                    tid: ann.tid,
+                    obj: oc.obj,
+                    name: oc.name,
+                    args: oc.args,
+                    ret: *ret,
+                    ordering_points: oc.confirmed,
+                });
+            }
+            SpecNote::OpDefine => {
+                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let ev = ann.after.ok_or(ExtractError::OpWithoutOperation {
+                    tid: ann.tid,
+                    method: oc.name,
+                })?;
+                oc.confirmed.push(ev);
+            }
+            SpecNote::OpClear => {
+                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                oc.confirmed.clear();
+                oc.potential.clear();
+            }
+            SpecNote::PotentialOp { label } => {
+                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let ev = ann.after.ok_or(ExtractError::OpWithoutOperation {
+                    tid: ann.tid,
+                    method: oc.name,
+                })?;
+                oc.potential.push((label, ev));
+            }
+            SpecNote::OpCheck { label } => {
+                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let mut kept = Vec::new();
+                for (l, ev) in oc.potential.drain(..) {
+                    if l == *label {
+                        oc.confirmed.push(ev);
+                    } else {
+                        kept.push((l, ev));
+                    }
+                }
+                oc.potential = kept;
+            }
+        }
+    }
+
+    for (i, slot) in open.iter().enumerate() {
+        if let Some(oc) = slot {
+            return Err(ExtractError::UnclosedMethod { tid: Tid(i as u32), method: oc.name });
+        }
+    }
+    Ok(calls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsspec_c11::{Annotation, SpecVal};
+
+    fn ann(tid: u32, after: Option<u32>, note: SpecNote) -> Annotation {
+        Annotation { tid: Tid(tid), after: after.map(EventId), note }
+    }
+
+    fn trace_with(annotations: Vec<Annotation>, threads: u32) -> Trace {
+        Trace { annotations, num_threads: threads, ..Trace::default() }
+    }
+
+    #[test]
+    fn simple_call_extraction() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "enq" }),
+                ann(0, None, SpecNote::MethodArg { val: SpecVal::I64(7) }),
+                ann(0, Some(3), SpecNote::OpDefine),
+                ann(0, Some(4), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            1,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "enq");
+        assert_eq!(calls[0].arg(0), SpecVal::I64(7));
+        assert_eq!(calls[0].ordering_points, vec![EventId(3)]);
+    }
+
+    #[test]
+    fn op_clear_discards_previous_points() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "deq" }),
+                ann(0, Some(1), SpecNote::OpDefine),
+                ann(0, Some(2), SpecNote::OpClear),
+                ann(0, Some(2), SpecNote::OpDefine), // OPClearDefine expansion
+                ann(0, Some(3), SpecNote::MethodEnd { ret: SpecVal::I64(-1) }),
+            ],
+            1,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls[0].ordering_points, vec![EventId(2)]);
+        assert_eq!(calls[0].ret, SpecVal::I64(-1));
+    }
+
+    #[test]
+    fn potential_op_confirmed_by_check() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "get" }),
+                ann(0, Some(1), SpecNote::PotentialOp { label: "A" }),
+                ann(0, Some(2), SpecNote::PotentialOp { label: "B" }),
+                ann(0, Some(3), SpecNote::OpCheck { label: "B" }),
+                ann(0, Some(4), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            1,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls[0].ordering_points, vec![EventId(2)], "only the checked label");
+    }
+
+    #[test]
+    fn unchecked_potential_op_is_dropped() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "get" }),
+                ann(0, Some(1), SpecNote::OpDefine),
+                ann(0, Some(2), SpecNote::PotentialOp { label: "A" }),
+                ann(0, Some(3), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            1,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls[0].ordering_points, vec![EventId(1)]);
+    }
+
+    #[test]
+    fn nested_calls_fold_into_outermost() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "put_all" }),
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "put" }),
+                ann(0, Some(1), SpecNote::OpDefine),
+                ann(0, Some(1), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+                ann(0, Some(2), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            1,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].name, "put_all");
+        assert_eq!(calls[0].ordering_points, vec![EventId(1)]);
+    }
+
+    #[test]
+    fn interleaved_threads_extract_independently() {
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "enq" }),
+                ann(1, None, SpecNote::MethodBegin { obj: 1, name: "deq" }),
+                ann(0, Some(1), SpecNote::OpDefine),
+                ann(1, Some(2), SpecNote::OpDefine),
+                ann(1, Some(2), SpecNote::MethodEnd { ret: SpecVal::I64(5) }),
+                ann(0, Some(1), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            2,
+        );
+        let calls = extract_calls(&t).unwrap();
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[0].name, "deq"); // ended first
+        assert_eq!(calls[1].name, "enq");
+        assert_eq!(calls[0].tid, Tid(1));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let t = trace_with(vec![ann(0, None, SpecNote::MethodEnd { ret: SpecVal::Unit })], 1);
+        assert_eq!(extract_calls(&t), Err(ExtractError::EndWithoutBegin { tid: Tid(0) }));
+
+        let t = trace_with(vec![ann(0, None, SpecNote::OpDefine)], 1);
+        assert_eq!(extract_calls(&t), Err(ExtractError::NoteOutsideMethod { tid: Tid(0) }));
+
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "m" }),
+                ann(0, None, SpecNote::OpDefine),
+            ],
+            1,
+        );
+        assert_eq!(
+            extract_calls(&t),
+            Err(ExtractError::OpWithoutOperation { tid: Tid(0), method: "m" })
+        );
+
+        let t = trace_with(vec![ann(0, None, SpecNote::MethodBegin { obj: 1, name: "m" })], 1);
+        assert_eq!(extract_calls(&t), Err(ExtractError::UnclosedMethod { tid: Tid(0), method: "m" }));
+
+        let t = trace_with(
+            vec![
+                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "m" }),
+                ann(0, Some(1), SpecNote::MethodEnd { ret: SpecVal::Unit }),
+            ],
+            1,
+        );
+        assert_eq!(
+            extract_calls(&t),
+            Err(ExtractError::NoOrderingPoints { tid: Tid(0), method: "m" })
+        );
+    }
+}

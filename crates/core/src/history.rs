@@ -1,0 +1,356 @@
+//! Sequential-history enumeration.
+//!
+//! The checker topologically sorts the method-call ordering relation `r` to
+//! produce the *valid sequential histories* of an execution (Definition 2)
+//! and the *justifying subhistories* of a method call (Definition 3). By
+//! default all sortings are generated and checked; because the count can be
+//! factorial, a cap plus random sampling is available — mirroring the
+//! CDSSpec checker's "user-customized number of sequential histories"
+//! option (paper §5.2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ordering relation `r` over method calls of one execution, as an
+/// adjacency structure (edge `a → b` means `a` must precede `b`).
+#[derive(Clone, Debug)]
+pub struct CallOrder {
+    n: usize,
+    /// `succ[a]` = calls that must come after `a`.
+    succ: Vec<Vec<usize>>,
+    /// Direct-reachability matrix (transitively closed).
+    reach: Vec<bool>,
+}
+
+impl CallOrder {
+    /// An order over `n` calls with no edges yet.
+    pub fn new(n: usize) -> Self {
+        CallOrder { n, succ: vec![Vec::new(); n], reach: vec![false; n * n] }
+    }
+
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the relation empty of calls?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the edge `a → b`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        if !self.succ[a].contains(&b) {
+            self.succ[a].push(b);
+        }
+        self.reach[a * self.n + b] = true;
+    }
+
+    /// Transitively close the reachability matrix. Call once after all
+    /// edges are added; required before [`CallOrder::ordered`] and
+    /// [`CallOrder::predecessors_of`] are meaningful.
+    pub fn close(&mut self) {
+        for k in 0..self.n {
+            for i in 0..self.n {
+                if self.reach[i * self.n + k] {
+                    for j in 0..self.n {
+                        if self.reach[k * self.n + j] {
+                            self.reach[i * self.n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is `a` (transitively) ordered before `b`?
+    pub fn ordered(&self, a: usize, b: usize) -> bool {
+        self.reach[a * self.n + b]
+    }
+
+    /// Are `a` and `b` unordered (concurrent) under `r`?
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.ordered(a, b) && !self.ordered(b, a)
+    }
+
+    /// Does the (closed) relation contain a cycle?
+    pub fn cyclic(&self) -> bool {
+        (0..self.n).any(|i| self.reach[i * self.n + i])
+    }
+
+    /// All calls transitively ordered before `m` (the justifying-prefix
+    /// set of Definition 3, without `m` itself).
+    pub fn predecessors_of(&self, m: usize) -> Vec<usize> {
+        (0..self.n).filter(|&i| self.ordered(i, m)).collect()
+    }
+
+    /// The restriction of this order to `keep` (indices into the original
+    /// call set; result indices are positions in `keep`).
+    pub fn restrict(&self, keep: &[usize]) -> CallOrder {
+        let mut sub = CallOrder::new(keep.len());
+        for (i, &a) in keep.iter().enumerate() {
+            for (j, &b) in keep.iter().enumerate() {
+                if i != j && self.ordered(a, b) {
+                    sub.add_edge(i, j);
+                }
+            }
+        }
+        sub.close();
+        sub
+    }
+}
+
+/// Enumeration policy for topological sorts.
+#[derive(Clone, Copy, Debug)]
+pub enum HistoryPolicy {
+    /// Generate every topological sort, up to a hard safety cap.
+    Exhaustive { cap: usize },
+    /// Generate `count` uniformly random topological sorts (with a fixed
+    /// seed for reproducibility).
+    Sample { count: usize, seed: u64 },
+}
+
+impl Default for HistoryPolicy {
+    fn default() -> Self {
+        HistoryPolicy::Exhaustive { cap: 50_000 }
+    }
+}
+
+/// Enumerate topological sorts of `order` under `policy`, invoking `f` for
+/// each; `f` returning `false` stops enumeration early. Returns the number
+/// of histories produced (0 for a cyclic order).
+pub fn for_each_history<F: FnMut(&[usize]) -> bool>(
+    order: &CallOrder,
+    policy: HistoryPolicy,
+    mut f: F,
+) -> usize {
+    if order.cyclic() {
+        return 0;
+    }
+    match policy {
+        HistoryPolicy::Exhaustive { cap } => {
+            let mut indegree = vec![0usize; order.n];
+            for a in 0..order.n {
+                for &b in &order.succ[a] {
+                    indegree[b] += 1;
+                }
+            }
+            let mut prefix = Vec::with_capacity(order.n);
+            let mut used = vec![false; order.n];
+            let mut count = 0usize;
+            topo_recurse(order, &mut indegree, &mut used, &mut prefix, cap, &mut count, &mut f);
+            count
+        }
+        HistoryPolicy::Sample { count, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut produced = 0usize;
+            for _ in 0..count {
+                let h = random_topo(order, &mut rng);
+                produced += 1;
+                if !f(&h) {
+                    break;
+                }
+            }
+            produced
+        }
+    }
+}
+
+fn topo_recurse<F: FnMut(&[usize]) -> bool>(
+    order: &CallOrder,
+    indegree: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    prefix: &mut Vec<usize>,
+    cap: usize,
+    count: &mut usize,
+    f: &mut F,
+) -> bool {
+    if prefix.len() == order.n {
+        *count += 1;
+        if !f(prefix) || *count >= cap {
+            return false;
+        }
+        return true;
+    }
+    for v in 0..order.n {
+        if used[v] || indegree[v] != 0 {
+            continue;
+        }
+        used[v] = true;
+        prefix.push(v);
+        for &b in &order.succ[v] {
+            indegree[b] -= 1;
+        }
+        let keep_going = topo_recurse(order, indegree, used, prefix, cap, count, f);
+        for &b in &order.succ[v] {
+            indegree[b] += 1;
+        }
+        prefix.pop();
+        used[v] = false;
+        if !keep_going {
+            return false;
+        }
+    }
+    true
+}
+
+fn random_topo(order: &CallOrder, rng: &mut StdRng) -> Vec<usize> {
+    let mut indegree = vec![0usize; order.n];
+    for a in 0..order.n {
+        for &b in &order.succ[a] {
+            indegree[b] += 1;
+        }
+    }
+    let mut used = vec![false; order.n];
+    let mut out = Vec::with_capacity(order.n);
+    while out.len() < order.n {
+        let ready: Vec<usize> =
+            (0..order.n).filter(|&v| !used[v] && indegree[v] == 0).collect();
+        let v = ready[rng.gen_range(0..ready.len())];
+        used[v] = true;
+        out.push(v);
+        for &b in &order.succ[v] {
+            indegree[b] -= 1;
+        }
+    }
+    out
+}
+
+/// Collect all histories into a vector (testing convenience).
+pub fn all_histories(order: &CallOrder, policy: HistoryPolicy) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for_each_history(order, policy, |h| {
+        out.push(h.to_vec());
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> CallOrder {
+        let mut o = CallOrder::new(n);
+        for i in 1..n {
+            o.add_edge(i - 1, i);
+        }
+        o.close();
+        o
+    }
+
+    #[test]
+    fn total_order_has_one_history() {
+        let o = chain(4);
+        let hs = all_histories(&o, HistoryPolicy::default());
+        assert_eq!(hs, vec![vec![0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn empty_order_enumerates_permutations() {
+        let mut o = CallOrder::new(3);
+        o.close();
+        let hs = all_histories(&o, HistoryPolicy::default());
+        assert_eq!(hs.len(), 6);
+    }
+
+    #[test]
+    fn diamond_order() {
+        // 0 → {1,2} → 3: two sortings.
+        let mut o = CallOrder::new(4);
+        o.add_edge(0, 1);
+        o.add_edge(0, 2);
+        o.add_edge(1, 3);
+        o.add_edge(2, 3);
+        o.close();
+        let hs = all_histories(&o, HistoryPolicy::default());
+        assert_eq!(hs.len(), 2);
+        for h in &hs {
+            assert_eq!(h[0], 0);
+            assert_eq!(h[3], 3);
+        }
+    }
+
+    #[test]
+    fn transitive_closure_and_concurrency() {
+        let mut o = CallOrder::new(3);
+        o.add_edge(0, 1);
+        o.add_edge(1, 2);
+        o.close();
+        assert!(o.ordered(0, 2));
+        assert!(!o.concurrent(0, 2));
+        let mut p = CallOrder::new(2);
+        p.close();
+        assert!(p.concurrent(0, 1));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut o = CallOrder::new(2);
+        o.add_edge(0, 1);
+        o.add_edge(1, 0);
+        o.close();
+        assert!(o.cyclic());
+        assert_eq!(all_histories(&o, HistoryPolicy::default()).len(), 0);
+    }
+
+    #[test]
+    fn predecessors_and_restriction() {
+        let mut o = CallOrder::new(4);
+        o.add_edge(0, 2);
+        o.add_edge(1, 2);
+        o.close();
+        assert_eq!(o.predecessors_of(2), vec![0, 1]);
+        assert_eq!(o.predecessors_of(3), Vec::<usize>::new());
+        let keep = vec![0, 1, 2];
+        let sub = o.restrict(&keep);
+        assert_eq!(sub.len(), 3);
+        assert!(sub.ordered(0, 2) && sub.ordered(1, 2));
+        assert!(sub.concurrent(0, 1));
+    }
+
+    #[test]
+    fn cap_stops_enumeration() {
+        let mut o = CallOrder::new(6); // 720 permutations
+        o.close();
+        let mut seen = 0;
+        let n = for_each_history(&o, HistoryPolicy::Exhaustive { cap: 10 }, |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(n, 10);
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn early_stop_via_callback() {
+        let mut o = CallOrder::new(3);
+        o.close();
+        let n = for_each_history(&o, HistoryPolicy::default(), |_| false);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn sampling_respects_edges() {
+        let mut o = CallOrder::new(5);
+        o.add_edge(0, 4);
+        o.add_edge(2, 3);
+        o.close();
+        let hs = all_histories(&o, HistoryPolicy::Sample { count: 20, seed: 7 });
+        assert_eq!(hs.len(), 20);
+        for h in hs {
+            let pos = |x: usize| h.iter().position(|&v| v == x).unwrap();
+            assert!(pos(0) < pos(4));
+            assert!(pos(2) < pos(3));
+        }
+    }
+
+    #[test]
+    fn zero_call_order() {
+        let mut o = CallOrder::new(0);
+        o.close();
+        assert!(o.is_empty());
+        let hs = all_histories(&o, HistoryPolicy::default());
+        assert_eq!(hs, vec![Vec::<usize>::new()]);
+    }
+}

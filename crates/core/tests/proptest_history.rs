@@ -1,0 +1,137 @@
+//! Property tests for sequential-history enumeration and call extraction.
+
+use cdsspec_core::{all_histories, CallOrder, HistoryPolicy};
+use proptest::prelude::*;
+
+/// Build a random DAG over `n` nodes: edge (i, j) with i < j included per
+/// the bitmask — guarantees acyclicity by construction.
+fn dag_strategy(n: usize) -> impl Strategy<Value = CallOrder> {
+    let bits = n * (n - 1) / 2;
+    prop::collection::vec(any::<bool>(), bits).prop_map(move |mask| {
+        let mut o = CallOrder::new(n);
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if mask[k] {
+                    o.add_edge(i, j);
+                }
+                k += 1;
+            }
+        }
+        o.close();
+        o
+    })
+}
+
+/// Brute-force topological-sort count by filtering all permutations.
+fn brute_force_count(o: &CallOrder) -> usize {
+    fn perms(n: usize) -> Vec<Vec<usize>> {
+        if n == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        for p in perms(n - 1) {
+            for pos in 0..=p.len() {
+                let mut q = p.clone();
+                q.insert(pos, n - 1);
+                out.push(q);
+            }
+        }
+        out
+    }
+    perms(o.len())
+        .into_iter()
+        .filter(|p| {
+            let pos: Vec<usize> = {
+                let mut v = vec![0; p.len()];
+                for (i, &x) in p.iter().enumerate() {
+                    v[x] = i;
+                }
+                v
+            };
+            (0..o.len()).all(|a| (0..o.len()).all(|b| !o.ordered(a, b) || pos[a] < pos[b]))
+        })
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Exhaustive enumeration produces exactly the valid permutations.
+    #[test]
+    fn exhaustive_matches_brute_force(o in dag_strategy(5)) {
+        let hs = all_histories(&o, HistoryPolicy::Exhaustive { cap: 100_000 });
+        prop_assert_eq!(hs.len(), brute_force_count(&o));
+        // Each history is a valid permutation respecting every edge.
+        for h in &hs {
+            let mut seen = vec![false; o.len()];
+            for &x in h {
+                seen[x] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "not a permutation: {:?}", h);
+            let pos: Vec<usize> = {
+                let mut v = vec![0; h.len()];
+                for (i, &x) in h.iter().enumerate() { v[x] = i; }
+                v
+            };
+            for a in 0..o.len() {
+                for b in 0..o.len() {
+                    if o.ordered(a, b) {
+                        prop_assert!(pos[a] < pos[b], "edge {}->{} violated in {:?}", a, b, h);
+                    }
+                }
+            }
+        }
+        // No duplicates.
+        let mut sorted = hs.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), hs.len());
+    }
+
+    /// Random sampling only ever produces valid histories.
+    #[test]
+    fn sampling_respects_order(o in dag_strategy(6), seed in any::<u64>()) {
+        let hs = all_histories(&o, HistoryPolicy::Sample { count: 12, seed });
+        prop_assert_eq!(hs.len(), 12);
+        for h in &hs {
+            let pos: Vec<usize> = {
+                let mut v = vec![0; h.len()];
+                for (i, &x) in h.iter().enumerate() { v[x] = i; }
+                v
+            };
+            for a in 0..o.len() {
+                for b in 0..o.len() {
+                    if o.ordered(a, b) {
+                        prop_assert!(pos[a] < pos[b]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// `predecessors_of` + `restrict` agree with the closed reachability:
+    /// restriction to a prefix keeps exactly the inherited order.
+    #[test]
+    fn restriction_is_consistent(o in dag_strategy(6), target in 0usize..6) {
+        let prefix = o.predecessors_of(target);
+        let mut scope = prefix.clone();
+        scope.push(target);
+        let sub = o.restrict(&scope);
+        prop_assert_eq!(sub.len(), scope.len());
+        for (i, &a) in scope.iter().enumerate() {
+            for (j, &b) in scope.iter().enumerate() {
+                if i != j {
+                    prop_assert_eq!(sub.ordered(i, j), o.ordered(a, b));
+                }
+            }
+        }
+        // The target can always be last in some sorting of the scope.
+        let hs = all_histories(&sub, HistoryPolicy::Exhaustive { cap: 100_000 });
+        let last_pos = scope.len() - 1;
+        prop_assert!(
+            hs.iter().any(|h| *h.last().unwrap() == last_pos),
+            "target cannot be placed last"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! # cdsspec-inject
+//!
+//! The fault-injection framework behind the paper's §6.4.2 experiment
+//! (Figure 8) and the §6.4.3 overly-strong-parameter search.
+//!
+//! An injection weakens exactly one memory-order parameter of one atomic
+//! operation to its next-weaker value (`seq_cst → acq_rel`,
+//! `acq_rel → release/acquire`, `acquire/release → relaxed`) and re-runs
+//! the benchmark's standard unit test under the CDSSpec checker. The first
+//! defect found classifies the detection:
+//!
+//! * **Built-in** — CDSChecker-style checks (data race, uninitialized
+//!   load, deadlock, panic);
+//! * **Admissibility** — the execution left required-ordered calls
+//!   unordered;
+//! * **Assertion** — a specification condition failed.
+
+use cdsspec_mc as mc;
+use cdsspec_structures::registry::Benchmark;
+use cdsspec_structures::Ords;
+
+use cdsspec_c11::MemOrd;
+use mc::BugCategory;
+
+/// Outcome of one single-site injection trial.
+#[derive(Clone, Debug)]
+pub struct Trial {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Weakened site name.
+    pub site: &'static str,
+    /// Ordering before weakening.
+    pub from: MemOrd,
+    /// Ordering after weakening.
+    pub to: MemOrd,
+    /// First detection category, or `None` if the weakened structure
+    /// passed every check.
+    pub detected: Option<BugCategory>,
+    /// First bug message (diagnostics).
+    pub message: Option<String>,
+    /// Executions explored in the trial.
+    pub executions: u64,
+}
+
+/// Per-benchmark aggregate (one Figure 8 row).
+#[derive(Clone, Debug, Default)]
+pub struct Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Number of injections performed.
+    pub injections: usize,
+    /// Detected by built-in checks.
+    pub builtin: usize,
+    /// Detected as admissibility failures.
+    pub admissibility: usize,
+    /// Detected as specification (assertion) violations.
+    pub assertion: usize,
+}
+
+impl Row {
+    /// Total detections.
+    pub fn detected(&self) -> usize {
+        self.builtin + self.admissibility + self.assertion
+    }
+
+    /// Detection rate in percent (100 when nothing was injectable).
+    pub fn rate(&self) -> f64 {
+        if self.injections == 0 {
+            100.0
+        } else {
+            100.0 * self.detected() as f64 / self.injections as f64
+        }
+    }
+}
+
+/// Run the full one-step-weakening campaign against one benchmark.
+pub fn inject_benchmark(bench: &Benchmark, config: &mc::Config) -> (Row, Vec<Trial>) {
+    let mut row = Row { name: bench.name, ..Row::default() };
+    let mut trials = Vec::new();
+    let base = bench.default_ords();
+    for site_idx in base.injectable_sites() {
+        let mut ords = Ords::defaults(bench.sites);
+        let from = ords.get(site_idx);
+        if !ords.weaken(site_idx) {
+            continue;
+        }
+        let to = ords.get(site_idx);
+        row.injections += 1;
+        let stats = (bench.check)(config.clone(), ords);
+        let detected = stats.bugs.first().map(|b| b.bug.category());
+        match detected {
+            Some(BugCategory::BuiltIn) | Some(BugCategory::Internal) => row.builtin += 1,
+            Some(BugCategory::Admissibility) => row.admissibility += 1,
+            Some(BugCategory::Assertion) => row.assertion += 1,
+            None => {}
+        }
+        trials.push(Trial {
+            benchmark: bench.name,
+            site: bench.sites[site_idx].name,
+            from,
+            to,
+            detected,
+            message: stats.bugs.first().map(|b| b.bug.to_string()),
+            executions: stats.executions,
+        });
+    }
+    (row, trials)
+}
+
+/// Run the campaign over a benchmark suite.
+pub fn run_campaign(
+    benchmarks: &[Benchmark],
+    config: &mc::Config,
+) -> Vec<(Row, Vec<Trial>)> {
+    benchmarks.iter().map(|b| inject_benchmark(b, config)).collect()
+}
+
+/// §6.4.3: drop each non-relaxed site of a benchmark all the way to
+/// `relaxed` and report the sites that trigger **no** violation — the
+/// candidates for overly strong memory-order parameters.
+pub fn find_overly_strong(bench: &Benchmark, config: &mc::Config) -> Vec<Trial> {
+    let mut survivors = Vec::new();
+    let base = bench.default_ords();
+    for site_idx in base.injectable_sites() {
+        let mut ords = Ords::defaults(bench.sites);
+        let from = ords.get(site_idx);
+        ords.set(site_idx, MemOrd::Relaxed);
+        let stats = (bench.check)(config.clone(), ords);
+        if !stats.buggy() {
+            survivors.push(Trial {
+                benchmark: bench.name,
+                site: bench.sites[site_idx].name,
+                from,
+                to: MemOrd::Relaxed,
+                detected: None,
+                message: None,
+                executions: stats.executions,
+            });
+        }
+    }
+    survivors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdsspec_structures::registry::benchmarks;
+
+    fn quick_config() -> mc::Config {
+        let cap = if cfg!(debug_assertions) { 15_000 } else { 30_000 };
+        mc::Config { max_executions: cap, ..mc::Config::default() }
+    }
+
+    #[test]
+    fn row_arithmetic() {
+        let row = Row { name: "x", injections: 4, builtin: 1, admissibility: 1, assertion: 1 };
+        assert_eq!(row.detected(), 3);
+        assert!((row.rate() - 75.0).abs() < 1e-9);
+        assert_eq!(Row::default().rate(), 100.0);
+    }
+
+    /// The ticket lock has exactly two injectable sites and both
+    /// injections must be caught (the paper's 2/2 row).
+    #[test]
+    fn ticket_lock_row_matches_paper_shape() {
+        let bench = benchmarks().into_iter().find(|b| b.name == "Ticket Lock").unwrap();
+        let (row, trials) = inject_benchmark(&bench, &quick_config());
+        assert_eq!(row.injections, 2, "{trials:?}");
+        assert_eq!(row.detected(), 2, "{trials:?}");
+    }
+
+    /// RCU's injections are all caught by built-in checks (the paper's
+    /// 3/3-built-in row shape).
+    #[test]
+    fn rcu_detections_are_builtin() {
+        let bench = benchmarks().into_iter().find(|b| b.name == "RCU").unwrap();
+        let (row, trials) = inject_benchmark(&bench, &quick_config());
+        assert!(row.injections >= 2);
+        assert_eq!(row.detected(), row.injections, "{trials:?}");
+        assert_eq!(row.builtin, row.detected(), "all RCU detections are built-in: {trials:?}");
+    }
+
+    /// The Chase-Lev top CAS survives full weakening (the §6.4.3 finding).
+    #[test]
+    fn chase_lev_has_an_overly_strong_cas() {
+        let bench = benchmarks().into_iter().find(|b| b.name == "Chase-Lev Deque").unwrap();
+        let survivors = find_overly_strong(&bench, &quick_config());
+        assert!(
+            survivors.iter().any(|t| t.site.contains("top_cas")),
+            "expected a top CAS to survive weakening; survivors: {:?}",
+            survivors.iter().map(|t| t.site).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Exploration configuration.
+
+/// Tuning knobs for [`crate::explore`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Hard bound on visible operations per modeled thread. Executions that
+    /// exceed it are pruned and counted as *diverged* (the analog of
+    /// CDSChecker's infeasible executions).
+    pub max_steps_per_thread: u32,
+    /// Bound on **total** [`crate::spin_loop`] hints by one thread in one
+    /// execution before the branch is pruned as a futile spin. Cumulative
+    /// (not consecutive): retry loops that write on every iteration
+    /// (compensating RMWs, CAS loops) never look "futile" to the read
+    /// tracker, and any behavior reachable through a long wait is also
+    /// reachable through a shorter schedule at unit-test scale — the same
+    /// bounded-fairness stance CDSChecker takes.
+    pub max_spins: u32,
+    /// Bound on consecutive loads of the *same location reading the same
+    /// store* by one thread. This automatically prunes the stale-read
+    /// chains of unannotated spin loops, which would otherwise branch
+    /// exponentially until the step bound.
+    pub max_futile_reads: u32,
+    /// Safety valve: stop exploring after this many executions.
+    pub max_executions: u64,
+    /// Maximum modeled threads per execution.
+    pub max_threads: u32,
+    /// Enable sleep-set partial-order reduction (on by default; the
+    /// ablation bench toggles it).
+    pub sleep_sets: bool,
+    /// Stop at the first bug instead of enumerating all buggy executions.
+    pub stop_on_first_bug: bool,
+    /// Run the offline axiom validator on every feasible execution
+    /// (expensive; used by the property-test suite).
+    pub validate_axioms: bool,
+    /// Print every explored trace (debugging).
+    pub verbose: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_steps_per_thread: 500,
+            max_spins: 4,
+            max_futile_reads: 3,
+            max_executions: 20_000_000,
+            max_threads: 32,
+            sleep_sets: true,
+            stop_on_first_bug: true,
+            validate_axioms: false,
+            verbose: false,
+        }
+    }
+}
+
+impl Config {
+    /// Preset used by the test suites: exhaustive, with online axiom
+    /// validation enabled.
+    pub fn validating() -> Self {
+        Config { validate_axioms: true, ..Config::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = Config::default();
+        assert!(c.max_steps_per_thread >= 100);
+        assert!(c.sleep_sets);
+        assert!(!c.validate_axioms);
+        assert!(Config::validating().validate_axioms);
+    }
+}

@@ -1,0 +1,182 @@
+//! The stateless DFS explorer.
+//!
+//! Re-executes the test closure, replaying a prefix of recorded choices and
+//! deviating at the deepest choice point that still has unexplored
+//! alternatives — the classic stateless-model-checking loop (CDSChecker,
+//! CHESS). Terminates when the whole choice tree is exhausted.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::config::Config;
+use crate::plugin::Plugin;
+use crate::report::{Bug, FoundBug, Stats};
+use crate::runtime::{run_once, ChoiceRec, RunOutcome};
+use crate::worker::Pool;
+use parking_lot::Mutex;
+
+/// Maximum distinct bug records retained (duplicates across executions are
+/// folded; exploration statistics still count every occurrence).
+const MAX_BUG_RECORDS: usize = 24;
+
+/// Exhaustively explore `test` under `config`, invoking `plugins` on every
+/// feasible execution.
+pub fn explore_with_plugins<F>(config: Config, mut plugins: Vec<Box<dyn Plugin>>, test: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let start = Instant::now();
+    let test: Arc<dyn Fn() + Send + Sync> = Arc::new(test);
+    let pool = Arc::new(Mutex::new(Pool::new()));
+    let mut stats = Stats::default();
+    let mut script: Vec<usize> = Vec::new();
+    let mut seen_bugs: Vec<String> = Vec::new();
+
+    loop {
+        let result = run_once(&config, &pool, &script, Arc::clone(&test));
+        stats.executions += 1;
+
+        if config.verbose {
+            eprintln!(
+                "== execution {} ({:?}) ==\n{}",
+                stats.executions,
+                result.outcome,
+                result.trace.render()
+            );
+        }
+
+        let mut record_bug = |bug: Bug, stats: &mut Stats, trace: &cdsspec_c11::Trace| {
+            let key = bug.to_string();
+            if !seen_bugs.contains(&key) {
+                seen_bugs.push(key);
+                if stats.bugs.len() < MAX_BUG_RECORDS {
+                    stats.bugs.push(FoundBug {
+                        bug,
+                        execution: stats.executions - 1,
+                        trace: trace.render(),
+                    });
+                }
+            }
+        };
+
+        let mut stop = false;
+        match &result.outcome {
+            RunOutcome::Completed => {
+                stats.feasible += 1;
+                if config.validate_axioms {
+                    for err in cdsspec_c11::relations::validate(&result.trace, true) {
+                        record_bug(
+                            Bug::AxiomViolation { message: err.to_string() },
+                            &mut stats,
+                            &result.trace,
+                        );
+                        stop = true;
+                    }
+                }
+                for plugin in plugins.iter_mut() {
+                    let found = plugin.check(&result.trace);
+                    if !found.is_empty() && config.stop_on_first_bug {
+                        stop = true;
+                    }
+                    for bug in found {
+                        record_bug(bug, &mut stats, &result.trace);
+                    }
+                }
+            }
+            RunOutcome::BugFound(bug) => {
+                stats.feasible += 1; // a buggy execution is a real behavior
+                record_bug(bug.clone(), &mut stats, &result.trace);
+                if config.stop_on_first_bug {
+                    stop = true;
+                }
+            }
+            RunOutcome::Diverged => stats.diverged += 1,
+            RunOutcome::SleepPruned => stats.sleep_pruned += 1,
+        }
+
+        if stop {
+            break;
+        }
+        if stats.executions >= config.max_executions {
+            stats.truncated = true;
+            break;
+        }
+
+        // Backtrack: deepest choice with an unexplored alternative.
+        match next_script(&result.choices) {
+            Some(next) => script = next,
+            None => break,
+        }
+    }
+
+    stats.elapsed = start.elapsed();
+    stats
+}
+
+/// Compute the replay script for the next DFS leaf, or `None` when the
+/// tree is exhausted.
+fn next_script(choices: &[ChoiceRec]) -> Option<Vec<usize>> {
+    let mut i = choices.len();
+    loop {
+        if i == 0 {
+            return None;
+        }
+        i -= 1;
+        if choices[i].picked + 1 < choices[i].num_options {
+            break;
+        }
+    }
+    let mut script: Vec<usize> = choices[..i].iter().map(|c| c.picked).collect();
+    script.push(choices[i].picked + 1);
+    Some(script)
+}
+
+/// Explore with the default configuration and no plugins; panic if any bug
+/// is found (loom-style assertion for tests).
+pub fn model<F>(test: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let stats = explore_with_plugins(Config::default(), Vec::new(), test);
+    if stats.buggy() {
+        let b = &stats.bugs[0];
+        panic!("model checking found a bug: {}\ntrace:\n{}", b.bug, b.trace);
+    }
+    stats
+}
+
+/// Explore with a custom config and no plugins, returning the stats
+/// without panicking.
+pub fn explore<F>(config: Config, test: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_with_plugins(config, Vec::new(), test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(picked: usize, num: usize) -> ChoiceRec {
+        ChoiceRec { picked, num_options: num }
+    }
+
+    #[test]
+    fn next_script_increments_deepest() {
+        let choices = vec![rec(0, 2), rec(1, 3), rec(0, 2)];
+        assert_eq!(next_script(&choices), Some(vec![0, 1, 1]));
+    }
+
+    #[test]
+    fn next_script_pops_exhausted_suffix() {
+        let choices = vec![rec(0, 2), rec(2, 3), rec(1, 2)];
+        assert_eq!(next_script(&choices), Some(vec![1]));
+    }
+
+    #[test]
+    fn next_script_none_when_exhausted() {
+        assert_eq!(next_script(&[]), None);
+        assert_eq!(next_script(&[rec(1, 2), rec(2, 3)]), None);
+    }
+}

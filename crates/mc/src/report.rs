@@ -1,0 +1,188 @@
+//! Exploration outcomes: bug kinds, found-bug records, aggregate stats.
+
+use cdsspec_c11::{DataId, LocId, Tid};
+use std::time::Duration;
+
+/// A defect detected during exploration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Bug {
+    /// Two unordered accesses to a non-atomic location, at least one a
+    /// write (CDSChecker built-in check).
+    DataRace { loc: DataId, first: Tid, second: Tid, second_is_write: bool },
+    /// An atomic load could observe the location before any initialization
+    /// (CDSChecker built-in check).
+    UninitLoad { loc: LocId, tid: Tid },
+    /// No thread can make progress but some have not finished.
+    Deadlock { blocked: Vec<Tid> },
+    /// A modeled thread panicked (includes `mc_assert!` failures).
+    UserPanic { tid: Tid, message: String },
+    /// A plugin (e.g. the CDSSpec checker) rejected the execution.
+    Plugin { plugin: &'static str, message: String },
+    /// The offline axiom validator rejected a trace the online checker
+    /// produced — an internal consistency failure, never expected.
+    AxiomViolation { message: String },
+}
+
+impl Bug {
+    /// Coarse category used by the fault-injection experiment (Figure 8).
+    pub fn category(&self) -> BugCategory {
+        match self {
+            Bug::DataRace { .. } | Bug::UninitLoad { .. } => BugCategory::BuiltIn,
+            Bug::Deadlock { .. } | Bug::UserPanic { .. } => BugCategory::BuiltIn,
+            Bug::Plugin { message, .. } => {
+                if message.starts_with("admissibility") {
+                    BugCategory::Admissibility
+                } else {
+                    BugCategory::Assertion
+                }
+            }
+            Bug::AxiomViolation { .. } => BugCategory::Internal,
+        }
+    }
+}
+
+impl std::fmt::Display for Bug {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bug::DataRace { loc, first, second, second_is_write } => write!(
+                f,
+                "data race on {loc}: {first} and {second} unordered ({} second access)",
+                if *second_is_write { "write" } else { "read" }
+            ),
+            Bug::UninitLoad { loc, tid } => {
+                write!(f, "uninitialized atomic load of {loc} by {tid}")
+            }
+            Bug::Deadlock { blocked } => write!(f, "deadlock: {blocked:?} blocked forever"),
+            Bug::UserPanic { tid, message } => write!(f, "panic in {tid}: {message}"),
+            Bug::Plugin { plugin, message } => write!(f, "[{plugin}] {message}"),
+            Bug::AxiomViolation { message } => write!(f, "AXIOM VIOLATION (internal): {message}"),
+        }
+    }
+}
+
+/// The paper's Figure 8 detection buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BugCategory {
+    /// CDSChecker built-in checks (races, uninitialized loads) plus
+    /// deadlocks/panics.
+    BuiltIn,
+    /// CDSSpec admissibility-condition failures.
+    Admissibility,
+    /// CDSSpec assertion (specification) violations.
+    Assertion,
+    /// Internal consistency failure of the checker itself.
+    Internal,
+}
+
+/// One bug occurrence, with the trace that exhibited it.
+#[derive(Clone, Debug)]
+pub struct FoundBug {
+    /// What went wrong.
+    pub bug: Bug,
+    /// 0-based index of the execution that exhibited it.
+    pub execution: u64,
+    /// Rendered trace for diagnostics.
+    pub trace: String,
+}
+
+/// Aggregate result of a [`crate::explore`] run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Total executions attempted (feasible + pruned), the analog of the
+    /// paper's "# Executions" column.
+    pub executions: u64,
+    /// Executions that ran to completion and satisfied the memory model —
+    /// the paper's "# Feasible" column. Bug-exhibiting executions count:
+    /// they are real behaviors.
+    pub feasible: u64,
+    /// Branches pruned by the step/spin bounds.
+    pub diverged: u64,
+    /// Branches pruned by sleep sets (redundant interleavings).
+    pub sleep_pruned: u64,
+    /// Bugs found (deduplicated per (category, message) pair).
+    pub bugs: Vec<FoundBug>,
+    /// Wall-clock time of the whole exploration.
+    pub elapsed: Duration,
+    /// True when exploration ended because `max_executions` was hit.
+    pub truncated: bool,
+}
+
+impl Stats {
+    /// Did exploration find any defect?
+    pub fn buggy(&self) -> bool {
+        !self.bugs.is_empty()
+    }
+
+    /// First bug of a given category, if any.
+    pub fn first_of(&self, cat: BugCategory) -> Option<&FoundBug> {
+        self.bugs.iter().find(|b| b.bug.category() == cat)
+    }
+
+    /// Merge another run's statistics into this one (used when a
+    /// benchmark's standard check is a *suite* of unit tests, as the
+    /// paper's §6.4 corner-case tests are).
+    pub fn merge(&mut self, other: Stats) {
+        self.executions += other.executions;
+        self.feasible += other.feasible;
+        self.diverged += other.diverged;
+        self.sleep_pruned += other.sleep_pruned;
+        self.elapsed += other.elapsed;
+        self.truncated |= other.truncated;
+        self.bugs.extend(other.bugs);
+    }
+
+    /// One-line summary (used by the evaluation harness).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), {:.2?}",
+            self.executions,
+            self.feasible,
+            self.diverged,
+            self.sleep_pruned,
+            self.bugs.len(),
+            self.elapsed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        let race = Bug::DataRace {
+            loc: DataId(0),
+            first: Tid(0),
+            second: Tid(1),
+            second_is_write: true,
+        };
+        assert_eq!(race.category(), BugCategory::BuiltIn);
+        let adm = Bug::Plugin { plugin: "cdsspec", message: "admissibility: x".into() };
+        assert_eq!(adm.category(), BugCategory::Admissibility);
+        let spec = Bug::Plugin { plugin: "cdsspec", message: "postcondition failed".into() };
+        assert_eq!(spec.category(), BugCategory::Assertion);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let b = Bug::UninitLoad { loc: LocId(3), tid: Tid(1) };
+        assert!(b.to_string().contains("a3"));
+        assert!(b.to_string().contains("T1"));
+    }
+
+    #[test]
+    fn stats_queries() {
+        let mut s = Stats::default();
+        assert!(!s.buggy());
+        s.bugs.push(FoundBug {
+            bug: Bug::Deadlock { blocked: vec![Tid(1)] },
+            execution: 0,
+            trace: String::new(),
+        });
+        assert!(s.buggy());
+        assert!(s.first_of(BugCategory::BuiltIn).is_some());
+        assert!(s.first_of(BugCategory::Assertion).is_none());
+        assert!(s.summary().contains("bug"));
+    }
+}

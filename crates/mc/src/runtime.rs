@@ -1,0 +1,486 @@
+//! Token-passing execution runtime.
+//!
+//! The original CDSChecker runs on one core, and so — typically — does
+//! this reproduction's CI environment. A dedicated controller thread
+//! would cost two context switches per visible operation; instead, the
+//! scheduling decision is made *inline by whichever worker parks last*:
+//!
+//! * every modeled thread, at a visible operation, locks the shared
+//!   [`ExecState`], records its pending op, and decrements the running
+//!   count;
+//! * the worker that brings the running count to zero runs the scheduler:
+//!   it picks the next runnable thread (per the DFS replay script, with
+//!   sleep-set filtering), applies that thread's operation against the
+//!   memory-model engine, and deposits the reply;
+//! * if the chosen thread is *itself* — the common case, since the
+//!   default schedule prefers the currently running thread — it simply
+//!   continues: **zero context switches**. Otherwise it wakes the chosen
+//!   worker's condvar and parks.
+//!
+//! The explorer thread only participates at execution boundaries.
+
+use std::sync::Arc;
+
+use cdsspec_c11::{EventId, LocId, Tid, Trace};
+use parking_lot::{Condvar, Mutex};
+
+use crate::config::Config;
+use crate::memstate::MemState;
+use crate::msg::{Op, Reply};
+use crate::report::Bug;
+use crate::worker::{DieMarker, Job, Pool};
+
+/// One recorded choice point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ChoiceRec {
+    /// Index taken.
+    pub picked: usize,
+    /// Number of alternatives that existed.
+    pub num_options: usize,
+}
+
+/// How an execution ended.
+#[derive(Clone, Debug)]
+pub(crate) enum RunOutcome {
+    /// All threads finished; the trace is a feasible execution.
+    Completed,
+    /// A defect was detected; the trace is the (partial) witness.
+    BugFound(Bug),
+    /// Step/spin/futile-read bound exceeded — pruned, counted infeasible.
+    Diverged,
+    /// Every runnable thread was asleep — a redundant interleaving.
+    SleepPruned,
+}
+
+/// Result of one execution.
+pub(crate) struct RunResult {
+    pub outcome: RunOutcome,
+    pub trace: Trace,
+    pub choices: Vec<ChoiceRec>,
+}
+
+/// The mutable heart of one execution, guarded by [`Shared::inner`].
+pub(crate) struct ExecState {
+    pub mem: MemState,
+    config: Config,
+    script: Vec<usize>,
+    cursor: usize,
+    choices: Vec<ChoiceRec>,
+
+    /// Announced-but-unprocessed op per thread.
+    pending: Vec<Option<Op>>,
+    /// Deposited replies awaiting pickup.
+    replies: Vec<Option<Reply>>,
+    /// Spawned and not finished.
+    alive: Vec<bool>,
+    /// Modeled threads currently executing user code.
+    running: usize,
+    /// OS jobs that have not returned to the pool yet (arena safety).
+    active_jobs: usize,
+    /// Sleep set.
+    sleep: Vec<bool>,
+    /// Total spin hints per thread.
+    spins: Vec<u32>,
+    /// Futile-read tracking per (thread, location).
+    futile: Vec<std::collections::HashMap<LocId, (Option<EventId>, u32)>>,
+    /// Thread scheduled most recently (preferred by the default schedule).
+    last_sched: Tid,
+    /// Execution verdict; set exactly once.
+    outcome: Option<RunOutcome>,
+    /// Abort in progress: remaining workers unwind on wakeup.
+    dying: bool,
+}
+
+/// Shared handle between the explorer, the workers, and the user-facing
+/// primitives.
+pub(crate) struct Shared {
+    pub inner: Mutex<ExecState>,
+    /// Per-modeled-thread wakeups (indexed by tid; grown under the lock).
+    cvs: Mutex<Vec<Arc<Condvar>>>,
+    /// Explorer wakeup: outcome decided and all jobs drained.
+    done: Condvar,
+    /// Worker-side detected bug (data race), honored at the next decision.
+    pub pending_bug: Mutex<Option<Bug>>,
+    /// Per-execution allocations (freed by the explorer after `done`).
+    pub arena: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
+    /// The worker pool (needed by spawn).
+    pool: Arc<Mutex<Pool>>,
+}
+
+impl Shared {
+    fn cv(&self, tid: Tid) -> Arc<Condvar> {
+        self.cvs.lock()[tid.idx()].clone()
+    }
+}
+
+impl ExecState {
+    fn choose(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let picked = if self.cursor < self.script.len() { self.script[self.cursor] } else { 0 };
+        assert!(
+            picked < n,
+            "replay divergence: script wants option {picked} of {n} at choice {} — \
+             the test closure is nondeterministic",
+            self.cursor
+        );
+        self.choices.push(ChoiceRec { picked, num_options: n });
+        self.cursor += 1;
+        picked
+    }
+
+    fn register_thread(&mut self) -> Tid {
+        let tid = Tid(self.pending.len() as u32);
+        self.pending.push(None);
+        self.replies.push(None);
+        self.alive.push(true);
+        self.sleep.push(false);
+        self.spins.push(0);
+        self.futile.push(Default::default());
+        tid
+    }
+
+    /// Record a read for futile-read tracking; `true` = prune.
+    fn track_read(&mut self, t: Tid, loc: LocId, rf: Option<EventId>) -> bool {
+        let cap = self.config.max_futile_reads;
+        let entry = self.futile[t.idx()].entry(loc).or_insert((rf, 0));
+        if entry.0 == rf {
+            entry.1 += 1;
+            entry.1 > cap
+        } else {
+            *entry = (rf, 1);
+            false
+        }
+    }
+
+    /// Apply one visible operation; `Err(outcome)` aborts the execution.
+    fn process(&mut self, t: Tid, op: &Op) -> Result<Reply, RunOutcome> {
+        match *op {
+            Op::Load { loc, ord } => {
+                let cands = self.mem.load_candidates(t, loc, ord);
+                let idx = self.choose(cands.len());
+                let rf = cands[idx];
+                let val = self.mem.apply_load(t, loc, ord, rf);
+                if rf.is_none() {
+                    return Err(RunOutcome::BugFound(Bug::UninitLoad { loc, tid: t }));
+                }
+                if self.track_read(t, loc, rf) {
+                    return Err(RunOutcome::Diverged);
+                }
+                Ok(Reply::Val(val))
+            }
+            Op::Store { loc, ord, val } => {
+                self.mem.apply_store(t, loc, ord, val);
+                self.futile[t.idx()].remove(&loc);
+                Ok(Reply::Ok)
+            }
+            Op::Rmw { loc, ord, kind } => {
+                let cands = self.mem.rmw_candidates(t, loc, ord, kind);
+                let idx = self.choose(cands.len());
+                let choice = cands[idx];
+                let (old, success) = self.mem.apply_rmw(t, loc, ord, kind, choice);
+                if choice.rf.is_none() {
+                    return Err(RunOutcome::BugFound(Bug::UninitLoad { loc, tid: t }));
+                }
+                if success {
+                    self.futile[t.idx()].remove(&loc);
+                } else if self.track_read(t, loc, choice.rf) {
+                    return Err(RunOutcome::Diverged);
+                }
+                Ok(Reply::Rmw { old, success })
+            }
+            Op::Fence { ord } => {
+                self.mem.apply_fence(t, ord);
+                Ok(Reply::Ok)
+            }
+            Op::Join { target } => {
+                self.mem.apply_join(t, target);
+                Ok(Reply::Ok)
+            }
+            Op::Spin => {
+                self.spins[t.idx()] += 1;
+                if self.spins[t.idx()] > self.config.max_spins {
+                    return Err(RunOutcome::Diverged);
+                }
+                Ok(Reply::Ok)
+            }
+            Op::Yield => Ok(Reply::Ok),
+        }
+    }
+}
+
+/// Run the scheduler: called under the lock whenever `running` drops to 0
+/// and the execution has not ended. Deposits exactly one reply (possibly
+/// `Die` for everyone on abort).
+fn schedule(shared: &Shared, st: &mut ExecState) {
+    debug_assert_eq!(st.running, 0);
+    if st.outcome.is_some() {
+        return;
+    }
+
+    // Worker-side race found since the last decision?
+    let pending_bug = shared.pending_bug.lock().take();
+    if let Some(bug) = pending_bug {
+        return abort(shared, st, RunOutcome::BugFound(bug));
+    }
+
+    if st.alive.iter().all(|a| !a) {
+        st.outcome = Some(RunOutcome::Completed);
+        return;
+    }
+
+    // Enabled: alive, announced, and (for joins) target finished.
+    let enabled: Vec<Tid> = (0..st.alive.len())
+        .filter(|&i| st.alive[i])
+        .filter(|&i| match &st.pending[i] {
+            Some(Op::Join { target }) => st.mem.threads[target.idx()].finished,
+            Some(_) => true,
+            None => false,
+        })
+        .map(|i| Tid(i as u32))
+        .collect();
+    if enabled.is_empty() {
+        let blocked: Vec<Tid> =
+            (0..st.alive.len()).filter(|&i| st.alive[i]).map(|i| Tid(i as u32)).collect();
+        return abort(shared, st, RunOutcome::BugFound(Bug::Deadlock { blocked }));
+    }
+
+    let mut runnable: Vec<Tid> = if st.config.sleep_sets {
+        enabled.iter().copied().filter(|t| !st.sleep[t.idx()]).collect()
+    } else {
+        enabled
+    };
+    if runnable.is_empty() {
+        return abort(shared, st, RunOutcome::SleepPruned);
+    }
+    // Prefer continuing the last-scheduled thread: fewer context switches
+    // and more natural default executions.
+    if let Some(pos) = runnable.iter().position(|&t| t == st.last_sched) {
+        runnable.swap(0, pos);
+    }
+
+    let pick = st.choose(runnable.len());
+    let t = runnable[pick];
+    for &u in &runnable[..pick] {
+        st.sleep[u.idx()] = true;
+    }
+    st.sleep[t.idx()] = false;
+    st.last_sched = t;
+
+    let op = st.pending[t.idx()].take().expect("runnable thread has a pending op");
+    match st.process(t, &op) {
+        Ok(reply) => {
+            if st.config.sleep_sets {
+                for i in 0..st.sleep.len() {
+                    if st.sleep[i] {
+                        if let Some(p) = &st.pending[i] {
+                            if p.dependent(&op) {
+                                st.sleep[i] = false;
+                            }
+                        }
+                    }
+                }
+            }
+            if st.mem.threads[t.idx()].steps > st.config.max_steps_per_thread {
+                return abort(shared, st, RunOutcome::Diverged);
+            }
+            st.replies[t.idx()] = Some(reply);
+            shared.cv(t).notify_one();
+        }
+        Err(outcome) => abort(shared, st, outcome),
+    }
+}
+
+/// Abandon the execution: record the outcome and hand every live thread a
+/// `Die` reply (they unwind on wakeup; job-exit accounting signals the
+/// explorer once all are gone).
+fn abort(shared: &Shared, st: &mut ExecState, outcome: RunOutcome) {
+    if st.outcome.is_none() {
+        st.outcome = Some(outcome);
+    }
+    st.dying = true;
+    for i in 0..st.alive.len() {
+        if st.alive[i] {
+            st.replies[i] = Some(Reply::Die);
+            shared.cv(Tid(i as u32)).notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Worker-side entry points (called from the public primitives).
+// ---------------------------------------------------------------------
+
+/// Perform a visible operation as modeled thread `me`.
+pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
+    let cv = shared.cv(me);
+    let mut st = shared.inner.lock();
+    if st.dying {
+        drop(st);
+        std::panic::panic_any(DieMarker);
+    }
+    st.pending[me.idx()] = Some(op);
+    st.running -= 1;
+    if st.running == 0 {
+        schedule(shared, &mut st);
+    }
+    loop {
+        if let Some(reply) = st.replies[me.idx()].take() {
+            if matches!(reply, Reply::Die) {
+                drop(st);
+                std::panic::panic_any(DieMarker);
+            }
+            st.running += 1;
+            return reply;
+        }
+        cv.wait(&mut st);
+    }
+}
+
+/// Spawn a modeled child thread.
+pub(crate) fn spawn_thread(
+    shared: &Arc<Shared>,
+    me: Tid,
+    closure: Box<dyn FnOnce() + Send + 'static>,
+) -> Tid {
+    let mut st = shared.inner.lock();
+    if st.dying {
+        drop(st);
+        std::panic::panic_any(DieMarker);
+    }
+    if st.pending.len() >= st.config.max_threads as usize {
+        let bug = Bug::UserPanic { tid: me, message: "max_threads exceeded".into() };
+        abort(shared, &mut st, RunOutcome::BugFound(bug));
+        drop(st);
+        std::panic::panic_any(DieMarker);
+    }
+    let child = st.register_thread();
+    shared.cvs.lock().push(Arc::new(Condvar::new()));
+    st.mem.spawn_thread(me);
+    st.running += 1; // the child runs until its first visible op
+    st.active_jobs += 1;
+    let pool = Arc::clone(&shared.pool);
+    drop(st);
+    pool.lock().dispatch(Job { tid: child, shared: Arc::clone(shared), closure });
+    child
+}
+
+/// Called by the job wrapper when the closure returns normally.
+pub(crate) fn thread_finished(shared: &Shared, me: Tid) {
+    let mut st = shared.inner.lock();
+    if st.alive[me.idx()] {
+        st.mem.apply_finish(me);
+        st.alive[me.idx()] = false;
+        st.running -= 1;
+        if st.running == 0 {
+            schedule(shared, &mut st);
+        }
+    }
+}
+
+/// Called by the job wrapper when the closure unwound with [`DieMarker`].
+pub(crate) fn thread_aborted(shared: &Shared, me: Tid) {
+    let mut st = shared.inner.lock();
+    if st.alive[me.idx()] {
+        st.alive[me.idx()] = false;
+        // A dying thread was counted running iff it held the token; it
+        // panicked out of visible_op/spawn before re-incrementing, so it
+        // is *not* counted in `running` here. Nothing to decrement.
+    }
+}
+
+/// Called by the job wrapper when the closure panicked for real.
+pub(crate) fn thread_panicked(shared: &Shared, me: Tid, message: String) {
+    let mut st = shared.inner.lock();
+    if st.alive[me.idx()] {
+        st.alive[me.idx()] = false;
+        st.running -= 1;
+        let bug = Bug::UserPanic { tid: me, message };
+        abort(shared, &mut st, RunOutcome::BugFound(bug));
+    }
+}
+
+/// Job-exit accounting: the last job out signals the explorer.
+pub(crate) fn job_exited(shared: &Shared) {
+    let mut st = shared.inner.lock();
+    st.active_jobs -= 1;
+    if st.active_jobs == 0 && st.outcome.is_some() {
+        shared.done.notify_all();
+    }
+    // Liveness guard: if every job exited but no outcome was decided, the
+    // execution stalled (should be impossible); mark it so the explorer
+    // is not left hanging.
+    if st.active_jobs == 0 && st.outcome.is_none() && st.alive.iter().all(|a| !a) {
+        st.outcome = Some(RunOutcome::Completed);
+        shared.done.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Explorer-side driver.
+// ---------------------------------------------------------------------
+
+/// Execute the test closure once, replaying `script`.
+pub(crate) fn run_once(
+    config: &Config,
+    pool: &Arc<Mutex<Pool>>,
+    script: &[usize],
+    test: Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(ExecState {
+            mem: MemState::new(),
+            config: config.clone(),
+            script: script.to_vec(),
+            cursor: 0,
+            choices: Vec::new(),
+            pending: Vec::new(),
+            replies: Vec::new(),
+            alive: Vec::new(),
+            running: 0,
+            active_jobs: 0,
+            sleep: Vec::new(),
+            spins: Vec::new(),
+            futile: Vec::new(),
+            last_sched: Tid::MAIN,
+            outcome: None,
+            dying: false,
+        }),
+        cvs: Mutex::new(Vec::new()),
+        done: Condvar::new(),
+        pending_bug: Mutex::new(None),
+        arena: Mutex::new(Vec::new()),
+        pool: Arc::clone(pool),
+    });
+
+    {
+        let mut st = shared.inner.lock();
+        let main = st.register_thread();
+        debug_assert_eq!(main, Tid::MAIN);
+        shared.cvs.lock().push(Arc::new(Condvar::new()));
+        st.running = 1;
+        st.active_jobs = 1;
+    }
+    let t2 = Arc::clone(&test);
+    pool.lock().dispatch(Job {
+        tid: Tid::MAIN,
+        shared: Arc::clone(&shared),
+        closure: Box::new(move || t2()),
+    });
+
+    // Wait for the verdict + full job drain (arena safety).
+    let (outcome, trace, choices) = {
+        let mut st = shared.inner.lock();
+        while !(st.outcome.is_some() && st.active_jobs == 0) {
+            shared.done.wait(&mut st);
+        }
+        (
+            st.outcome.clone().expect("decided"),
+            std::mem::take(&mut st.mem.trace),
+            std::mem::take(&mut st.choices),
+        )
+    };
+    shared.arena.lock().clear();
+    RunResult { outcome, trace, choices }
+}

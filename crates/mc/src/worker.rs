@@ -1,0 +1,169 @@
+//! Worker-pool plumbing: pooled OS threads hosting modeled threads, the
+//! per-thread context, and the quiet panic hook.
+//!
+//! Scheduling itself lives in [`crate::runtime`] (token-passing: the
+//! worker that parks last decides who runs next). Pool threads are reused
+//! across executions — thread spawn cost would otherwise dominate
+//! exploration time (see `benches/exploration.rs`).
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Once};
+
+use cdsspec_c11::Tid;
+
+use crate::runtime::{self, Shared};
+
+/// Marker panic payload used to unwind a worker when the runtime abandons
+/// an execution.
+pub(crate) struct DieMarker;
+
+/// Per-modeled-thread context installed in the worker's thread-local while
+/// it runs a job.
+pub(crate) struct Ctx {
+    pub tid: Tid,
+    pub shared: Arc<Shared>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current modeled-thread context. Panics (with a clear
+/// message) when called outside `mc::explore`/`mc::model`.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
+        f(ctx)
+    })
+}
+
+/// Is the caller inside a modeled thread?
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// A unit of work for a pooled OS thread: run `closure` as modeled thread
+/// `tid` of the execution owned by `shared`.
+pub(crate) struct Job {
+    pub tid: Tid,
+    pub shared: Arc<Shared>,
+    pub closure: Box<dyn FnOnce() + Send + 'static>,
+}
+
+struct WorkerHandle {
+    job_tx: Sender<Job>,
+}
+
+/// A reusable pool of OS threads hosting modeled threads.
+pub(crate) struct Pool {
+    workers: Vec<WorkerHandle>,
+    free_rx: Receiver<usize>,
+    free_tx: Sender<usize>,
+}
+
+impl Pool {
+    pub fn new() -> Self {
+        install_quiet_panic_hook();
+        let (free_tx, free_rx) = channel();
+        Pool { workers: Vec::new(), free_rx, free_tx }
+    }
+
+    /// Dispatch a job onto a free worker, growing the pool when necessary.
+    pub fn dispatch(&mut self, job: Job) {
+        let idx = match self.free_rx.try_recv() {
+            Ok(i) => i,
+            Err(_) => {
+                let i = self.workers.len();
+                self.workers.push(spawn_worker(i, self.free_tx.clone()));
+                i
+            }
+        };
+        self.workers[idx].job_tx.send(job).expect("pool worker died");
+    }
+}
+
+/// Worker threads unwind constantly (every abandoned execution panics with
+/// [`DieMarker`], and `mc_assert!` failures are caught and reported through
+/// the bug machinery), so the default panic hook's stderr output — possibly
+/// with full backtraces — would dominate exploration time. Silence panics
+/// on pool threads only; everything else keeps the default hook.
+fn install_quiet_panic_hook() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .map(|n| n.starts_with("cdsspec-worker"))
+                .unwrap_or(false);
+            if !on_worker {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn spawn_worker(index: usize, free_tx: Sender<usize>) -> WorkerHandle {
+    let (job_tx, job_rx) = channel::<Job>();
+    std::thread::Builder::new()
+        .name(format!("cdsspec-worker-{index}"))
+        .spawn(move || {
+            while let Ok(job) = job_rx.recv() {
+                run_job(job);
+                if free_tx.send(index).is_err() {
+                    break; // pool dropped
+                }
+            }
+        })
+        .expect("failed to spawn pool worker");
+    WorkerHandle { job_tx }
+}
+
+fn run_job(job: Job) {
+    let Job { tid, shared, closure } = job;
+    CTX.with(|c| {
+        *c.borrow_mut() = Some(Ctx { tid, shared: Arc::clone(&shared) });
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure));
+    CTX.with(|c| {
+        *c.borrow_mut() = None;
+    });
+    match result {
+        Ok(()) => runtime::thread_finished(&shared, tid),
+        Err(payload) => {
+            if payload.is::<DieMarker>() {
+                runtime::thread_aborted(&shared, tid);
+            } else {
+                runtime::thread_panicked(&shared, tid, panic_message(&payload));
+            }
+        }
+    }
+    runtime::job_exited(&shared);
+}
+
+fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_ctx_outside_model_panics() {
+        let r = std::panic::catch_unwind(|| with_ctx(|_| ()));
+        assert!(r.is_err());
+        assert!(!in_model());
+    }
+}

@@ -1,0 +1,407 @@
+//! Classic weak-memory litmus tests run end-to-end through the explorer.
+//!
+//! Each test collects the set of observable outcomes across all feasible
+//! executions and checks it against the C/C++11-allowed set.
+
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+use cdsspec_mc as mc;
+use mc::MemOrd::*;
+use mc::{mc_assert, Atomic, Config};
+
+type Outcomes = Arc<Mutex<BTreeSet<Vec<i64>>>>;
+
+fn collect<F>(config: Config, f: F) -> (BTreeSet<Vec<i64>>, mc::Stats)
+where
+    F: Fn(&dyn Fn(Vec<i64>)) + Send + Sync + 'static,
+{
+    let outcomes: Outcomes = Arc::new(Mutex::new(BTreeSet::new()));
+    let o2 = Arc::clone(&outcomes);
+    let stats = mc::explore(config, move || {
+        let o3 = Arc::clone(&o2);
+        f(&move |v| {
+            o3.lock().unwrap().insert(v);
+        });
+    });
+    assert!(!stats.buggy(), "unexpected bug: {:?}", stats.bugs.first().map(|b| &b.bug));
+    let set = outcomes.lock().unwrap().clone();
+    (set, stats)
+}
+
+fn cfg() -> Config {
+    Config::validating()
+}
+
+/// Store buffering, relaxed: r1 = r2 = 0 must be observable.
+#[test]
+fn sb_relaxed_allows_both_zero() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let r1 = Arc::new(Mutex::new(0i64));
+        let r1c = Arc::clone(&r1);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+            *r1c.lock().unwrap() = y.load(Relaxed);
+        });
+        y.store(1, Relaxed);
+        let r2 = x.load(Relaxed);
+        t.join();
+        record(vec![*r1.lock().unwrap(), r2]);
+    });
+    assert!(outcomes.contains(&vec![0, 0]), "weak SB outcome missing: {outcomes:?}");
+    assert!(outcomes.contains(&vec![1, 1]));
+    assert!(outcomes.contains(&vec![0, 1]));
+    assert!(outcomes.contains(&vec![1, 0]));
+}
+
+/// Store buffering, seq_cst: r1 = r2 = 0 is forbidden.
+#[test]
+fn sb_seq_cst_forbids_both_zero() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let r1 = Arc::new(Mutex::new(0i64));
+        let r1c = Arc::clone(&r1);
+        let t = mc::thread::spawn(move || {
+            x.store(1, SeqCst);
+            *r1c.lock().unwrap() = y.load(SeqCst);
+        });
+        y.store(1, SeqCst);
+        let r2 = x.load(SeqCst);
+        t.join();
+        record(vec![*r1.lock().unwrap(), r2]);
+    });
+    assert!(!outcomes.contains(&vec![0, 0]), "SC must forbid 0/0: {outcomes:?}");
+    assert!(outcomes.len() >= 2);
+}
+
+/// Store buffering with relaxed accesses + SC fences: 0/0 forbidden.
+#[test]
+fn sb_sc_fences_forbid_both_zero() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let r1 = Arc::new(Mutex::new(0i64));
+        let r1c = Arc::clone(&r1);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+            mc::fence(SeqCst);
+            *r1c.lock().unwrap() = y.load(Relaxed);
+        });
+        y.store(1, Relaxed);
+        mc::fence(SeqCst);
+        let r2 = x.load(Relaxed);
+        t.join();
+        record(vec![*r1.lock().unwrap(), r2]);
+    });
+    assert!(!outcomes.contains(&vec![0, 0]), "SC fences must forbid 0/0: {outcomes:?}");
+}
+
+/// Message passing with release/acquire: stale data unreadable after
+/// reading the flag.
+#[test]
+fn mp_release_acquire() {
+    mc::model(|| {
+        let data = Atomic::new(0i64);
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            data.store(42, Relaxed);
+            flag.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            mc_assert!(data.load(Relaxed) == 42);
+        }
+        t.join();
+    });
+}
+
+/// Message passing with relaxed flag: the stale read must be observable.
+#[test]
+fn mp_relaxed_shows_stale() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let data = Atomic::new(0i64);
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            data.store(42, Relaxed);
+            flag.store(1, Relaxed);
+        });
+        let f = flag.load(Relaxed);
+        let d = data.load(Relaxed);
+        t.join();
+        record(vec![f, d]);
+    });
+    assert!(outcomes.contains(&vec![1, 0]), "relaxed MP must show stale data: {outcomes:?}");
+    assert!(outcomes.contains(&vec![1, 42]));
+}
+
+/// Message passing through release/acquire *fences*.
+#[test]
+fn mp_fences() {
+    mc::model(|| {
+        let data = Atomic::new(0i64);
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            data.store(7, Relaxed);
+            mc::fence(Release);
+            flag.store(1, Relaxed);
+        });
+        if flag.load(Relaxed) == 1 {
+            mc::fence(Acquire);
+            mc_assert!(data.load(Relaxed) == 7);
+        }
+        t.join();
+    });
+}
+
+/// IRIW with acquire loads: the two readers may disagree on the order of
+/// the two independent stores.
+#[test]
+fn iriw_acquire_allows_disagreement() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let w1 = mc::thread::spawn(move || x.store(1, Release));
+        let w2 = mc::thread::spawn(move || y.store(1, Release));
+        let res = Arc::new(Mutex::new((0i64, 0i64)));
+        let rc = Arc::clone(&res);
+        let r1 = mc::thread::spawn(move || {
+            let a = x.load(Acquire);
+            let b = y.load(Acquire);
+            *rc.lock().unwrap() = (a, b);
+        });
+        let c = y.load(Acquire);
+        let d = x.load(Acquire);
+        w1.join();
+        w2.join();
+        r1.join();
+        let (a, b) = *res.lock().unwrap();
+        record(vec![a, b, c, d]);
+    });
+    // Reader 1 sees x then not-yet y; reader 2 sees y then not-yet x.
+    assert!(
+        outcomes.contains(&vec![1, 0, 1, 0]),
+        "acq/rel IRIW must allow disagreement: {outcomes:?}"
+    );
+}
+
+/// IRIW with seq_cst everywhere: disagreement is forbidden.
+#[test]
+fn iriw_seq_cst_forbids_disagreement() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let w1 = mc::thread::spawn(move || x.store(1, SeqCst));
+        let w2 = mc::thread::spawn(move || y.store(1, SeqCst));
+        let res = Arc::new(Mutex::new((0i64, 0i64)));
+        let rc = Arc::clone(&res);
+        let r1 = mc::thread::spawn(move || {
+            let a = x.load(SeqCst);
+            let b = y.load(SeqCst);
+            *rc.lock().unwrap() = (a, b);
+        });
+        let c = y.load(SeqCst);
+        let d = x.load(SeqCst);
+        w1.join();
+        w2.join();
+        r1.join();
+        let (a, b) = *res.lock().unwrap();
+        record(vec![a, b, c, d]);
+    });
+    assert!(
+        !outcomes.contains(&vec![1, 0, 1, 0]),
+        "SC IRIW must forbid disagreement: {outcomes:?}"
+    );
+}
+
+/// Coherence: a single thread re-reading a location never goes backwards.
+#[test]
+fn coherence_read_read() {
+    mc::model(|| {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+            x.store(2, Relaxed);
+        });
+        let a = x.load(Relaxed);
+        let b = x.load(Relaxed);
+        mc_assert!(b >= a, "coherence violated: {} then {}", a, b);
+        t.join();
+    });
+}
+
+/// Two concurrent fetch_adds never lose an update.
+#[test]
+fn fetch_add_is_atomic() {
+    mc::model(|| {
+        let x = Atomic::new(0i64);
+        let t1 = mc::thread::spawn(move || {
+            x.fetch_add(1, Relaxed);
+        });
+        let t2 = mc::thread::spawn(move || {
+            x.fetch_add(1, Relaxed);
+        });
+        t1.join();
+        t2.join();
+        mc_assert!(x.load(Relaxed) == 2);
+    });
+}
+
+/// CAS can fail by reading a stale value (the weak behavior §2 of the
+/// paper revolves around), but a strong CAS reading the expected value
+/// succeeds.
+#[test]
+fn cas_stale_failure_is_observable() {
+    let (outcomes, _) = collect(cfg(), |record| {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+        });
+        // CAS expecting 1: can fail (stale read of 0) even after the store
+        // is scheduled first, or succeed reading 1.
+        let r = x.compare_exchange(1, 2, Relaxed, Relaxed);
+        t.join();
+        record(vec![r.is_ok() as i64]);
+    });
+    assert!(outcomes.contains(&vec![0]) && outcomes.contains(&vec![1]), "{outcomes:?}");
+}
+
+/// Uninitialized atomic loads are detected.
+#[test]
+fn uninit_load_detected() {
+    let stats = mc::explore(cfg(), || {
+        let x: Atomic<i64> = Atomic::uninit();
+        let _ = x.load(Relaxed);
+    });
+    assert!(stats.buggy());
+    assert!(matches!(stats.bugs[0].bug, mc::Bug::UninitLoad { .. }), "{:?}", stats.bugs[0].bug);
+}
+
+/// Unordered non-atomic accesses are detected as data races.
+#[test]
+fn data_race_detected() {
+    let stats = mc::explore(cfg(), || {
+        let d = mc::Data::new(0i64);
+        let t = mc::thread::spawn(move || d.write(1));
+        d.write(2);
+        t.join();
+    });
+    assert!(stats.buggy());
+    assert!(matches!(stats.bugs[0].bug, mc::Bug::DataRace { .. }), "{:?}", stats.bugs[0].bug);
+}
+
+/// Properly published non-atomic data does not race.
+#[test]
+fn synchronized_data_is_race_free() {
+    mc::model(|| {
+        let d = mc::Data::new(0i64);
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            d.write(10);
+            flag.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            mc_assert!(d.read() == 10);
+        }
+        t.join();
+    });
+}
+
+/// mc_assert failures surface as bugs with the failing execution's trace.
+#[test]
+fn assertion_failures_are_reported() {
+    let stats = mc::explore(cfg(), || {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || x.store(1, Relaxed));
+        // Bogus claim: the store has always happened.
+        mc_assert!(x.load(Relaxed) == 1);
+        t.join();
+    });
+    assert!(stats.buggy());
+    assert!(matches!(stats.bugs[0].bug, mc::Bug::UserPanic { .. }));
+    assert!(!stats.bugs[0].trace.is_empty());
+}
+
+/// A futile spin loop is pruned as divergence, not an infinite hang.
+#[test]
+fn futile_spin_is_pruned() {
+    let stats = mc::explore(cfg(), || {
+        let flag = Atomic::new(0i64);
+        // Nobody ever sets the flag.
+        while flag.load(Acquire) == 0 {
+            mc::spin_loop();
+        }
+    });
+    assert!(!stats.buggy());
+    assert!(stats.diverged > 0);
+    assert_eq!(stats.feasible, 0);
+}
+
+/// A released spin loop completes once the releasing store is scheduled.
+#[test]
+fn released_spin_completes() {
+    let stats = mc::explore(cfg(), || {
+        let flag = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || flag.store(1, Release));
+        while flag.load(Acquire) == 0 {
+            mc::spin_loop();
+        }
+        t.join();
+    });
+    assert!(!stats.buggy());
+    assert!(stats.feasible > 0);
+}
+
+/// Sleep sets must not change the set of observable outcomes.
+#[test]
+fn sleep_sets_preserve_outcomes() {
+    fn run(sleep: bool) -> (BTreeSet<Vec<i64>>, u64) {
+        let config = Config { sleep_sets: sleep, ..Config::validating() };
+        let (outcomes, stats) = collect(config, |record| {
+            let x = Atomic::new(0i64);
+            let y = Atomic::new(0i64);
+            let t = mc::thread::spawn(move || {
+                x.store(1, Release);
+                y.store(1, Release);
+            });
+            let a = y.load(Acquire);
+            let b = x.load(Acquire);
+            t.join();
+            record(vec![a, b]);
+        });
+        (outcomes, stats.executions)
+    }
+    let (with, n_with) = run(true);
+    let (without, n_without) = run(false);
+    assert_eq!(with, without);
+    assert!(n_with <= n_without, "sleep sets should not increase executions");
+}
+
+/// Join must synchronize: after joining, the child's writes are visible.
+#[test]
+fn join_synchronizes() {
+    mc::model(|| {
+        let x = Atomic::new(0i64);
+        let d = mc::Data::new(0i64);
+        let t = mc::thread::spawn(move || {
+            d.write(5);
+            x.store(1, Relaxed);
+        });
+        t.join();
+        mc_assert!(x.load(Relaxed) == 1);
+        mc_assert!(d.read() == 5);
+    });
+}
+
+/// Exploration statistics look sane on a tiny deterministic program.
+#[test]
+fn stats_single_thread() {
+    let stats = mc::explore(cfg(), || {
+        let x = Atomic::new(1i64);
+        mc_assert!(x.load(Relaxed) == 1);
+    });
+    assert_eq!(stats.executions, 1);
+    assert_eq!(stats.feasible, 1);
+    assert_eq!(stats.diverged, 0);
+}

@@ -1,0 +1,168 @@
+//! Edge-case tests for the token-passing runtime: thread limits,
+//! truncation, yields, deep nesting, pool reuse across explorations, and
+//! the verbose/validating config paths.
+
+use cdsspec_mc as mc;
+use mc::MemOrd::*;
+use mc::{mc_assert, Atomic, Config};
+
+/// Exceeding `max_threads` is a reported bug, not a hang.
+#[test]
+fn max_threads_is_enforced() {
+    let config = Config { max_threads: 3, ..Config::default() };
+    let stats = mc::explore(config, || {
+        let mut handles = Vec::new();
+        for _ in 0..5 {
+            handles.push(mc::thread::spawn(|| {}));
+        }
+        for h in handles {
+            h.join();
+        }
+    });
+    assert!(stats.buggy());
+    assert!(stats.bugs[0].bug.to_string().contains("max_threads"));
+}
+
+/// `max_executions` truncates and says so.
+#[test]
+fn truncation_is_reported() {
+    let config = Config { max_executions: 3, ..Config::default() };
+    let stats = mc::explore(config, || {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || x.store(1, Relaxed));
+        let _ = x.load(Relaxed);
+        let _ = x.load(Relaxed);
+        t.join();
+    });
+    assert!(stats.truncated);
+    assert_eq!(stats.executions, 3);
+}
+
+/// `yield_now` is a scheduling point with no memory effect.
+#[test]
+fn yield_now_works() {
+    let stats = mc::explore(Config::validating(), || {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            mc::yield_now();
+            x.store(1, Relaxed);
+        });
+        mc::yield_now();
+        let _ = x.load(Relaxed);
+        t.join();
+    });
+    assert!(!stats.buggy());
+    assert!(stats.feasible >= 2, "yield must create interleavings");
+}
+
+/// Deep spawn chains (each thread spawns the next) work and synchronize.
+#[test]
+fn deep_spawn_chain() {
+    mc::model(|| {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            let inner = mc::thread::spawn(move || {
+                let inner2 = mc::thread::spawn(move || {
+                    x.store(3, Release);
+                });
+                inner2.join();
+            });
+            inner.join();
+        });
+        t.join();
+        mc_assert!(x.load(Acquire) == 3);
+    });
+}
+
+/// A thread that is never joined still finishes and its effects are
+/// explorable (the execution completes when all threads finish).
+#[test]
+fn unjoined_threads_complete() {
+    let stats = mc::explore(Config::validating(), || {
+        let x = Atomic::new(0i64);
+        let h = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+        });
+        // Deliberately do not join: the handle is consumed via drop.
+        let _ = h.tid();
+        #[allow(clippy::mem_forget)]
+        drop(h);
+        let _ = x.load(Relaxed);
+    });
+    assert!(!stats.buggy());
+    assert!(stats.feasible >= 2, "store may land before or after the load");
+}
+
+/// The same process can run many explorations back-to-back (pool threads
+/// and panic hooks don't leak state across runs).
+#[test]
+fn repeated_explorations_are_independent() {
+    for round in 0..5 {
+        let stats = mc::explore(Config::default(), move || {
+            let x = Atomic::new(round as i64);
+            mc_assert!(x.load(Relaxed) == round as i64);
+        });
+        assert_eq!(stats.executions, 1);
+        assert!(!stats.buggy());
+    }
+}
+
+/// Exploration with `verbose` exercises the trace renderer on every
+/// execution without panicking.
+#[test]
+fn verbose_rendering_smoke() {
+    let config = Config { verbose: true, ..Config::default() };
+    let stats = mc::explore(config, || {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            x.fetch_add(1, AcqRel);
+        });
+        let _ = x.compare_exchange(0, 5, SeqCst, Relaxed);
+        mc::fence(SeqCst);
+        t.join();
+    });
+    assert!(!stats.buggy());
+}
+
+/// Two explorations in parallel from different OS threads don't interfere
+/// (thread-local contexts are per-worker).
+#[test]
+fn parallel_explorations() {
+    let h1 = std::thread::spawn(|| {
+        mc::model(|| {
+            let x = Atomic::new(1i64);
+            mc_assert!(x.load(Relaxed) == 1);
+        })
+    });
+    let h2 = std::thread::spawn(|| {
+        mc::model(|| {
+            let y = Atomic::new(2i64);
+            mc_assert!(y.load(Relaxed) == 2);
+        })
+    });
+    h1.join().unwrap();
+    h2.join().unwrap();
+}
+
+/// Stats bookkeeping: executions = feasible + diverged + sleep-pruned.
+#[test]
+fn stats_partition_executions() {
+    let stats = mc::explore(Config::validating(), || {
+        let x = Atomic::new(0i64);
+        let y = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Release);
+            y.store(1, Release);
+        });
+        let _ = y.load(Acquire);
+        let _ = x.load(Acquire);
+        t.join();
+    });
+    assert!(!stats.buggy());
+    assert_eq!(
+        stats.executions,
+        stats.feasible + stats.diverged + stats.sleep_pruned,
+        "{}",
+        stats.summary()
+    );
+}

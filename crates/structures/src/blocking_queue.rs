@@ -1,0 +1,255 @@
+//! The paper's running example (§2, Figures 2 and 6): a simple blocking
+//! MS-style queue using release/acquire atomics, with the exact
+//! CDSSpec specification of Figure 6.
+//!
+//! Enqueuers compete to CAS a new node onto `tail->next` and then publish
+//! the new tail; dequeuers compete to CAS `head` forward. `deq` returns
+//! `-1` when it observes an empty queue — which, under release/acquire,
+//! can happen *spuriously* (Figure 3), so the specification is
+//! non-deterministic with a justifying condition.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use std::collections::VecDeque;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Injectable ordering sites (Figure 2's six atomic operations).
+pub static SITES: &[SiteSpec] = &[
+    site("enq.tail_load", Acquire, SiteKind::Load),
+    site("enq.next_cas", Release, SiteKind::Rmw),
+    site("enq.tail_store", Release, SiteKind::Store),
+    site("deq.head_load", Acquire, SiteKind::Load),
+    site("deq.next_load", Acquire, SiteKind::Load),
+    site("deq.head_cas", Release, SiteKind::Rmw),
+];
+
+const ENQ_TAIL_LOAD: usize = 0;
+const ENQ_NEXT_CAS: usize = 1;
+const ENQ_TAIL_STORE: usize = 2;
+const DEQ_HEAD_LOAD: usize = 3;
+const DEQ_NEXT_LOAD: usize = 4;
+const DEQ_HEAD_CAS: usize = 5;
+
+struct Node {
+    data: mc::Data<i64>,
+    next: mc::Atomic<*mut Node>,
+}
+
+impl Node {
+    fn new(v: i64) -> Self {
+        Node { data: mc::Data::new(v), next: mc::Atomic::new(std::ptr::null_mut()) }
+    }
+}
+
+/// The blocking queue of Figure 2. `Copy` handle semantics: the cells live
+/// in the model checker.
+#[derive(Clone)]
+pub struct BlockingQueue {
+    obj: u64,
+    head: mc::Atomic<*mut Node>,
+    tail: mc::Atomic<*mut Node>,
+    ords: Ords,
+}
+
+impl BlockingQueue {
+    /// A queue with the correct (paper) orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A queue with a custom ordering table (fault injection).
+    pub fn with_ords(ords: Ords) -> Self {
+        let dummy = mc::alloc(Node::new(0));
+        BlockingQueue {
+            obj: mc::new_object_id(),
+            head: mc::Atomic::new(dummy),
+            tail: mc::Atomic::new(dummy),
+            ords,
+        }
+    }
+
+    /// Enqueue `val` (Figure 2 lines 4–14; Figure 6 annotations).
+    pub fn enq(&self, val: i64) {
+        spec::method_begin(self.obj, "enq");
+        spec::arg(val);
+        let n = mc::alloc(Node::new(val));
+        loop {
+            let t = self.tail.load(self.ords.get(ENQ_TAIL_LOAD));
+            let next = unsafe { &(*t).next };
+            if next
+                .compare_exchange(std::ptr::null_mut(), n, self.ords.get(ENQ_NEXT_CAS), Relaxed)
+                .is_ok()
+            {
+                spec::op_define(); // @OPDefine: true (Figure 6 line 10)
+                self.tail.store(n, self.ords.get(ENQ_TAIL_STORE));
+                break;
+            }
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Dequeue; `-1` = empty (Figure 2 lines 15–23; Figure 6 annotations).
+    pub fn deq(&self) -> i64 {
+        spec::method_begin(self.obj, "deq");
+        let ret = loop {
+            let h = self.head.load(self.ords.get(DEQ_HEAD_LOAD));
+            let n = unsafe { (*h).next.load(self.ords.get(DEQ_NEXT_LOAD)) };
+            spec::op_clear_define(); // @OPClearDefine: true (Figure 6 line 27)
+            if n.is_null() {
+                break -1;
+            }
+            if self
+                .head
+                .compare_exchange(h, n, self.ords.get(DEQ_HEAD_CAS), Relaxed)
+                .is_ok()
+            {
+                break unsafe { (*n).data.read() };
+            }
+            mc::spin_loop();
+        };
+        spec::method_end(ret);
+        ret
+    }
+}
+
+impl Default for BlockingQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Figure 6 specification: a sequential FIFO (`@DeclareState:
+/// IntList*q`), `enq` pushes back, `deq` pops front unless it (or the
+/// sequential queue) is empty; `deq` may spuriously return `-1` when some
+/// justifying subhistory also yields an empty queue.
+pub fn queue_spec(name: &'static str) -> spec::Spec<VecDeque<i64>> {
+    spec::Spec::new(name, VecDeque::<i64>::new)
+        .method("enq", |m| {
+            // @SideEffect: STATE(q)->push_back(val)
+            m.side_effect(|s, e| s.push_back(e.arg(0).as_i64()))
+        })
+        .method("deq", |m| {
+            m
+                // @SideEffect: S_RET = empty ? -1 : front; pop if both agree
+                .side_effect(|s, e| {
+                    let s_ret = s.front().copied().unwrap_or(-1);
+                    e.set_s_ret(s_ret);
+                    if s_ret != -1 && e.ret().as_i64() != -1 {
+                        s.pop_front();
+                    }
+                })
+                // @PostCondition: C_RET==-1 ? true : C_RET==S_RET
+                .post(|_, e| e.ret().as_i64() == -1 || e.ret() == e.s_ret)
+                // @JustifyingPostcondition: if C_RET==-1 then S_RET==-1
+                .justify_post(|_, e| e.ret().as_i64() != -1 || e.s_ret.as_i64() == -1)
+        })
+}
+
+/// This benchmark's spec.
+pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
+    queue_spec("blocking-queue")
+}
+
+/// The standard unit test (paper §6.4 scale: ≤ 3 threads, ≤ 2 calls each).
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let q = BlockingQueue::with_ords(ords.clone());
+        let q1 = q.clone();
+        // Pure consumer: it never enqueues, so nothing but the queue's own
+        // synchronization orders it with the producer.
+        let t = mc::thread::spawn(move || {
+            let _ = q1.deq();
+        });
+        q.enq(1);
+        q.enq(2);
+        let _ = q.deq();
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_queue_passes_spec() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn figure3_cross_queue_execution_is_accepted() {
+        // The §2 motivating example: the r1=r2=-1 outcome is NOT
+        // linearizable but IS non-deterministic linearizable; the spec
+        // must accept it.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let x = BlockingQueue::new();
+            let y = BlockingQueue::new();
+            let (x1, y1) = (x.clone(), y.clone());
+            let t = mc::thread::spawn(move || {
+                x1.enq(1);
+                let _ = y1.deq();
+            });
+            y.enq(1);
+            let _ = x.deq();
+            t.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn single_thread_spurious_empty_is_rejected() {
+        // In a single thread, deq after enq must not return -1: the
+        // justifying subhistory contains the enq (hb via sb), so the
+        // justification fails. We simulate the faulty behavior by lying at
+        // the spec boundary: a deq that claims -1 while the queue holds an
+        // item. The easiest honest way to trigger it is weakening the
+        // orderings so a real execution misbehaves — covered by the
+        // injection tests — so here we check the *positive* property: a
+        // single-threaded enq→deq never returns -1.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = BlockingQueue::new();
+            q.enq(7);
+            let r = q.deq();
+            mc::mc_assert!(r == 7);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_next_cas_is_detected() {
+        // Weakening the enq next-CAS to relaxed removes the publish edge:
+        // deq can read an unpublished node's data → data race (built-in),
+        // or FIFO/justification violations.
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(ENQ_NEXT_CAS));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened queue must be detected");
+    }
+
+    #[test]
+    fn fifo_order_enforced_by_spec() {
+        // Two enqueues then two dequeues in one thread: values must come
+        // out 1 then 2; the spec postcondition enforces it against the
+        // sequential FIFO.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = BlockingQueue::new();
+            q.enq(1);
+            q.enq(2);
+            mc::mc_assert!(q.deq() == 1);
+            mc::mc_assert!(q.deq() == 2);
+            mc::mc_assert!(q.deq() == -1);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+}

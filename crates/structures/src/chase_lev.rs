@@ -1,0 +1,440 @@
+//! The Chase-Lev work-stealing deque, following the C11 adaptation of
+//! Lê, Pop, Cohen & Zappa Nardelli (PPoPP'13) — the paper's
+//! `Chase-Lev Deque` row.
+//!
+//! The owner pushes/takes at `bottom`; thieves steal at `top`. The C11
+//! version relies on:
+//! * a release fence between the cell store and the `bottom` publication
+//!   (push → steal synchronization),
+//! * `seq_cst` fences ordering the owner's `bottom` decrement against the
+//!   thief's `top`/`bottom` reads (take ↔ steal races for the last item),
+//! * `seq_cst` CASes on `top`.
+//!
+//! [`ChaseLev::known_bug`] reproduces the bug CDSChecker found in the
+//! published implementation (paper §6.4.1): with the resize publication
+//! weakened, a concurrent steal can read an **uninitialized** slot of the
+//! freshly grown buffer; with `init_resize` the same weakening surfaces as
+//! a wrong-value specification violation instead (the paper's methodology
+//! for re-detecting the bug through the spec alone).
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use std::collections::VecDeque;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Initial buffer capacity (2, so a third push exercises resize).
+pub const INITIAL_SIZE: usize = 2;
+
+/// `take`/`steal` result for an empty (or lost-race) deque.
+pub const EMPTY: i64 = -1;
+
+/// Injectable sites.
+pub static SITES: &[SiteSpec] = &[
+    site("push.top_load", Relaxed, SiteKind::Load),
+    site("push.publish_fence", Release, SiteKind::Fence),
+    site("resize.array_store", Release, SiteKind::Store),
+    site("take.fence", SeqCst, SiteKind::Fence),
+    site("take.top_cas", SeqCst, SiteKind::Rmw),
+    site("steal.top_load", Acquire, SiteKind::Load),
+    site("steal.fence", SeqCst, SiteKind::Fence),
+    site("steal.bottom_load", Acquire, SiteKind::Load),
+    site("steal.array_load", Acquire, SiteKind::Load),
+    site("steal.top_cas", SeqCst, SiteKind::Rmw),
+];
+
+const PUSH_TOP_LOAD: usize = 0;
+const PUSH_PUBLISH_FENCE: usize = 1;
+const RESIZE_ARRAY_STORE: usize = 2;
+const TAKE_FENCE: usize = 3;
+const TAKE_TOP_CAS: usize = 4;
+const STEAL_TOP_LOAD: usize = 5;
+const STEAL_FENCE: usize = 6;
+const STEAL_BOTTOM_LOAD: usize = 7;
+const STEAL_ARRAY_LOAD: usize = 8;
+/// Public so the §6.4.3 harness can name the site it weakens.
+pub const STEAL_TOP_CAS: usize = 9;
+
+struct Buffer {
+    size: usize,
+    cells: Vec<mc::Atomic<i64>>,
+}
+
+impl Buffer {
+    fn new_init(size: usize) -> Self {
+        Buffer { size, cells: (0..size).map(|_| mc::Atomic::new(0)).collect() }
+    }
+
+    fn new_uninit(size: usize) -> Self {
+        Buffer { size, cells: (0..size).map(|_| mc::Atomic::uninit()).collect() }
+    }
+
+    fn store(&self, i: i64, v: i64) {
+        self.cells[(i as usize) % self.size].store(v, Relaxed);
+    }
+
+    fn load(&self, i: i64) -> i64 {
+        self.cells[(i as usize) % self.size].load(Relaxed)
+    }
+}
+
+/// The work-stealing deque. `push`/`take` are owner-only (an
+/// admissibility condition); `steal` may run from any thread.
+#[derive(Clone)]
+pub struct ChaseLev {
+    obj: u64,
+    top: mc::Atomic<i64>,
+    bottom: mc::Atomic<i64>,
+    array: mc::Atomic<*mut Buffer>,
+    ords: Ords,
+    /// Initialize resized buffers (turns the uninitialized-load bug into a
+    /// wrong-value spec violation, as in §6.4.1's second experiment).
+    init_resize: bool,
+}
+
+impl ChaseLev {
+    /// A deque with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A deque with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        Self::build(ords, false)
+    }
+
+    /// The §6.4.1 known bug: the resize publication is relaxed, so a
+    /// racing steal can observe the new buffer without its contents.
+    pub fn known_bug() -> Self {
+        let mut ords = Ords::defaults(SITES);
+        ords.set(RESIZE_ARRAY_STORE, Relaxed);
+        Self::build(ords, false)
+    }
+
+    /// The known bug with initialized resize buffers: CDSChecker's
+    /// built-in uninitialized-load check stays silent and the *spec*
+    /// catches the wrong stolen value instead.
+    pub fn known_bug_initialized() -> Self {
+        let mut ords = Ords::defaults(SITES);
+        ords.set(RESIZE_ARRAY_STORE, Relaxed);
+        Self::build(ords, true)
+    }
+
+    fn build(ords: Ords, init_resize: bool) -> Self {
+        let buf = mc::alloc(Buffer::new_init(INITIAL_SIZE));
+        ChaseLev {
+            obj: mc::new_object_id(),
+            top: mc::Atomic::new(0),
+            bottom: mc::Atomic::new(0),
+            array: mc::Atomic::new(buf),
+            ords,
+            init_resize,
+        }
+    }
+
+    /// Owner: push `v` at the bottom, growing the buffer when full.
+    pub fn push(&self, v: i64) {
+        spec::method_begin(self.obj, "push");
+        spec::arg(v);
+        let b = self.bottom.load(Relaxed);
+        let t = self.top.load(self.ords.get(PUSH_TOP_LOAD));
+        let mut a = self.array.load(Relaxed);
+        if b - t >= unsafe { (*a).size } as i64 {
+            a = self.resize(a, t, b);
+        }
+        unsafe { (*a).store(b, v) };
+        spec::op_define(); // §6.1: the array store is push's ordering point
+        mc::fence(self.ords.get(PUSH_PUBLISH_FENCE));
+        self.bottom.store(b + 1, Relaxed);
+        spec::method_end(());
+    }
+
+    fn resize(&self, old: *mut Buffer, t: i64, b: i64) -> *mut Buffer {
+        let new_size = unsafe { (*old).size } * 2;
+        let new = mc::alloc(if self.init_resize {
+            Buffer::new_init(new_size)
+        } else {
+            Buffer::new_uninit(new_size)
+        });
+        let mut i = t;
+        while i < b {
+            unsafe { (*new).store(i, (*old).load(i)) };
+            i += 1;
+        }
+        self.array.store(new, self.ords.get(RESIZE_ARRAY_STORE));
+        new
+    }
+
+    /// Owner: pop from the bottom; [`EMPTY`] when empty or the race for
+    /// the last element is lost.
+    pub fn take(&self) -> i64 {
+        spec::method_begin(self.obj, "take");
+        let b = self.bottom.load(Relaxed) - 1;
+        let a = self.array.load(Relaxed);
+        self.bottom.store(b, Relaxed);
+        mc::fence(self.ords.get(TAKE_FENCE));
+        let t = self.top.load(Relaxed);
+        let ret = if t <= b {
+            let mut v = unsafe { (*a).load(b) };
+            if t == b {
+                // The last element: race the thieves on top.
+                if self
+                    .top
+                    .compare_exchange(t, t + 1, self.ords.get(TAKE_TOP_CAS), Relaxed)
+                    .is_err()
+                {
+                    v = EMPTY;
+                }
+                self.bottom.store(b + 1, Relaxed);
+            }
+            v
+        } else {
+            self.bottom.store(b + 1, Relaxed);
+            EMPTY
+        };
+        // §6.1: "the last operation in the take method" is its ordering
+        // point (take/push are same-thread, so sb orders them anyway).
+        spec::op_clear_define();
+        spec::method_end(ret);
+        ret
+    }
+
+    /// Thief: pop from the top; [`EMPTY`] when empty or the CAS loses.
+    pub fn steal(&self) -> i64 {
+        spec::method_begin(self.obj, "steal");
+        let t = self.top.load(self.ords.get(STEAL_TOP_LOAD));
+        mc::fence(self.ords.get(STEAL_FENCE));
+        let b = self.bottom.load(self.ords.get(STEAL_BOTTOM_LOAD));
+        spec::op_clear_define(); // empty observation point
+        let mut ret = EMPTY;
+        if t < b {
+            let a = self.array.load(self.ords.get(STEAL_ARRAY_LOAD));
+            let v = unsafe { (*a).load(t) };
+            spec::op_clear_define(); // §6.1: the array load orders steals
+            if self
+                .top
+                .compare_exchange(t, t + 1, self.ords.get(STEAL_TOP_CAS), Relaxed)
+                .is_ok()
+            {
+                ret = v;
+            }
+        }
+        spec::method_end(ret);
+        ret
+    }
+}
+
+impl Default for ChaseLev {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Specification: an ordered list; `push` appends at the back, `take`
+/// pops the back, `steal` pops the front; both pops may spuriously return
+/// empty, justified per §6.1 (a failed take with a non-empty prefix list
+/// needs concurrent steals covering the remaining elements).
+pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
+    spec::Spec::new("chase-lev", VecDeque::<i64>::new)
+        .method("push", |m| m.side_effect(|s, e| s.push_back(e.arg(0).as_i64())))
+        .method("take", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.back().copied().unwrap_or(EMPTY);
+                e.set_s_ret(s_ret);
+                if s_ret != EMPTY && e.ret().as_i64() != EMPTY {
+                    s.pop_back();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == EMPTY || e.ret() == e.s_ret)
+            .justify_post(|s, e| {
+                e.ret().as_i64() != EMPTY
+                    || s.is_empty()
+                    || s.iter().all(|v| {
+                        e.concurrent
+                            .iter()
+                            .any(|c| c.name == "steal" && c.ret.as_i64() == *v)
+                    })
+            })
+        })
+        .method("steal", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.front().copied().unwrap_or(EMPTY);
+                e.set_s_ret(s_ret);
+                if s_ret != EMPTY && e.ret().as_i64() != EMPTY {
+                    s.pop_front();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == EMPTY || e.ret() == e.s_ret)
+            .justify_post(|s, e| {
+                e.ret().as_i64() != EMPTY
+                    || s.is_empty()
+                    || s.iter().all(|v| {
+                        e.concurrent.iter().any(|c| {
+                            (c.name == "steal" || c.name == "take") && c.ret.as_i64() == *v
+                        })
+                    })
+            })
+        })
+        // Owner-only contract for push/take (§6.1's admissibility).
+        .admit("push", "push", |_, _| true)
+        .admit("take", "take", |_, _| true)
+        .admit("push", "take", |_, _| true)
+}
+
+/// Standard unit test: the owner pushes 3 (forcing a resize past the
+/// initial capacity of 2) and takes one; a thief steals two concurrently —
+/// the §6.4.1 bug shape (steal racing a resizing push) plus the
+/// take-vs-steal race for the last element, at the paper's unit-test
+/// scale (the paper's own test: "a main thread that pushes 3 items and
+/// takes 2, and a worker thread that tries to steal two items").
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    unit_test_opts(ords, false)
+}
+
+/// As [`unit_test`] with the `init_resize` switch exposed.
+pub fn unit_test_opts(ords: Ords, init_resize: bool) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let d = ChaseLev::build(ords.clone(), init_resize);
+        let d1 = d.clone();
+        let thief = mc::thread::spawn(move || {
+            let _ = d1.steal();
+            let _ = d1.steal();
+        });
+        d.push(1);
+        d.push(2);
+        d.push(3); // resize: initial capacity is 2
+        let _ = d.take(); // can race the thieves for the last element
+        thief.join();
+    }
+}
+
+/// Corner-case unit test 2 (paper §6.4: "racing for the last element"):
+/// two pushes, two steals racing one take. This is the scenario the
+/// `seq_cst` fences protect — with a weakened fence the owner can read a
+/// stale `top`, conclude it is not racing for the last element, skip its
+/// CAS, and *duplicate* an item a thief also steals.
+pub fn unit_test_last_element(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let d = ChaseLev::with_ords(ords.clone());
+        let d1 = d.clone();
+        let thief = mc::thread::spawn(move || {
+            let _ = d1.steal();
+            let _ = d1.steal();
+        });
+        d.push(1);
+        d.push(2);
+        let got = d.take();
+        mc::mc_assert!(got == EMPTY || got == 1 || got == 2);
+        thief.join();
+    }
+}
+
+/// Explore the benchmark's unit-test suite (the paper's corner cases:
+/// resize, and the race for the last element) under `config`.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    let mut stats = spec::check(config.clone(), make_spec(), unit_test(ords.clone()));
+    if stats.buggy() {
+        return stats;
+    }
+    stats.merge(spec::check(config, make_spec(), unit_test_last_element(ords)));
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> mc::Config {
+        mc::Config::default()
+    }
+
+    #[test]
+    fn owner_only_lifo_semantics() {
+        let stats = spec::check(quick(), make_spec(), || {
+            let d = ChaseLev::new();
+            d.push(1);
+            d.push(2);
+            mc::mc_assert!(d.take() == 2);
+            mc::mc_assert!(d.take() == 1);
+            mc::mc_assert!(d.take() == EMPTY);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn resize_preserves_contents() {
+        let stats = spec::check(quick(), make_spec(), || {
+            let d = ChaseLev::new();
+            d.push(1);
+            d.push(2);
+            d.push(3); // grows 2 → 4
+            mc::mc_assert!(d.take() == 3);
+            mc::mc_assert!(d.take() == 2);
+            mc::mc_assert!(d.take() == 1);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn steal_races_are_clean() {
+        let stats = spec::check(quick(), make_spec(), || {
+            let d = ChaseLev::new();
+            let d1 = d.clone();
+            let thief = mc::thread::spawn(move || {
+                let _ = d1.steal();
+            });
+            d.push(1);
+            let _ = d.take();
+            thief.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn known_bug_uninitialized_load() {
+        let stats = spec::check(quick(), make_spec(), || {
+            let d = ChaseLev::known_bug();
+            let d1 = d.clone();
+            let thief = mc::thread::spawn(move || {
+                let _ = d1.steal();
+                let _ = d1.steal();
+            });
+            d.push(1);
+            d.push(2);
+            d.push(3);
+            let _ = d.take();
+            let _ = d.take();
+            thief.join();
+        });
+        assert!(stats.buggy(), "the resize bug must be detected");
+    }
+
+    #[test]
+    fn known_bug_caught_by_spec_when_initialized() {
+        // §6.4.1: initializing the resized buffer silences the built-in
+        // uninit check; the specification still catches the wrong value.
+        let stats = spec::check(quick(), make_spec(), || {
+            let d = ChaseLev::known_bug_initialized();
+            let d1 = d.clone();
+            let thief = mc::thread::spawn(move || {
+                let _ = d1.steal();
+                let _ = d1.steal();
+            });
+            d.push(1);
+            d.push(2);
+            d.push(3);
+            let _ = d.take();
+            let _ = d.take();
+            thief.join();
+        });
+        assert!(stats.buggy(), "the spec must catch the stale steal");
+        assert!(
+            stats.first_of(mc::BugCategory::Assertion).is_some()
+                || stats.first_of(mc::BugCategory::Admissibility).is_some(),
+            "expected a spec-level detection, got {}",
+            stats.bugs[0].bug
+        );
+    }
+}

@@ -1,0 +1,277 @@
+//! A lock-free open-addressing hashtable in the style of Cliff Click's
+//! design, ported as in the CDSChecker benchmark suite and the paper's
+//! `Lockfree Hashtable` row (itself derived from Doug Lea's
+//! `ConcurrentHashMap`).
+//!
+//! Keys are claimed with a CAS on the key slot; values use `seq_cst`
+//! accesses, "establishing strong orderings between the get and put
+//! methods on the same key" (paper §6.1) — which is exactly why the
+//! equivalent sequential data structure can be a **deterministic** map:
+//! the value accesses are the ordering points, and SC makes every
+//! get/put pair on a key ordered by `r`.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use std::collections::HashMap;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Table capacity (power of two).
+pub const CAPACITY: usize = 4;
+
+/// Injectable sites. The put-side probe load is a pure optimization (the
+/// claim CAS revalidates), so it is relaxed; the remaining four `seq_cst`
+/// parameters are each load-bearing.
+pub static SITES: &[SiteSpec] = &[
+    site("put.key_load", Relaxed, SiteKind::Load),
+    site("put.key_cas", SeqCst, SiteKind::Rmw),
+    site("put.value_store", SeqCst, SiteKind::Store),
+    site("get.key_load", SeqCst, SiteKind::Load),
+    site("get.value_load", SeqCst, SiteKind::Load),
+];
+
+const PUT_KEY_LOAD: usize = 0;
+const PUT_KEY_CAS: usize = 1;
+const PUT_VALUE_STORE: usize = 2;
+const GET_KEY_LOAD: usize = 3;
+const GET_VALUE_LOAD: usize = 4;
+
+/// The hashtable. Keys and values are positive `i64`s; 0 means
+/// empty/absent.
+#[derive(Clone)]
+pub struct HashTable {
+    obj: u64,
+    keys: std::sync::Arc<Vec<mc::Atomic<i64>>>,
+    values: std::sync::Arc<Vec<mc::Atomic<i64>>>,
+    ords: Ords,
+}
+
+impl HashTable {
+    /// A table with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A table with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        HashTable {
+            obj: mc::new_object_id(),
+            keys: std::sync::Arc::new((0..CAPACITY).map(|_| mc::Atomic::new(0)).collect()),
+            values: std::sync::Arc::new((0..CAPACITY).map(|_| mc::Atomic::new(0)).collect()),
+            ords,
+        }
+    }
+
+    fn hash(key: i64) -> usize {
+        (key as usize) % CAPACITY
+    }
+
+    /// Insert or update `key → val` (both positive).
+    pub fn put(&self, key: i64, val: i64) {
+        assert!(key > 0 && val > 0, "keys and values are positive by convention");
+        spec::method_begin(self.obj, "put");
+        spec::arg(key);
+        spec::arg(val);
+        let mut idx = Self::hash(key);
+        loop {
+            let k = self.keys[idx].load(self.ords.get(PUT_KEY_LOAD));
+            if k == key {
+                break;
+            }
+            if k == 0 {
+                match self.keys[idx].compare_exchange(
+                    0,
+                    key,
+                    self.ords.get(PUT_KEY_CAS),
+                    Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(now) if now == key => break,
+                    Err(_) => {}
+                }
+            }
+            idx = (idx + 1) % CAPACITY; // linear probe (capacity never exceeded in tests)
+        }
+        self.values[idx].store(val, self.ords.get(PUT_VALUE_STORE));
+        spec::op_define(); // the SC value store orders puts/gets on the key
+        spec::method_end(());
+    }
+
+    /// Aggregate API method (the paper's §4.2 `putAll` example): inserts
+    /// every pair by calling the primitive `put` internally. Only the
+    /// outermost call is treated as an API method call — the nested `put`
+    /// boundaries fold into it, and its ordering points become the
+    /// aggregate's. As §4.2 notes, aggregates can be observed partially
+    /// completed by concurrent calls, which surfaces as a cyclic ordering
+    /// relation the checker reports rather than mis-checks.
+    pub fn put_all(&self, pairs: &[(i64, i64)]) {
+        spec::method_begin(self.obj, "put_all");
+        for &(k, v) in pairs {
+            spec::arg(k);
+            spec::arg(v);
+            self.put(k, v);
+        }
+        spec::method_end(());
+    }
+
+    /// Look up `key`; 0 = absent.
+    pub fn get(&self, key: i64) -> i64 {
+        assert!(key > 0);
+        spec::method_begin(self.obj, "get");
+        spec::arg(key);
+        let mut idx = Self::hash(key);
+        let mut ret = 0;
+        for _ in 0..CAPACITY {
+            let k = self.keys[idx].load(self.ords.get(GET_KEY_LOAD));
+            spec::op_clear_define(); // a miss is ordered by its last key probe
+            if k == key {
+                ret = self.values[idx].load(self.ords.get(GET_VALUE_LOAD));
+                spec::op_clear_define(); // a hit is ordered by the value load
+                break;
+            }
+            if k == 0 {
+                break; // open addressing: an empty slot ends the probe
+            }
+            idx = (idx + 1) % CAPACITY;
+        }
+        spec::method_end(ret);
+        ret
+    }
+}
+
+impl Default for HashTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Deterministic map specification: SC value accesses order every get/put
+/// pair on a key, so `get` must return exactly the sequential map's view.
+/// A `get` that misses while racing a `put`'s *key claim* (but SC-before
+/// its value store) is a legitimate miss — the history orders it first.
+pub fn make_spec() -> spec::Spec<HashMap<i64, i64>> {
+    spec::Spec::new("lockfree-hashtable", HashMap::<i64, i64>::new)
+        .method("put", |m| {
+            m.side_effect(|s, e| {
+                s.insert(e.arg(0).as_i64(), e.arg(1).as_i64());
+            })
+        })
+        .method("put_all", |m| {
+            m.side_effect(|s, e| {
+                for pair in e.call.args.chunks(2) {
+                    s.insert(pair[0].as_i64(), pair[1].as_i64());
+                }
+            })
+        })
+        .method("get", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.get(&e.arg(0).as_i64()).copied().unwrap_or(0);
+                e.set_s_ret(s_ret);
+            })
+            .post(|_, e| e.ret() == e.s_ret)
+        })
+}
+
+/// Standard unit test: two writers on distinct keys, one reader
+/// (mirrors the paper's tiny Figure 7 run: 6 executions).
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let h = HashTable::with_ords(ords.clone());
+        let h1 = h.clone();
+        let t = mc::thread::spawn(move || {
+            h1.put(1, 10);
+            let _ = h1.get(2);
+        });
+        h.put(2, 20);
+        let _ = h.get(1);
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_table_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn sequential_get_after_put() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let h = HashTable::new();
+            h.put(1, 10);
+            h.put(5, 50); // collides with 1 (capacity 4): probes
+            mc::mc_assert!(h.get(1) == 10);
+            mc::mc_assert!(h.get(5) == 50);
+            mc::mc_assert!(h.get(2) == 0);
+            h.put(1, 11); // update in place
+            mc::mc_assert!(h.get(1) == 11);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn aggregate_put_all_folds_into_outermost_call() {
+        // §4.2: nested API calls are internal; put_all is checked as one
+        // call with the inner puts' ordering points.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let h = HashTable::new();
+            h.put_all(&[(1, 10), (2, 20)]);
+            mc::mc_assert!(h.get(1) == 10);
+            mc::mc_assert!(h.get(2) == 20);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn concurrent_aggregates_are_flagged_not_mischecked() {
+        // §4.2: "it is possible to observe partially completed aggregate
+        // API method calls, which unfortunately breaks the correctness
+        // criteria" — two concurrent put_alls interleave their ordering
+        // points, producing a cyclic r that the checker reports loudly.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let h = HashTable::new();
+            let h1 = h.clone();
+            let t = mc::thread::spawn(move || h1.put_all(&[(1, 10), (2, 20)]));
+            h.put_all(&[(2, 21), (1, 11)]);
+            t.join();
+        });
+        // Either every interleaving is consistent (fine) or the checker
+        // reports the cycle — it must never crash or silently accept a
+        // contradictory history.
+        if stats.buggy() {
+            assert!(
+                stats.bugs[0].bug.to_string().contains("cyclic")
+                    || stats.bugs[0].bug.to_string().contains("postcondition"),
+                "unexpected failure mode: {}",
+                stats.bugs[0].bug
+            );
+        }
+    }
+
+    #[test]
+    fn same_key_race_stays_deterministic() {
+        // A put and get on the same key from different threads: SC value
+        // accesses order them; the deterministic spec must hold either way.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let h = HashTable::new();
+            let h1 = h.clone();
+            let t = mc::thread::spawn(move || h1.put(3, 30));
+            let v = h.get(3);
+            mc::mc_assert!(v == 0 || v == 30);
+            t.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+}

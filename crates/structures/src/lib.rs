@@ -1,0 +1,24 @@
+//! # cdsspec-structures
+//!
+//! The paper's benchmark suite: ten concurrent data structures (Figure 7)
+//! plus the §2 blocking queue and the §2.2 atomic register, each
+//! instrumented with CDSSpec annotations, specified against an equivalent
+//! sequential data structure, and parameterized by an ordering table for
+//! fault injection.
+
+pub mod blocking_queue;
+pub mod chase_lev;
+pub mod hashtable;
+pub mod mpmc;
+pub mod rcu;
+pub mod spsc;
+pub mod mcs_lock;
+pub mod ms_queue;
+pub mod ords;
+pub mod register;
+pub mod registry;
+pub mod rw_lock;
+pub mod seqlock;
+pub mod ticket_lock;
+
+pub use ords::{site, Ords, SiteKind, SiteSpec};

@@ -1,0 +1,210 @@
+//! The MCS queue lock (Mellor-Crummey & Scott) — the paper's
+//! "contention-free lock" benchmark (`MCS Lock` in Figure 7).
+//!
+//! Each acquirer enqueues its own node by swapping the tail; a waiter
+//! spins on its private `locked` flag, so handoff is point-to-point (no
+//! global spinning). The swap carries `acq_rel` (it both acquires the
+//! previous holder's release and publishes the node), the next-pointer
+//! publication is `release`/`acquire`, and the handoff store is `release`.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+use crate::ticket_lock::{lock_spec, LockState};
+
+/// Injectable sites. The `next` pointer is a pure mailbox (its value, not
+/// its ordering, matters: synchronization flows through the `locked` flag
+/// and the tail), so its accesses are relaxed — the AutoMO-minimal
+/// assignment, leaving four load-bearing parameters.
+pub static SITES: &[SiteSpec] = &[
+    site("lock.tail_swap", AcqRel, SiteKind::Rmw),
+    site("lock.prev_next_store", Relaxed, SiteKind::Store),
+    site("lock.locked_load", Acquire, SiteKind::Load),
+    site("unlock.next_load", Relaxed, SiteKind::Load),
+    site("unlock.tail_cas", Release, SiteKind::Rmw),
+    site("unlock.locked_store", Release, SiteKind::Store),
+];
+
+const LOCK_TAIL_SWAP: usize = 0;
+const LOCK_PREV_NEXT_STORE: usize = 1;
+const LOCK_LOCKED_LOAD: usize = 2;
+const UNLOCK_NEXT_LOAD: usize = 3;
+const UNLOCK_TAIL_CAS: usize = 4;
+const UNLOCK_LOCKED_STORE: usize = 5;
+
+/// A per-acquisition queue node.
+pub struct QNode {
+    locked: mc::Atomic<i64>,
+    next: mc::Atomic<*mut QNode>,
+}
+
+/// Token returned by [`McsLock::lock`], consumed by [`McsLock::unlock`]
+/// (the C API threads the queue node through a parameter the same way).
+pub struct McsGuard {
+    node: *mut QNode,
+}
+
+unsafe impl Send for McsGuard {}
+
+/// The MCS lock.
+#[derive(Clone)]
+pub struct McsLock {
+    obj: u64,
+    tail: mc::Atomic<*mut QNode>,
+    ords: Ords,
+}
+
+impl McsLock {
+    /// A lock with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A lock with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        McsLock {
+            obj: mc::new_object_id(),
+            tail: mc::Atomic::new(std::ptr::null_mut()),
+            ords,
+        }
+    }
+
+    /// Acquire; returns the guard for the matching unlock.
+    pub fn lock(&self) -> McsGuard {
+        spec::method_begin(self.obj, "lock");
+        let n = mc::alloc(QNode {
+            locked: mc::Atomic::new(1),
+            next: mc::Atomic::new(std::ptr::null_mut()),
+        });
+        let prev = self.tail.swap(n, self.ords.get(LOCK_TAIL_SWAP));
+        spec::op_define(); // uncontended: the swap is the ordering point
+        if !prev.is_null() {
+            unsafe { (*prev).next.store(n, self.ords.get(LOCK_PREV_NEXT_STORE)) };
+            loop {
+                let locked = unsafe { (*n).locked.load(self.ords.get(LOCK_LOCKED_LOAD)) };
+                if locked == 0 {
+                    // Contended: the handoff acquisition REPLACES the swap
+                    // as the single ordering point — keeping both would
+                    // put lock and the predecessor's unlock on a cycle.
+                    spec::op_clear_define();
+                    break;
+                }
+                mc::spin_loop();
+            }
+        }
+        spec::method_end(());
+        McsGuard { node: n }
+    }
+
+    /// Release the guard returned by [`McsLock::lock`].
+    pub fn unlock(&self, g: McsGuard) {
+        let n = g.node;
+        spec::method_begin(self.obj, "unlock");
+        let mut next = unsafe { (*n).next.load(self.ords.get(UNLOCK_NEXT_LOAD)) };
+        if next.is_null() {
+            if self
+                .tail
+                .compare_exchange(n, std::ptr::null_mut(), self.ords.get(UNLOCK_TAIL_CAS), Relaxed)
+                .is_ok()
+            {
+                // No successor: the tail CAS is the release point.
+                spec::op_define();
+                spec::method_end(());
+                return;
+            }
+            // A successor is arriving; wait for its next-pointer.
+            loop {
+                next = unsafe { (*n).next.load(self.ords.get(UNLOCK_NEXT_LOAD)) };
+                if !next.is_null() {
+                    break;
+                }
+                mc::spin_loop();
+            }
+        }
+        unsafe { (*next).locked.store(0, self.ords.get(UNLOCK_LOCKED_STORE)) };
+        spec::op_define(); // the handoff release
+        spec::method_end(());
+    }
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutual-exclusion spec (shared with the ticket lock).
+pub fn make_spec() -> spec::Spec<LockState> {
+    lock_spec("mcs-lock")
+}
+
+/// Standard unit test: two contenders incrementing a race-checked counter.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let l = McsLock::with_ords(ords.clone());
+        let counter = mc::Data::new(0i64);
+        let l1 = l.clone();
+        let t = mc::thread::spawn(move || {
+            let g = l1.lock();
+            counter.write(counter.read() + 1);
+            l1.unlock(g);
+        });
+        let g = l.lock();
+        counter.write(counter.read() + 1);
+        l.unlock(g);
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_lock_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn sequential_reacquisition_works() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = McsLock::new();
+            let g1 = l.lock();
+            l.unlock(g1);
+            let g2 = l.lock();
+            l.unlock(g2);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_handoff_detected() {
+        // Relaxing the handoff release store lets the successor enter the
+        // critical section without acquiring the predecessor's writes →
+        // counter race.
+        let mut ords = Ords::defaults(SITES);
+        ords.set(UNLOCK_LOCKED_STORE, cdsspec_c11::MemOrd::Relaxed);
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened MCS handoff must be detected");
+    }
+
+    #[test]
+    fn weakened_swap_detected() {
+        // Relaxing the tail swap drops the uncontended release/acquire
+        // chain through the tail CAS.
+        let mut ords = Ords::defaults(SITES);
+        ords.set(LOCK_TAIL_SWAP, cdsspec_c11::MemOrd::Relaxed);
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened MCS swap must be detected");
+    }
+}

@@ -1,0 +1,289 @@
+//! The Michael & Scott non-blocking queue (PODC'96), C11 port following
+//! the CDSChecker benchmark suite — the paper's `M&S Queue` row.
+//!
+//! Differences from the §2 blocking queue: a failed enqueue CAS *helps*
+//! swing the tail instead of spinning, and the dequeuer re-checks
+//! `head == tail` to distinguish empty from mid-enqueue. Nodes are not
+//! recycled (as in the paper's benchmarks), which sidesteps ABA.
+//!
+//! §6.4.1: AutoMO found two real bugs in the CDSChecker version of this
+//! queue — too-weak memory orders that let a dequeue spuriously miss an
+//! enqueued node or violate FIFO. [`known_bug_enq`] and [`known_bug_deq`]
+//! reproduce that shape: each weakens the corresponding publication /
+//! acquisition edge, and the CDSSpec specification catches both.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use std::collections::VecDeque;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::blocking_queue::queue_spec;
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Injectable ordering sites. Defaults follow the AutoMO-inferred
+/// *minimal* parameter assignment (as the paper's benchmark does): the
+/// tail loads/helping CASes are relaxed — the tail is only a hint; all
+/// publication and acquisition flows through `next` and `head` — so the
+/// four remaining non-relaxed parameters are each load-bearing and every
+/// injection is detectable (the paper's 100% M&S row).
+pub static SITES: &[SiteSpec] = &[
+    site("enq.tail_load", Relaxed, SiteKind::Load),
+    site("enq.next_load", Relaxed, SiteKind::Load),
+    site("enq.next_cas", Release, SiteKind::Rmw),
+    site("enq.tail_swing", Relaxed, SiteKind::Rmw),
+    site("enq.tail_help", Relaxed, SiteKind::Rmw),
+    site("deq.head_load", Acquire, SiteKind::Load),
+    site("deq.tail_load", Relaxed, SiteKind::Load),
+    site("deq.next_load", Acquire, SiteKind::Load),
+    site("deq.tail_help", Relaxed, SiteKind::Rmw),
+    site("deq.head_cas", Release, SiteKind::Rmw),
+];
+
+const ENQ_TAIL_LOAD: usize = 0;
+const ENQ_NEXT_LOAD: usize = 1;
+const ENQ_NEXT_CAS: usize = 2;
+const ENQ_TAIL_SWING: usize = 3;
+const ENQ_TAIL_HELP: usize = 4;
+const DEQ_HEAD_LOAD: usize = 5;
+const DEQ_TAIL_LOAD: usize = 6;
+const DEQ_NEXT_LOAD: usize = 7;
+const DEQ_TAIL_HELP: usize = 8;
+const DEQ_HEAD_CAS: usize = 9;
+
+struct Node {
+    data: mc::Data<i64>,
+    next: mc::Atomic<*mut Node>,
+}
+
+impl Node {
+    fn new(v: i64) -> Self {
+        Node { data: mc::Data::new(v), next: mc::Atomic::new(std::ptr::null_mut()) }
+    }
+}
+
+/// The Michael & Scott queue.
+#[derive(Clone)]
+pub struct MsQueue {
+    obj: u64,
+    head: mc::Atomic<*mut Node>,
+    tail: mc::Atomic<*mut Node>,
+    ords: Ords,
+}
+
+impl MsQueue {
+    /// A queue with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A queue with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        let dummy = mc::alloc(Node::new(0));
+        MsQueue {
+            obj: mc::new_object_id(),
+            head: mc::Atomic::new(dummy),
+            tail: mc::Atomic::new(dummy),
+            ords,
+        }
+    }
+
+    /// §6.4.1 known bug 1 (enqueue side): the next-CAS publishing the node
+    /// is relaxed, so a dequeuer can read the node pointer without
+    /// acquiring the node's initialization.
+    pub fn known_bug_enq() -> Self {
+        let mut ords = Ords::defaults(SITES);
+        ords.set(ENQ_NEXT_CAS, Relaxed);
+        Self::with_ords(ords)
+    }
+
+    /// §6.4.1 known bug 2 (dequeue side): the head load is relaxed, so a
+    /// dequeuer can miss the published next pointer and spuriously
+    /// misbehave on a stale head.
+    pub fn known_bug_deq() -> Self {
+        let mut ords = Ords::defaults(SITES);
+        ords.set(DEQ_NEXT_LOAD, Relaxed);
+        Self::with_ords(ords)
+    }
+
+    /// Enqueue `val`.
+    pub fn enq(&self, val: i64) {
+        spec::method_begin(self.obj, "enq");
+        spec::arg(val);
+        let n = mc::alloc(Node::new(val));
+        loop {
+            let t = self.tail.load(self.ords.get(ENQ_TAIL_LOAD));
+            let next = unsafe { (*t).next.load(self.ords.get(ENQ_NEXT_LOAD)) };
+            if next.is_null() {
+                if unsafe { &(*t).next }
+                    .compare_exchange(
+                        std::ptr::null_mut(),
+                        n,
+                        self.ords.get(ENQ_NEXT_CAS),
+                        Relaxed,
+                    )
+                    .is_ok()
+                {
+                    spec::op_define(); // linearization/ordering point
+                    let _ = self.tail.compare_exchange(
+                        t,
+                        n,
+                        self.ords.get(ENQ_TAIL_SWING),
+                        Relaxed,
+                    );
+                    break;
+                }
+            } else {
+                // Help swing the lagging tail.
+                let _ =
+                    self.tail.compare_exchange(t, next, self.ords.get(ENQ_TAIL_HELP), Relaxed);
+            }
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Dequeue; `-1` = empty.
+    pub fn deq(&self) -> i64 {
+        spec::method_begin(self.obj, "deq");
+        let ret = loop {
+            let h = self.head.load(self.ords.get(DEQ_HEAD_LOAD));
+            let t = self.tail.load(self.ords.get(DEQ_TAIL_LOAD));
+            let next = unsafe { (*h).next.load(self.ords.get(DEQ_NEXT_LOAD)) };
+            spec::op_clear_define(); // the last next-load orders the call
+            if h == t {
+                if next.is_null() {
+                    break -1;
+                }
+                // Mid-enqueue: help swing the tail.
+                let _ =
+                    self.tail.compare_exchange(t, next, self.ords.get(DEQ_TAIL_HELP), Relaxed);
+            } else if !next.is_null() {
+                let v = unsafe { (*next).data.read() };
+                if self
+                    .head
+                    .compare_exchange(h, next, self.ords.get(DEQ_HEAD_CAS), Relaxed)
+                    .is_ok()
+                {
+                    break v;
+                }
+            }
+            mc::spin_loop();
+        };
+        spec::method_end(ret);
+        ret
+    }
+}
+
+impl Default for MsQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Same non-deterministic FIFO spec as the blocking queue — the paper
+/// notes the M&S dequeue "has the same justifying condition… as our simple
+/// blocking queue" (§6.2).
+pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
+    queue_spec("ms-queue")
+}
+
+/// Standard unit test: one producer (2 items + dequeue), one pure
+/// consumer.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let q = MsQueue::with_ords(ords.clone());
+        let q1 = q.clone();
+        let t = mc::thread::spawn(move || {
+            let _ = q1.deq();
+        });
+        q.enq(1);
+        q.enq(2);
+        let _ = q.deq();
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_queue_passes_spec() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn fifo_and_helping_work_single_threaded() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = MsQueue::new();
+            q.enq(1);
+            q.enq(2);
+            q.enq(3);
+            mc::mc_assert!(q.deq() == 1);
+            mc::mc_assert!(q.deq() == 2);
+            mc::mc_assert!(q.deq() == 3);
+            mc::mc_assert!(q.deq() == -1);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn known_bug_enq_detected() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = MsQueue::known_bug_enq();
+            let q1 = q.clone();
+            let t = mc::thread::spawn(move || {
+                let _ = q1.deq();
+            });
+            q.enq(1);
+            q.enq(2);
+            let _ = q.deq();
+            t.join();
+        });
+        assert!(stats.buggy(), "the known enqueue bug must be detected");
+    }
+
+    #[test]
+    fn known_bug_deq_detected() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = MsQueue::known_bug_deq();
+            let q1 = q.clone();
+            let t = mc::thread::spawn(move || {
+                let _ = q1.deq();
+            });
+            q.enq(1);
+            q.enq(2);
+            let _ = q.deq();
+            t.join();
+        });
+        assert!(stats.buggy(), "the known dequeue bug must be detected");
+    }
+
+    #[test]
+    fn two_consumers_never_duplicate() {
+        // Each enqueued value is dequeued at most once; the FIFO spec
+        // enforces it across histories.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = MsQueue::new();
+            let q1 = q.clone();
+            let t = mc::thread::spawn(move || {
+                let a = q1.deq();
+                mc::mc_assert!(a == -1 || a == 1 || a == 2);
+            });
+            q.enq(1);
+            q.enq(2);
+            let b = q.deq();
+            mc::mc_assert!(b == 1 || b == 2);
+            t.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+}

@@ -1,0 +1,148 @@
+//! Ordering tables: every atomic operation in every benchmark takes its
+//! memory ordering from a per-instance table instead of a literal, so the
+//! fault-injection campaign (paper §6.4.2) can weaken exactly one site per
+//! trial and the §6.4.3 harness can search for overly strong parameters.
+
+use cdsspec_c11::MemOrd;
+
+/// The operation kind at an injection site — selects the weakening ladder
+/// (paper §6.4.2: `seq_cst → acq_rel`, `acq_rel → release/acquire`,
+/// `acquire/release → relaxed`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SiteKind {
+    /// An atomic load.
+    Load,
+    /// An atomic store.
+    Store,
+    /// A read-modify-write (CAS, swap, fetch_*).
+    Rmw,
+    /// A fence.
+    Fence,
+}
+
+/// One injectable ordering site of a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct SiteSpec {
+    /// Human-readable name (`"enq.next_cas"`).
+    pub name: &'static str,
+    /// Default (correct) ordering.
+    pub default: MemOrd,
+    /// Operation kind.
+    pub kind: SiteKind,
+}
+
+/// Convenience constructor used by the benchmark site tables.
+pub const fn site(name: &'static str, default: MemOrd, kind: SiteKind) -> SiteSpec {
+    SiteSpec { name, default, kind }
+}
+
+/// A per-instance ordering table.
+#[derive(Clone, Debug)]
+pub struct Ords {
+    sites: &'static [SiteSpec],
+    current: Vec<MemOrd>,
+}
+
+impl Ords {
+    /// The default (correct) table for a benchmark's sites.
+    pub fn defaults(sites: &'static [SiteSpec]) -> Self {
+        Ords { sites, current: sites.iter().map(|s| s.default).collect() }
+    }
+
+    /// The ordering at `site` (index into the benchmark's site table).
+    #[inline]
+    pub fn get(&self, site: usize) -> MemOrd {
+        self.current[site]
+    }
+
+    /// Site metadata.
+    pub fn sites(&self) -> &'static [SiteSpec] {
+        self.sites
+    }
+
+    /// Weaken `site` one step down its ladder; `false` when already at
+    /// `Relaxed` (nothing injectable).
+    pub fn weaken(&mut self, site: usize) -> bool {
+        let spec = self.sites[site];
+        let next = match spec.kind {
+            SiteKind::Load => self.current[site].weaken_load(),
+            SiteKind::Store => self.current[site].weaken_store(),
+            SiteKind::Rmw | SiteKind::Fence => self.current[site].weaken_rmw(),
+        };
+        match next {
+            Some(o) => {
+                self.current[site] = o;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replace the ordering at `site` outright (used by the overly-strong
+    /// parameter search, which drops straight to `Relaxed`).
+    pub fn set(&mut self, site: usize, ord: MemOrd) {
+        self.current[site] = ord;
+    }
+
+    /// Indices of sites that are injectable (not already `Relaxed`).
+    pub fn injectable_sites(&self) -> Vec<usize> {
+        (0..self.current.len()).filter(|&i| self.current[i] != MemOrd::Relaxed).collect()
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True when the table has no sites.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use MemOrd::*;
+
+    static SITES: &[SiteSpec] = &[
+        site("a.load", Acquire, SiteKind::Load),
+        site("b.store", Release, SiteKind::Store),
+        site("c.cas", SeqCst, SiteKind::Rmw),
+        site("d.relaxed", Relaxed, SiteKind::Load),
+    ];
+
+    #[test]
+    fn defaults_match_table() {
+        let o = Ords::defaults(SITES);
+        assert_eq!(o.get(0), Acquire);
+        assert_eq!(o.get(2), SeqCst);
+        assert_eq!(o.len(), 4);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn weaken_follows_ladders() {
+        let mut o = Ords::defaults(SITES);
+        assert!(o.weaken(0));
+        assert_eq!(o.get(0), Relaxed);
+        assert!(!o.weaken(0), "already relaxed");
+        assert!(o.weaken(2));
+        assert_eq!(o.get(2), AcqRel);
+        assert!(o.weaken(2));
+        assert_eq!(o.get(2), Release);
+    }
+
+    #[test]
+    fn injectable_sites_skip_relaxed() {
+        let o = Ords::defaults(SITES);
+        assert_eq!(o.injectable_sites(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let mut o = Ords::defaults(SITES);
+        o.set(2, Relaxed);
+        assert_eq!(o.get(2), Relaxed);
+    }
+}

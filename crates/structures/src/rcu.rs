@@ -1,0 +1,224 @@
+//! A user-space RCU-style counter (the AutoMO-ported `RCU` row of
+//! Figure 7).
+//!
+//! Updaters **read-copy-update**: acquire the current immutable snapshot,
+//! copy its (two, always-equal) plain fields, add a delta, and publish a
+//! fresh snapshot with a release store. Readers acquire the pointer and
+//! read the snapshot without locks.
+//!
+//! Both the copy step and the reader dereference touch plain fields of a
+//! node published by another thread, so *every* weakened ordering surfaces
+//! as a data race — which is why all of the paper's RCU injections land in
+//! the Built-in column of Figure 8.
+//!
+//! Updaters publish with a CAS loop (as real RCU updaters serialize via a
+//! lock or CAS), so updates are never lost and the equivalent sequential
+//! data structure is a plain counter.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Injectable sites (3, matching the paper's 3 RCU injections).
+pub static SITES: &[SiteSpec] = &[
+    site("update.ptr_load", Acquire, SiteKind::Load),
+    site("update.ptr_cas", Release, SiteKind::Rmw),
+    site("read.ptr_load", Acquire, SiteKind::Load),
+];
+
+const UPDATE_PTR_LOAD: usize = 0;
+const UPDATE_PTR_CAS: usize = 1;
+const READ_PTR_LOAD: usize = 2;
+
+/// An immutable snapshot: both fields hold the same value (readers and
+/// copiers check).
+struct Snapshot {
+    a: mc::Data<i64>,
+    b: mc::Data<i64>,
+}
+
+/// The RCU cell. Initial snapshot value 0.
+#[derive(Clone)]
+pub struct Rcu {
+    obj: u64,
+    ptr: mc::Atomic<*mut Snapshot>,
+    ords: Ords,
+}
+
+impl Rcu {
+    /// An RCU cell with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// An RCU cell with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        let init = mc::alloc(Snapshot { a: mc::Data::new(0), b: mc::Data::new(0) });
+        Rcu { obj: mc::new_object_id(), ptr: mc::Atomic::new(init), ords }
+    }
+
+    /// Read the current snapshot. Torn snapshots are hard bugs.
+    pub fn read(&self) -> i64 {
+        spec::method_begin(self.obj, "read");
+        let p = self.ptr.load(self.ords.get(READ_PTR_LOAD));
+        spec::op_define();
+        let a = unsafe { (*p).a.read() };
+        let b = unsafe { (*p).b.read() };
+        mc::mc_assert!(a == b, "torn RCU snapshot: {} vs {}", a, b);
+        spec::method_end(a);
+        a
+    }
+
+    /// Read-copy-update: add `delta` to the current snapshot and publish
+    /// the result; a CAS loop serializes racing updaters.
+    pub fn update(&self, delta: i64) {
+        spec::method_begin(self.obj, "update");
+        spec::arg(delta);
+        loop {
+            let old = self.ptr.load(self.ords.get(UPDATE_PTR_LOAD));
+            let (a, b) = unsafe { ((*old).a.read(), (*old).b.read()) };
+            mc::mc_assert!(a == b, "torn RCU snapshot during copy: {} vs {}", a, b);
+            let n = mc::alloc(Snapshot {
+                a: mc::Data::new(a + delta),
+                b: mc::Data::new(b + delta),
+            });
+            if self
+                .ptr
+                .compare_exchange(old, n, self.ords.get(UPDATE_PTR_CAS), Relaxed)
+                .is_ok()
+            {
+                spec::op_clear_define(); // the publication orders updates
+                break;
+            }
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+}
+
+impl Default for Rcu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sequential state: the counter value. Reads are justified by their
+/// prefix (a lost update is *not* in the prefix of anyone who missed it)
+/// or by concurrency.
+pub fn make_spec() -> spec::Spec<i64> {
+    spec::Spec::new("rcu", || 0i64)
+        .method("update", |m| m.side_effect(|s, e| *s += e.arg(0).as_i64()))
+        .method("read", |m| {
+            m.side_effect(|s, e| e.set_s_ret(*s)).justify_post(|_, e| {
+                e.ret() == e.s_ret || e.concurrent.iter().any(|c| c.name == "update")
+            })
+        })
+}
+
+/// Standard unit test: two updaters and one read-copy-update-racing
+/// reader on the main thread.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let r = Rcu::with_ords(ords.clone());
+        let r1 = r.clone();
+        let r2 = r.clone();
+        let u1 = mc::thread::spawn(move || r1.update(1));
+        let u2 = mc::thread::spawn(move || r2.update(2));
+        let _ = r.read();
+        u1.join();
+        u2.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_rcu_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn sequential_updates_accumulate() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let r = Rcu::new();
+            r.update(1);
+            r.update(2);
+            mc::mc_assert!(r.read() == 3);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn reader_sees_initial_or_published_value() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let r = Rcu::new();
+            let r1 = r.clone();
+            let u = mc::thread::spawn(move || r1.update(9));
+            let v = r.read();
+            mc::mc_assert!(v == 0 || v == 9);
+            u.join();
+            mc::mc_assert!(r.read() == 9, "after join only the new snapshot is visible");
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn racing_updates_are_never_lost() {
+        // The CAS publication serializes racing updaters: after both
+        // join, the counter always holds the full sum.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let r = Rcu::new();
+            let r1 = r.clone();
+            let r2 = r.clone();
+            let u1 = mc::thread::spawn(move || r1.update(1));
+            let u2 = mc::thread::spawn(move || r2.update(2));
+            u1.join();
+            u2.join();
+            mc::mc_assert!(r.read() == 3);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_publication_is_a_builtin_bug() {
+        // Relaxing the publication store: the reader's snapshot reads race
+        // with the writer's initialization — the built-in detector fires
+        // (Figure 8's RCU column shape).
+        let mut ords = Ords::defaults(SITES);
+        ords.set(UPDATE_PTR_CAS, Relaxed);
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy());
+        assert!(
+            stats.first_of(mc::BugCategory::BuiltIn).is_some(),
+            "expected a built-in detection, got {}",
+            stats.bugs[0].bug
+        );
+    }
+
+    #[test]
+    fn weakened_copy_acquire_is_a_builtin_bug() {
+        // Relaxing the updater's pointer load: the copy step reads another
+        // updater's snapshot fields without synchronization → data race.
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(UPDATE_PTR_LOAD));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy());
+        assert!(
+            stats.first_of(mc::BugCategory::BuiltIn).is_some(),
+            "expected a built-in detection, got {}",
+            stats.bugs[0].bug
+        );
+    }
+}

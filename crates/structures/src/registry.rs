@@ -1,0 +1,208 @@
+//! The benchmark registry: one row per Figure 7 benchmark, with uniform
+//! entry points for the evaluation harnesses (`figure7`, `figure8`,
+//! `overly_strong`, `spec_stats`).
+
+use cdsspec_mc as mc;
+
+use crate::ords::{Ords, SiteSpec};
+
+/// Aggregate specification statistics (the paper's §6.2 numbers).
+#[derive(Clone, Copy, Debug)]
+pub struct SpecMeta {
+    /// API methods with specifications.
+    pub methods: usize,
+    /// Admissibility rules.
+    pub admissibility_rules: usize,
+    /// Ordering-point annotation call sites in the implementation source
+    /// (verified against the source text by a registry test).
+    pub ordering_point_annotations: usize,
+}
+
+/// One benchmark of the paper's suite.
+pub struct Benchmark {
+    /// Display name (Figure 7 spelling).
+    pub name: &'static str,
+    /// Injectable ordering sites.
+    pub sites: &'static [SiteSpec],
+    /// Run the standard unit test with spec checking under a config and
+    /// ordering table.
+    pub check: fn(mc::Config, Ords) -> mc::Stats,
+    /// Specification statistics.
+    pub meta: SpecMeta,
+}
+
+impl Benchmark {
+    /// Default (correct) ordering table.
+    pub fn default_ords(&self) -> Ords {
+        Ords::defaults(self.sites)
+    }
+
+    /// Run with correct orderings.
+    pub fn check_default(&self, config: mc::Config) -> mc::Stats {
+        (self.check)(config, self.default_ords())
+    }
+}
+
+/// The ten benchmarks, in Figure 7 order.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "Chase-Lev Deque",
+            sites: crate::chase_lev::SITES,
+            check: crate::chase_lev::check,
+            meta: SpecMeta {
+                methods: 3,
+                admissibility_rules: 3,
+                ordering_point_annotations: 4,
+            },
+        },
+        Benchmark {
+            name: "SPSC Queue",
+            sites: crate::spsc::SITES,
+            check: crate::spsc::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 2,
+                ordering_point_annotations: 3,
+            },
+        },
+        Benchmark {
+            name: "RCU",
+            sites: crate::rcu::SITES,
+            check: crate::rcu::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 0,
+                ordering_point_annotations: 2,
+            },
+        },
+        Benchmark {
+            name: "Lockfree Hashtable",
+            sites: crate::hashtable::SITES,
+            check: crate::hashtable::check,
+            meta: SpecMeta {
+                methods: 3,
+                admissibility_rules: 0,
+                ordering_point_annotations: 3,
+            },
+        },
+        Benchmark {
+            name: "MCS Lock",
+            sites: crate::mcs_lock::SITES,
+            check: crate::mcs_lock::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 0,
+                ordering_point_annotations: 4,
+            },
+        },
+        Benchmark {
+            name: "MPMC Queue",
+            sites: crate::mpmc::SITES,
+            check: crate::mpmc::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 3,
+                ordering_point_annotations: 3,
+            },
+        },
+        Benchmark {
+            name: "M&S Queue",
+            sites: crate::ms_queue::SITES,
+            check: crate::ms_queue::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 0,
+                ordering_point_annotations: 2,
+            },
+        },
+        Benchmark {
+            name: "Linux RW Lock",
+            sites: crate::rw_lock::SITES,
+            check: crate::rw_lock::check,
+            meta: SpecMeta {
+                methods: 6,
+                admissibility_rules: 0,
+                ordering_point_annotations: 8,
+            },
+        },
+        Benchmark {
+            name: "Seqlock",
+            sites: crate::seqlock::SITES,
+            check: crate::seqlock::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 0,
+                ordering_point_annotations: 2,
+            },
+        },
+        Benchmark {
+            name: "Ticket Lock",
+            sites: crate::ticket_lock::SITES,
+            check: crate::ticket_lock::check,
+            meta: SpecMeta {
+                methods: 2,
+                admissibility_rules: 0,
+                ordering_point_annotations: 2,
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_benchmarks_in_figure7_order() {
+        let b = benchmarks();
+        assert_eq!(b.len(), 10);
+        assert_eq!(b[0].name, "Chase-Lev Deque");
+        assert_eq!(b[9].name, "Ticket Lock");
+        // Every benchmark has injectable sites.
+        for bench in &b {
+            assert!(
+                !bench.default_ords().injectable_sites().is_empty() || bench.name == "Register",
+                "{} has no injectable sites",
+                bench.name
+            );
+        }
+    }
+
+    /// The `ordering_point_annotations` numbers are verified against the
+    /// implementation sources so the §6.2 statistics can't silently rot.
+    #[test]
+    fn ordering_point_counts_match_sources() {
+        let sources: &[(&str, &str)] = &[
+            ("Chase-Lev Deque", include_str!("chase_lev.rs")),
+            ("SPSC Queue", include_str!("spsc.rs")),
+            ("RCU", include_str!("rcu.rs")),
+            ("Lockfree Hashtable", include_str!("hashtable.rs")),
+            ("MCS Lock", include_str!("mcs_lock.rs")),
+            ("MPMC Queue", include_str!("mpmc.rs")),
+            ("M&S Queue", include_str!("ms_queue.rs")),
+            ("Linux RW Lock", include_str!("rw_lock.rs")),
+            ("Seqlock", include_str!("seqlock.rs")),
+            ("Ticket Lock", include_str!("ticket_lock.rs")),
+        ];
+        let benches = benchmarks();
+        for (name, src) in sources {
+            let bench = benches.iter().find(|b| &b.name == name).unwrap();
+            let count = src
+                .lines()
+                .filter(|l| !l.trim_start().starts_with("//"))
+                .map(|l| {
+                    ["spec::op_define()", "spec::op_clear_define()", "spec::potential_op("]
+                        .iter()
+                        .filter(|pat| l.contains(*pat))
+                        .count()
+                })
+                .sum::<usize>();
+            assert_eq!(
+                count, bench.meta.ordering_point_annotations,
+                "{name}: registry says {} ordering-point annotations, source has {count}",
+                bench.meta.ordering_point_annotations
+            );
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Port of the Linux kernel reader-writer spinlock (the CDSChecker
+//! `linuxrwlocks` benchmark; `Linux RW Lock` in Figure 7).
+//!
+//! A single counter starts at [`RW_LOCK_BIAS`]. Readers subtract 1,
+//! writers subtract the whole bias; a failed attempt *compensates* by
+//! adding the amount back and spinning — the transient side effect that
+//! drove the paper's §6.1 story: `write_trylock` can fail even when the
+//! lock is logically free because a racing trylock transiently holds part
+//! of the bias. The specification therefore allows trylock to fail
+//! spuriously ([`make_spec`]); the stricter variant that does not
+//! ([`make_strict_spec`]) is rejected by the checker, reproducing the
+//! paper's iterative-refinement anecdote.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// The write bias (small so modeled values stay readable; the kernel uses
+/// `0x01000000`).
+pub const RW_LOCK_BIAS: i64 = 256;
+
+/// Injectable sites (the compensating adds and spin loads are relaxed in
+/// the original and thus not injectable).
+pub static SITES: &[SiteSpec] = &[
+    site("read_lock.sub", Acquire, SiteKind::Rmw),
+    site("read_unlock.add", Release, SiteKind::Rmw),
+    site("write_lock.sub", Acquire, SiteKind::Rmw),
+    site("write_unlock.add", Release, SiteKind::Rmw),
+    site("read_trylock.sub", Acquire, SiteKind::Rmw),
+    site("write_trylock.sub", Acquire, SiteKind::Rmw),
+    site("lock.spin_load", Relaxed, SiteKind::Load),
+    site("lock.compensate_add", Relaxed, SiteKind::Rmw),
+];
+
+const READ_LOCK_SUB: usize = 0;
+const READ_UNLOCK_ADD: usize = 1;
+const WRITE_LOCK_SUB: usize = 2;
+const WRITE_UNLOCK_ADD: usize = 3;
+const READ_TRYLOCK_SUB: usize = 4;
+const WRITE_TRYLOCK_SUB: usize = 5;
+const SPIN_LOAD: usize = 6;
+const COMPENSATE_ADD: usize = 7;
+
+/// The reader-writer spinlock.
+#[derive(Clone)]
+pub struct RwLock {
+    obj: u64,
+    lock: mc::Atomic<i64>,
+    ords: Ords,
+}
+
+impl RwLock {
+    /// A lock with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A lock with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        RwLock { obj: mc::new_object_id(), lock: mc::Atomic::new(RW_LOCK_BIAS), ords }
+    }
+
+    /// Shared (reader) acquire.
+    pub fn read_lock(&self) {
+        spec::method_begin(self.obj, "read_lock");
+        let mut prior = self.lock.fetch_sub(1, self.ords.get(READ_LOCK_SUB));
+        spec::op_clear_define();
+        while prior <= 0 {
+            // Back out and spin until the writer leaves.
+            self.lock.fetch_add(1, self.ords.get(COMPENSATE_ADD));
+            loop {
+                if self.lock.load(self.ords.get(SPIN_LOAD)) > 0 {
+                    break;
+                }
+                mc::spin_loop();
+            }
+            prior = self.lock.fetch_sub(1, self.ords.get(READ_LOCK_SUB));
+            spec::op_clear_define();
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Shared (reader) release.
+    pub fn read_unlock(&self) {
+        spec::method_begin(self.obj, "read_unlock");
+        self.lock.fetch_add(1, self.ords.get(READ_UNLOCK_ADD));
+        spec::op_define();
+        spec::method_end(());
+    }
+
+    /// Exclusive (writer) acquire.
+    pub fn write_lock(&self) {
+        spec::method_begin(self.obj, "write_lock");
+        let mut prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
+        spec::op_clear_define();
+        while prior != RW_LOCK_BIAS {
+            self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
+            loop {
+                if self.lock.load(self.ords.get(SPIN_LOAD)) == RW_LOCK_BIAS {
+                    break;
+                }
+                mc::spin_loop();
+            }
+            prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
+            spec::op_clear_define();
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Exclusive (writer) release.
+    pub fn write_unlock(&self) {
+        spec::method_begin(self.obj, "write_unlock");
+        self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(WRITE_UNLOCK_ADD));
+        spec::op_define();
+        spec::method_end(());
+    }
+
+    /// Try to acquire shared; `true` on success. May fail spuriously when
+    /// racing trylocks transiently hold bias.
+    pub fn read_trylock(&self) -> bool {
+        spec::method_begin(self.obj, "read_trylock");
+        let prior = self.lock.fetch_sub(1, self.ords.get(READ_TRYLOCK_SUB));
+        spec::op_define();
+        let ok = prior > 0;
+        if !ok {
+            self.lock.fetch_add(1, self.ords.get(COMPENSATE_ADD));
+        }
+        spec::method_end(ok);
+        ok
+    }
+
+    /// Try to acquire exclusive; `true` on success. May fail spuriously
+    /// (the §6.1 transient-side-effect behavior).
+    pub fn write_trylock(&self) -> bool {
+        spec::method_begin(self.obj, "write_trylock");
+        let prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_TRYLOCK_SUB));
+        spec::op_define();
+        let ok = prior == RW_LOCK_BIAS;
+        if !ok {
+            self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
+        }
+        spec::method_end(ok);
+        ok
+    }
+}
+
+impl Default for RwLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Sequential reader-writer state.
+#[derive(Clone, Default)]
+pub struct RwState {
+    /// Number of readers holding the lock.
+    pub readers: i64,
+    /// Writer holds the lock.
+    pub writer: bool,
+}
+
+fn base_spec(name: &'static str, spurious_trylock: bool) -> spec::Spec<RwState> {
+    spec::Spec::new(name, RwState::default)
+        .method("read_lock", |m| {
+            m.pre(|s, _| !s.writer).side_effect(|s, _| s.readers += 1)
+        })
+        .method("read_unlock", |m| {
+            m.pre(|s, _| s.readers > 0).side_effect(|s, _| s.readers -= 1)
+        })
+        .method("write_lock", |m| {
+            m.pre(|s, _| !s.writer && s.readers == 0).side_effect(|s, _| s.writer = true)
+        })
+        .method("write_unlock", |m| {
+            m.pre(|s, _| s.writer).side_effect(|s, _| s.writer = false)
+        })
+        .method("read_trylock", |m| {
+            m.side_effect(move |s, e| {
+                e.set_s_ret(!s.writer);
+                if e.ret().as_bool() {
+                    s.readers += 1;
+                }
+            })
+            .post(move |_, e| {
+                if spurious_trylock {
+                    !e.ret().as_bool() || e.s_ret.as_bool()
+                } else {
+                    e.ret().as_bool() == e.s_ret.as_bool()
+                }
+            })
+        })
+        .method("write_trylock", |m| {
+            m.side_effect(move |s, e| {
+                e.set_s_ret(!s.writer && s.readers == 0);
+                if e.ret().as_bool() {
+                    s.writer = true;
+                }
+            })
+            .post(move |_, e| {
+                if spurious_trylock {
+                    // Success must be legal; failure is always allowed
+                    // (spurious, the §6.1 refinement).
+                    !e.ret().as_bool() || e.s_ret.as_bool()
+                } else {
+                    e.ret().as_bool() == e.s_ret.as_bool()
+                }
+            })
+        })
+}
+
+/// The refined specification (trylock may fail spuriously) — the one the
+/// paper settles on.
+pub fn make_spec() -> spec::Spec<RwState> {
+    base_spec("linux-rw-lock", true)
+}
+
+/// The initial, too-strict specification (trylock must succeed whenever
+/// the sequential lock is free); the checker rejects it on the trylock
+/// unit test, reproducing §6.1.
+pub fn make_strict_spec() -> spec::Spec<RwState> {
+    base_spec("linux-rw-lock-strict", false)
+}
+
+/// Standard unit test: a writer races the main thread, which reads under
+/// `read_trylock` (falling back to `read_lock`) and then attempts
+/// `write_trylock` — every lock entry point is exercised.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let l = RwLock::with_ords(ords.clone());
+        let shared = mc::Data::new(0i64);
+        let l1 = l.clone();
+        let w = mc::thread::spawn(move || {
+            l1.write_lock();
+            shared.write(shared.read() + 1);
+            l1.write_unlock();
+        });
+        if l.read_trylock() {
+            let _ = shared.read();
+            l.read_unlock();
+        } else {
+            l.read_lock();
+            let _ = shared.read();
+            l.read_unlock();
+        }
+        if l.write_trylock() {
+            shared.write(shared.read() + 10);
+            l.write_unlock();
+        }
+        w.join();
+    }
+}
+
+/// Explore the unit test under `config` with the (refined) spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_lock_passes_refined_spec() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn strict_spec_rejects_transient_trylock_failure() {
+        // §6.1: two racing write_trylocks can both fail even though the
+        // lock is free — the strict spec flags it, prompting the
+        // refinement.
+        let stats = spec::check(mc::Config::default(), make_strict_spec(), || {
+            let l = RwLock::new();
+            let l1 = l.clone();
+            let t = mc::thread::spawn(move || {
+                let _ = l1.write_trylock();
+            });
+            let _ = l.write_trylock();
+            t.join();
+        });
+        assert!(stats.buggy(), "strict spec must reject the transient failure");
+        // …and the refined spec accepts exactly the same test.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = RwLock::new();
+            let l1 = l.clone();
+            let t = mc::thread::spawn(move || {
+                let _ = l1.write_trylock();
+            });
+            let _ = l.write_trylock();
+            t.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn readers_share_writer_excludes() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = RwLock::new();
+            let l1 = l.clone();
+            let t = mc::thread::spawn(move || {
+                l1.read_lock();
+                l1.read_unlock();
+            });
+            l.read_lock();
+            l.read_unlock();
+            t.join();
+            l.write_lock();
+            l.write_unlock();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_write_unlock_detected() {
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(WRITE_UNLOCK_ADD));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened write_unlock must be detected");
+    }
+}

@@ -1,0 +1,206 @@
+//! A sequence lock (the CDSChecker `seqlock` benchmark; `Seqlock` in
+//! Figure 7).
+//!
+//! Writers bump the sequence to odd with a CAS, update the protected
+//! value, then bump back to even; readers retry until they observe the
+//! same even sequence before and after reading. The data store/load pair
+//! carries release/acquire so a reader that sees fresh data also sees the
+//! odd sequence and retries — the edge the fault injector breaks.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Injectable sites. The writer's pre-CAS probe and the sequence CAS need
+/// only atomicity (readers are protected by the data-store/data-load
+/// release/acquire pair and the final release bump), so they are relaxed;
+/// four load-bearing parameters remain.
+pub static SITES: &[SiteSpec] = &[
+    site("write.seq_load", Relaxed, SiteKind::Load),
+    site("write.seq_cas", Relaxed, SiteKind::Rmw),
+    site("write.data_store", Release, SiteKind::Store),
+    site("write.seq_add", Release, SiteKind::Rmw),
+    site("read.seq_load", Acquire, SiteKind::Load),
+    site("read.data_load", Acquire, SiteKind::Load),
+    site("read.seq_recheck", Relaxed, SiteKind::Load),
+];
+
+const WRITE_SEQ_LOAD: usize = 0;
+const WRITE_SEQ_CAS: usize = 1;
+const WRITE_DATA_STORE: usize = 2;
+const WRITE_SEQ_ADD: usize = 3;
+const READ_SEQ_LOAD: usize = 4;
+const READ_DATA_LOAD: usize = 5;
+const READ_SEQ_RECHECK: usize = 6;
+
+/// The sequence lock protecting a two-word snapshot whose halves must
+/// always agree (both initially 0). One word could never exhibit a torn
+/// read; two words make lost synchronization observable.
+#[derive(Clone)]
+pub struct SeqLock {
+    obj: u64,
+    seq: mc::Atomic<u64>,
+    data1: mc::Atomic<i64>,
+    data2: mc::Atomic<i64>,
+    ords: Ords,
+}
+
+impl SeqLock {
+    /// A seqlock with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A seqlock with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        SeqLock {
+            obj: mc::new_object_id(),
+            seq: mc::Atomic::new(0),
+            data1: mc::Atomic::new(0),
+            data2: mc::Atomic::new(0),
+            ords,
+        }
+    }
+
+    /// Publish a new value.
+    pub fn write(&self, v: i64) {
+        spec::method_begin(self.obj, "write");
+        spec::arg(v);
+        loop {
+            let s = self.seq.load(self.ords.get(WRITE_SEQ_LOAD));
+            if s.is_multiple_of(2)
+                && self
+                    .seq
+                    .compare_exchange(s, s + 1, self.ords.get(WRITE_SEQ_CAS), Relaxed)
+                    .is_ok()
+            {
+                self.data1.store(v, self.ords.get(WRITE_DATA_STORE));
+                self.data2.store(v, self.ords.get(WRITE_DATA_STORE));
+                spec::op_define(); // the data publication orders writes/reads
+                self.seq.fetch_add(1, self.ords.get(WRITE_SEQ_ADD));
+                break;
+            }
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Read a consistent snapshot.
+    pub fn read(&self) -> i64 {
+        spec::method_begin(self.obj, "read");
+        let v = loop {
+            let s1 = self.seq.load(self.ords.get(READ_SEQ_LOAD));
+            if !s1.is_multiple_of(2) {
+                mc::spin_loop();
+                continue;
+            }
+            let v1 = self.data1.load(self.ords.get(READ_DATA_LOAD));
+            let v2 = self.data2.load(self.ords.get(READ_DATA_LOAD));
+            spec::op_clear_define(); // the data acquisition orders the read
+            let s2 = self.seq.load(self.ords.get(READ_SEQ_RECHECK));
+            if s1 == s2 {
+                mc::mc_assert!(v1 == v2, "torn seqlock snapshot: {} vs {}", v1, v2);
+                break v1;
+            }
+            mc::spin_loop();
+        };
+        spec::method_end(v);
+        v
+    }
+}
+
+impl Default for SeqLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Register-style specification: sequential state is the current value;
+/// reads return the prefix's latest value or a concurrent write's value.
+pub fn make_spec() -> spec::Spec<i64> {
+    spec::Spec::new("seqlock", || 0i64)
+        .method("write", |m| m.side_effect(|s, e| *s = e.arg(0).as_i64()))
+        .method("read", |m| {
+            // Per Definition 5, a read's value is checked through its
+            // non-deterministic specification: some justifying subhistory
+            // must make it the latest value, or a concurrent write must
+            // have produced it. A per-history postcondition would wrongly
+            // reject reads that linearize before r-concurrent writes.
+            m.side_effect(|s, e| e.set_s_ret(*s))
+                .justify_post(|_, e| {
+                    e.ret() == e.s_ret
+                        || e.concurrent
+                            .iter()
+                            .any(|c| c.name == "write" && c.arg(0) == e.ret())
+                })
+        })
+}
+
+/// Standard unit test: two writers and one reader.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let l = SeqLock::with_ords(ords.clone());
+        let l1 = l.clone();
+        let w = mc::thread::spawn(move || l1.write(1));
+        let _ = l.read();
+        l.write(2);
+        w.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_seqlock_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn single_thread_reads_latest() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = SeqLock::new();
+            l.write(3);
+            mc::mc_assert!(l.read() == 3);
+            l.write(4);
+            mc::mc_assert!(l.read() == 4);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn reader_never_sees_torn_state() {
+        // A reader overlapping a writer returns either the old or the new
+        // value, never anything else.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = SeqLock::new();
+            let l1 = l.clone();
+            let w = mc::thread::spawn(move || l1.write(7));
+            let v = l.read();
+            mc::mc_assert!(v == 0 || v == 7, "torn read: {}", v);
+            w.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_data_store_detected() {
+        // Dropping the data-store release lets a reader acquire nothing:
+        // it can pass the seq check while reading a mid-update value.
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(WRITE_DATA_STORE));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened seqlock data store must be detected");
+    }
+}

@@ -1,0 +1,221 @@
+//! A single-producer single-consumer ring queue (the paper's
+//! `SPSC Queue` row).
+//!
+//! A fixed ring of plain (race-checked) cells indexed by monotone head and
+//! tail counters: the producer publishes with a release store of `tail`,
+//! the consumer acquires it, and vice versa for `head` — the textbook
+//! shape. Single-producer/single-consumer is exactly an **admissibility
+//! condition**: concurrent pushes (or concurrent pops) are outside the
+//! design, expressed as `@Admit` rules requiring them to be ordered.
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use std::collections::VecDeque;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Ring capacity (small: unit tests are tiny and the counters stay
+/// readable in traces).
+pub const CAPACITY: usize = 2;
+
+/// Injectable sites.
+pub static SITES: &[SiteSpec] = &[
+    site("push.head_load", Acquire, SiteKind::Load),
+    site("push.tail_store", Release, SiteKind::Store),
+    site("pop.tail_load", Acquire, SiteKind::Load),
+    site("pop.head_store", Release, SiteKind::Store),
+];
+
+const PUSH_HEAD_LOAD: usize = 0;
+const PUSH_TAIL_STORE: usize = 1;
+const POP_TAIL_LOAD: usize = 2;
+const POP_HEAD_STORE: usize = 3;
+
+/// The SPSC ring queue.
+#[derive(Clone)]
+pub struct SpscQueue {
+    obj: u64,
+    head: mc::Atomic<u64>,
+    tail: mc::Atomic<u64>,
+    cells: [mc::Data<i64>; CAPACITY],
+    ords: Ords,
+}
+
+impl SpscQueue {
+    /// A queue with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A queue with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        SpscQueue {
+            obj: mc::new_object_id(),
+            head: mc::Atomic::new(0),
+            tail: mc::Atomic::new(0),
+            cells: std::array::from_fn(|_| mc::Data::new(0)),
+            ords,
+        }
+    }
+
+    /// Producer: append `v`; `false` when the ring is full.
+    pub fn push(&self, v: i64) -> bool {
+        spec::method_begin(self.obj, "push");
+        spec::arg(v);
+        let tail = self.tail.load(Relaxed); // producer-private
+        let head = self.head.load(self.ords.get(PUSH_HEAD_LOAD));
+        spec::op_clear_define(); // full-detection point
+        let ok = (tail - head) < CAPACITY as u64;
+        if ok {
+            self.cells[(tail as usize) % CAPACITY].write(v);
+            self.tail.store(tail + 1, self.ords.get(PUSH_TAIL_STORE));
+            spec::op_clear_define(); // the publication point
+        }
+        spec::method_end(ok);
+        ok
+    }
+
+    /// Consumer: remove the oldest element; `-1` when empty.
+    pub fn pop(&self) -> i64 {
+        spec::method_begin(self.obj, "pop");
+        let head = self.head.load(Relaxed); // consumer-private
+        let tail = self.tail.load(self.ords.get(POP_TAIL_LOAD));
+        spec::op_clear_define(); // empty-detection / acquisition point
+        let ret = if tail == head {
+            -1
+        } else {
+            let v = self.cells[(head as usize) % CAPACITY].read();
+            self.head.store(head + 1, self.ords.get(POP_HEAD_STORE));
+            v
+        };
+        spec::method_end(ret);
+        ret
+    }
+}
+
+impl Default for SpscQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bounded-FIFO specification with SPSC admissibility: pushes must be
+/// mutually ordered, pops must be mutually ordered.
+pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
+    spec::Spec::new("spsc-queue", VecDeque::<i64>::new)
+        .method("push", |m| {
+            m.side_effect(|s, e| {
+                let fits = s.len() < CAPACITY;
+                e.set_s_ret(fits);
+                if fits && e.ret().as_bool() {
+                    s.push_back(e.arg(0).as_i64());
+                }
+            })
+            // A push may spuriously report full (stale head), never the
+            // converse.
+            .post(|_, e| !e.ret().as_bool() || e.s_ret.as_bool())
+            .justify_post(|_, e| e.ret().as_bool() || !e.s_ret.as_bool())
+        })
+        .method("pop", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.front().copied().unwrap_or(-1);
+                e.set_s_ret(s_ret);
+                if s_ret != -1 && e.ret().as_i64() != -1 {
+                    s.pop_front();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == -1 || e.ret() == e.s_ret)
+            .justify_post(|_, e| e.ret().as_i64() != -1 || e.s_ret.as_i64() == -1)
+        })
+        .admit("push", "push", |_, _| true)
+        .admit("pop", "pop", |_, _| true)
+}
+
+/// Standard unit test: the producer pushes three into a ring of two (the
+/// third push succeeds only after a pop frees its slot — exercising slot
+/// *reuse*, where the head release/acquire pair is load-bearing); the
+/// consumer pops twice.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let q = SpscQueue::with_ords(ords.clone());
+        let q1 = q.clone();
+        let t = mc::thread::spawn(move || {
+            let a = q1.pop();
+            let b = q1.pop();
+            // FIFO sanity inside the consumer.
+            if a != -1 && b != -1 {
+                mc::mc_assert!(a < b);
+            }
+        });
+        mc::mc_assert!(q.push(1));
+        mc::mc_assert!(q.push(2));
+        let _ = q.push(3); // may be full; succeeds iff a pop freed slot 0
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_queue_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = SpscQueue::new();
+            mc::mc_assert!(q.push(1));
+            mc::mc_assert!(q.push(2));
+            mc::mc_assert!(!q.push(3), "ring of 2 must reject the third push");
+            mc::mc_assert!(q.pop() == 1);
+            mc::mc_assert!(q.push(3));
+            mc::mc_assert!(q.pop() == 2);
+            mc::mc_assert!(q.pop() == 3);
+            mc::mc_assert!(q.pop() == -1);
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+
+    #[test]
+    fn weakened_publication_detected() {
+        // Relaxing the tail release store lets the consumer read the cell
+        // without acquiring the producer's write → data race.
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(PUSH_TAIL_STORE));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened SPSC publication must be detected");
+    }
+
+    #[test]
+    fn concurrent_pushes_are_inadmissible() {
+        // Violating the SPSC contract (two producers) must be flagged as
+        // an admissibility failure, not silently accepted.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let q = SpscQueue::new();
+            let q1 = q.clone();
+            let t = mc::thread::spawn(move || {
+                let _ = q1.push(1);
+            });
+            let _ = q.push(2);
+            t.join();
+        });
+        assert!(stats.buggy());
+        assert!(
+            stats.first_of(mc::BugCategory::Admissibility).is_some(),
+            "expected an admissibility bug, got: {}",
+            stats.bugs[0].bug
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! The ticket lock (Reed & Kanodia; paper §6.1).
+//!
+//! `lock` grabs a ticket with a **relaxed** `fetch_add` — so the ticket
+//! counter itself establishes no synchronization — and spins until
+//! `now_serving` equals the ticket; the release/acquire pair on
+//! `now_serving` is where the data structure actually synchronizes, which
+//! is why a specification is still possible (the paper's point in §6.1).
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+
+use cdsspec_c11::MemOrd::*;
+
+use crate::ords::{site, Ords, SiteKind, SiteSpec};
+
+/// Injectable sites. Only the `now_serving` pair is non-relaxed, matching
+/// the paper's 2 injections for this benchmark (Figure 8).
+pub static SITES: &[SiteSpec] = &[
+    site("lock.ticket_fetch_add", Relaxed, SiteKind::Rmw),
+    site("lock.serving_load", Acquire, SiteKind::Load),
+    site("unlock.serving_load", Relaxed, SiteKind::Load),
+    site("unlock.serving_store", Release, SiteKind::Store),
+];
+
+const LOCK_TICKET_FA: usize = 0;
+const LOCK_SERVE_LOAD: usize = 1;
+const UNLOCK_SERVE_LOAD: usize = 2;
+const UNLOCK_SERVE_STORE: usize = 3;
+
+/// The ticket lock.
+#[derive(Clone)]
+pub struct TicketLock {
+    obj: u64,
+    next_ticket: mc::Atomic<u64>,
+    now_serving: mc::Atomic<u64>,
+    ords: Ords,
+}
+
+/// Sequential lock state shared by the lock benchmarks: acquisition depth.
+#[derive(Clone, Default)]
+pub struct LockState {
+    /// 0 = free, 1 = held.
+    pub depth: i64,
+}
+
+impl TicketLock {
+    /// A lock with the correct orderings.
+    pub fn new() -> Self {
+        Self::with_ords(Ords::defaults(SITES))
+    }
+
+    /// A lock with a custom ordering table.
+    pub fn with_ords(ords: Ords) -> Self {
+        TicketLock {
+            obj: mc::new_object_id(),
+            next_ticket: mc::Atomic::new(0),
+            now_serving: mc::Atomic::new(0),
+            ords,
+        }
+    }
+
+    /// Acquire.
+    pub fn lock(&self) {
+        spec::method_begin(self.obj, "lock");
+        let ticket = self.next_ticket.fetch_add(1, self.ords.get(LOCK_TICKET_FA));
+        loop {
+            let now = self.now_serving.load(self.ords.get(LOCK_SERVE_LOAD));
+            if now == ticket {
+                // The acquiring load is the ordering point.
+                spec::op_clear_define();
+                break;
+            }
+            mc::spin_loop();
+        }
+        spec::method_end(());
+    }
+
+    /// Release.
+    pub fn unlock(&self) {
+        spec::method_begin(self.obj, "unlock");
+        let now = self.now_serving.load(self.ords.get(UNLOCK_SERVE_LOAD));
+        self.now_serving.store(now + 1, self.ords.get(UNLOCK_SERVE_STORE));
+        spec::op_define();
+        spec::method_end(());
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Mutual-exclusion specification reused by the lock benchmarks: `lock`
+/// requires the lock free, `unlock` requires it held.
+pub fn lock_spec(name: &'static str) -> spec::Spec<LockState> {
+    spec::Spec::new(name, LockState::default)
+        .method("lock", |m| {
+            m.pre(|s, _| s.depth == 0).side_effect(|s, _| s.depth += 1)
+        })
+        .method("unlock", |m| {
+            m.pre(|s, _| s.depth == 1).side_effect(|s, _| s.depth -= 1)
+        })
+}
+
+/// This benchmark's spec.
+pub fn make_spec() -> spec::Spec<LockState> {
+    lock_spec("ticket-lock")
+}
+
+/// Standard unit test: two threads contend for one critical section each,
+/// incrementing a plain (race-checked) counter.
+pub fn unit_test(ords: Ords) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let l = TicketLock::with_ords(ords.clone());
+        let counter = mc::Data::new(0i64);
+        let l1 = l.clone();
+        let t = mc::thread::spawn(move || {
+            l1.lock();
+            counter.write(counter.read() + 1);
+            l1.unlock();
+        });
+        l.lock();
+        counter.write(counter.read() + 1);
+        l.unlock();
+        t.join();
+    }
+}
+
+/// Explore the unit test under `config` with the spec attached.
+pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
+    spec::check(config, make_spec(), unit_test(ords))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_lock_passes() {
+        let stats = check(mc::Config::default(), Ords::defaults(SITES));
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+        assert!(stats.feasible > 0);
+    }
+
+    #[test]
+    fn weakened_release_store_detected() {
+        // unlock's release store is the handoff edge: relaxed → the next
+        // holder's critical section races with the previous one.
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(UNLOCK_SERVE_STORE));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened unlock must be detected");
+    }
+
+    #[test]
+    fn weakened_acquire_load_detected() {
+        let mut ords = Ords::defaults(SITES);
+        assert!(ords.weaken(LOCK_SERVE_LOAD));
+        let stats = check(mc::Config::default(), ords);
+        assert!(stats.buggy(), "weakened lock acquire must be detected");
+    }
+
+    #[test]
+    fn three_thread_fairness_shape() {
+        // Three lock/unlock pairs interleave without violations.
+        let stats = spec::check(mc::Config::default(), make_spec(), || {
+            let l = TicketLock::new();
+            let l1 = l.clone();
+            let l2 = l.clone();
+            let a = mc::thread::spawn(move || {
+                l1.lock();
+                l1.unlock();
+            });
+            let b = mc::thread::spawn(move || {
+                l2.lock();
+                l2.unlock();
+            });
+            l.lock();
+            l.unlock();
+            a.join();
+            b.join();
+        });
+        assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+    }
+}

@@ -1,0 +1,68 @@
+//! The paper's §2.2 worked example: why naive approaches fail for a
+//! *relaxed* atomic register, and how justifying prefixes plus the
+//! `CONCURRENT` set constrain non-determinism without forbidding it.
+//!
+//! The tour prints the register's observable behaviors, shows that the
+//! specification accepts exactly the C11-legal ones, and demonstrates a
+//! property the unconstrained "reads may return anything old" weakening
+//! would miss: a same-thread read-after-write must see the write.
+//!
+//! ```text
+//! cargo run --release --example relaxed_register
+//! ```
+
+use cdsspec::core as spec;
+use cdsspec::mc;
+use cdsspec::prelude::*;
+use cdsspec::structures::register::{make_spec, Register, SITES};
+use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+fn main() {
+    // 1. Enumerate the observable outcomes of a 2-thread relaxed register.
+    let outcomes: Arc<Mutex<BTreeSet<(i64, i64)>>> = Arc::new(Mutex::new(BTreeSet::new()));
+    let oc = Arc::clone(&outcomes);
+    let stats = mc::explore(Config::default(), move || {
+        let r = Register::new();
+        let r1 = r.clone();
+        let t = mc::thread::spawn(move || {
+            r1.write(1);
+        });
+        let first = r.read();
+        t.join();
+        let second = r.read();
+        oc.lock().unwrap().insert((first, second));
+    });
+    println!("relaxed register outcomes (first read racing write(1), second after join):");
+    for (a, b) in outcomes.lock().unwrap().iter() {
+        println!("  first = {a}, second = {b}");
+    }
+    println!("({})\n", stats.summary());
+    // The racing read may see 0 or 1; after the join only 1 is possible —
+    // that is coherence + happens-before, with zero fences.
+
+    // 2. The CDSSpec specification accepts every one of those behaviors…
+    let stats = spec::check(
+        Config::default(),
+        make_spec(),
+        cdsspec::structures::register::unit_test(Ords::defaults(SITES)),
+    );
+    println!("spec check on the standard unit test: {}", stats.summary());
+    assert!(!stats.buggy());
+
+    // 3. …while still rejecting the trivial single-thread violation that a
+    // fully unconstrained non-deterministic spec would admit (§2.1): a
+    // read-after-write in one thread returning a stale value. We
+    // demonstrate by asserting the property inside the model — no
+    // execution violates it, so the assertion never fires.
+    let stats = spec::check(Config::default(), make_spec(), || {
+        let r = Register::new();
+        r.write(7);
+        let v = r.read();
+        mc::mc_assert!(v == 7, "read-after-write returned {}", v);
+    });
+    println!("single-thread read-after-write: {}", stats.summary());
+    assert!(!stats.buggy());
+    println!("\njustifying prefixes forbid stale same-thread reads; CONCURRENT permits");
+    println!("racing ones — the §2.2 balance, reproduced.");
+}

@@ -1,0 +1,52 @@
+//! # cdsspec
+//!
+//! Specification checking for concurrent data structures under the
+//! C/C++11 memory model — a Rust reproduction of *"Checking Concurrent
+//! Data Structures Under the C/C++11 Memory Model"* (Ou & Demsky,
+//! PPoPP 2017).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`mc`] — the stateless model checker for modeled C11 atomics (the
+//!   CDSChecker substrate): [`mc::Atomic`], [`mc::Data`], [`mc::fence`],
+//!   [`mc::thread`], [`mc::explore`];
+//! * [`core`] — CDSSpec itself: the [`core::Spec`] DSL, ordering-point
+//!   annotations, and the non-deterministic-linearizability checker;
+//! * [`structures`] — the paper's ten benchmark data structures plus the
+//!   §2 blocking queue and the §2.2 relaxed register;
+//! * [`inject`] — the §6.4.2 fault-injection campaign machinery;
+//! * [`c11`] — the shared memory-model vocabulary (events, orderings,
+//!   clocks, traces).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cdsspec::prelude::*;
+//!
+//! // Model-check the paper's blocking queue against its Figure 6 spec.
+//! let stats = cdsspec::core::check(
+//!     Config::default(),
+//!     cdsspec::structures::blocking_queue::make_spec(),
+//!     cdsspec::structures::blocking_queue::unit_test(
+//!         Ords::defaults(cdsspec::structures::blocking_queue::SITES),
+//!     ),
+//! );
+//! assert!(!stats.buggy());
+//! ```
+//!
+//! See `examples/` for guided tours and `crates/bench/src/bin/` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub use cdsspec_c11 as c11;
+pub use cdsspec_core as core;
+pub use cdsspec_inject as inject;
+pub use cdsspec_mc as mc;
+pub use cdsspec_structures as structures;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use cdsspec_c11::MemOrd;
+    pub use cdsspec_core::{MethodSpec, Spec};
+    pub use cdsspec_mc::{Atomic, Config, Data, Stats};
+    pub use cdsspec_structures::{Ords, SiteKind, SiteSpec};
+}

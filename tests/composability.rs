@@ -1,0 +1,160 @@
+//! §3.2 composability (Theorem 1): if each object is non-deterministic
+//! linearizable for its spec, the composition is too — exercised by
+//! checking executions that mix several independently-specified objects,
+//! including objects of *different types* through multiple plugins.
+
+use cdsspec::core as spec;
+use cdsspec::mc;
+use cdsspec::prelude::*;
+use cdsspec::structures::blocking_queue::BlockingQueue;
+use cdsspec::structures::register::Register;
+use cdsspec::structures::ticket_lock::TicketLock;
+use std::sync::Arc;
+
+/// Two queues + cross-thread traffic: each instance is checked against
+/// its own sequential FIFO.
+#[test]
+fn two_queues_compose() {
+    let stats = spec::check(Config::default(), cdsspec::structures::blocking_queue::make_spec(), || {
+        let x = BlockingQueue::new();
+        let y = BlockingQueue::new();
+        let (x1, y1) = (x.clone(), y.clone());
+        let t = mc::thread::spawn(move || {
+            x1.enq(1);
+            let got = y1.deq();
+            mc::mc_assert!(got == -1 || got == 2);
+        });
+        y.enq(2);
+        let got = x.deq();
+        mc::mc_assert!(got == -1 || got == 1);
+        t.join();
+    });
+    assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+}
+
+/// Heterogeneous composition: a register and a queue checked by two
+/// plugins in the same exploration (Definition 8's composed spec).
+#[test]
+fn register_and_queue_compose_via_two_plugins() {
+    let reg_spec = Arc::new(cdsspec::structures::register::make_spec());
+    let q_spec = Arc::new(cdsspec::structures::blocking_queue::make_spec());
+    let plugins: Vec<Box<dyn mc::Plugin>> = vec![
+        Box::new(spec::SpecChecker::new(reg_spec)),
+        Box::new(spec::SpecChecker::new(q_spec)),
+    ];
+    let stats = mc::explore_with_plugins(Config::default(), plugins, || {
+        let r = Register::new();
+        let q = BlockingQueue::new();
+        let (r1, q1) = (r.clone(), q.clone());
+        let t = mc::thread::spawn(move || {
+            r1.write(5);
+            q1.enq(7);
+        });
+        let _ = r.read();
+        let _ = q.deq();
+        t.join();
+    });
+    // Each plugin sees calls for methods it doesn't know; the register
+    // plugin must not reject queue calls and vice versa… it WILL reject
+    // unknown methods by design, so this asserts the opposite: the strict
+    // unknown-method check fires, documenting that heterogeneous
+    // compositions need a combined spec (Definition 8) rather than two
+    // independent ones.
+    assert!(stats.buggy());
+    assert!(stats.bugs[0].bug.to_string().contains("no specification for method"));
+}
+
+/// The supported heterogeneous form: one spec whose method set covers both
+/// objects (the composed specification of Definition 8 — per-object state
+/// still separates because the checker groups calls by instance).
+#[test]
+fn combined_spec_composes_heterogeneous_objects() {
+    // Sequential state: (register value, queue front) — each object only
+    // touches its own half, so a product state works as Definition 8's
+    // composition.
+    #[derive(Clone, Default)]
+    struct Product {
+        reg: i64,
+        q: std::collections::VecDeque<i64>,
+    }
+    let combined = Spec::new("register×queue", Product::default)
+        .method("write", |m| m.side_effect(|s: &mut Product, e| s.reg = e.arg(0).as_i64()))
+        .method("read", |m| {
+            m.side_effect(|s, e| e.set_s_ret(s.reg)).justify_post(|_, e| {
+                e.ret() == e.s_ret
+                    || e.concurrent.iter().any(|c| c.name == "write" && c.arg(0) == e.ret())
+            })
+        })
+        .method("enq", |m| m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64())))
+        .method("deq", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.q.front().copied().unwrap_or(-1);
+                e.set_s_ret(s_ret);
+                if s_ret != -1 && e.ret().as_i64() != -1 {
+                    s.q.pop_front();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == -1 || e.ret() == e.s_ret)
+            .justify_post(|_, e| e.ret().as_i64() != -1 || e.s_ret.as_i64() == -1)
+        });
+
+    let stats = spec::check(Config::default(), combined, || {
+        let r = Register::new();
+        let q = BlockingQueue::new();
+        let (r1, q1) = (r.clone(), q.clone());
+        let t = mc::thread::spawn(move || {
+            r1.write(5);
+            q1.enq(7);
+        });
+        let _ = r.read();
+        let _ = q.deq();
+        t.join();
+    });
+    assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+}
+
+/// A lock guarding a queue: the composition of a lock spec and a queue
+/// spec via a combined method set; the checker still separates the two
+/// objects' sequential states by instance.
+#[test]
+fn lock_protected_queue_composes() {
+    #[derive(Clone, Default)]
+    struct Product {
+        depth: i64,
+        q: std::collections::VecDeque<i64>,
+    }
+    let combined = Spec::new("lock×queue", Product::default)
+        .method("lock", |m| m.pre(|s: &Product, _| s.depth == 0).side_effect(|s, _| s.depth += 1))
+        .method("unlock", |m| m.pre(|s: &Product, _| s.depth == 1).side_effect(|s, _| s.depth -= 1))
+        .method("enq", |m| m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64())))
+        .method("deq", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.q.front().copied().unwrap_or(-1);
+                e.set_s_ret(s_ret);
+                if s_ret != -1 && e.ret().as_i64() != -1 {
+                    s.q.pop_front();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == -1 || e.ret() == e.s_ret)
+            .justify_post(|_, e| e.ret().as_i64() != -1 || e.s_ret.as_i64() == -1)
+        });
+    let stats = spec::check(Config::default(), combined, || {
+        let l = TicketLock::new();
+        let q = BlockingQueue::new();
+        let (l1, q1) = (l.clone(), q.clone());
+        let t = mc::thread::spawn(move || {
+            l1.lock();
+            q1.enq(1);
+            let got = q1.deq();
+            mc::mc_assert!(got == 1, "serialized deq must see own enq, got {}", got);
+            l1.unlock();
+        });
+        l.lock();
+        q.enq(2);
+        let got = q.deq();
+        mc::mc_assert!(got == 2, "serialized deq must see own enq, got {}", got);
+        l.unlock();
+        t.join();
+    });
+    assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+}

@@ -1,0 +1,85 @@
+//! Smoke tests for the fault-injection pipeline at workspace level: the
+//! classifier, the weakening ladders end-to-end, and representative
+//! detections in each Figure 8 category.
+
+use cdsspec::inject;
+use cdsspec::mc;
+use cdsspec::prelude::*;
+use cdsspec::structures::registry::benchmarks;
+
+fn quick() -> Config {
+    Config { max_executions: 30_000, ..Config::default() }
+}
+
+/// A Built-in detection: the seqlock's weakened data store races.
+#[test]
+fn builtin_category_detection() {
+    let bench = benchmarks().into_iter().find(|b| b.name == "Seqlock").unwrap();
+    let (_, trials) = inject::inject_benchmark(&bench, &quick());
+    assert!(
+        trials.iter().any(|t| t.detected == Some(mc::BugCategory::BuiltIn)),
+        "seqlock injections should include a built-in detection: {trials:?}"
+    );
+}
+
+/// An Admissibility detection: weakening the MPMC stamp orderings leaves
+/// required-ordered calls concurrent.
+#[test]
+fn admissibility_category_detection() {
+    let bench = benchmarks().into_iter().find(|b| b.name == "MPMC Queue").unwrap();
+    let (row, trials) = inject::inject_benchmark(&bench, &quick());
+    assert!(
+        row.admissibility > 0,
+        "MPMC detections should include admissibility (the paper's shape): {trials:?}"
+    );
+}
+
+/// An Assertion detection: the M&S queue's weakened head CAS breaks FIFO
+/// per the sequential spec.
+#[test]
+fn assertion_category_detection() {
+    let bench = benchmarks().into_iter().find(|b| b.name == "M&S Queue").unwrap();
+    let (row, trials) = inject::inject_benchmark(&bench, &quick());
+    assert!(
+        row.assertion > 0,
+        "M&S detections should include spec assertions: {trials:?}"
+    );
+}
+
+/// Injection trials never report a bug for the un-weakened configuration
+/// (the campaign must start from a clean baseline).
+#[test]
+fn baseline_is_clean_for_every_benchmark() {
+    for bench in benchmarks() {
+        let stats = bench.check_default(quick());
+        assert!(!stats.buggy(), "{} baseline dirty: {}", bench.name, stats.bugs[0].bug);
+    }
+}
+
+/// The weakening ladder matches the paper's §6.4.2 description for each
+/// site kind, end-to-end through `Ords`.
+#[test]
+fn weakening_ladders() {
+    use cdsspec::c11::MemOrd::*;
+    static SITES: &[SiteSpec] = &[
+        cdsspec::structures::site("l", SeqCst, SiteKind::Load),
+        cdsspec::structures::site("s", SeqCst, SiteKind::Store),
+        cdsspec::structures::site("r", SeqCst, SiteKind::Rmw),
+    ];
+    let mut o = Ords::defaults(SITES);
+    assert!(o.weaken(0));
+    assert_eq!(o.get(0), Acquire);
+    assert!(o.weaken(0));
+    assert_eq!(o.get(0), Relaxed);
+    assert!(!o.weaken(0));
+
+    assert!(o.weaken(1));
+    assert_eq!(o.get(1), Release);
+
+    assert!(o.weaken(2));
+    assert_eq!(o.get(2), AcqRel);
+    assert!(o.weaken(2));
+    assert_eq!(o.get(2), Release);
+    assert!(o.weaken(2));
+    assert_eq!(o.get(2), Relaxed);
+}

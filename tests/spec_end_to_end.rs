@@ -1,0 +1,115 @@
+//! End-to-end integration tests of the full pipeline (facade → checker →
+//! model checker) across the benchmark suite: every benchmark's standard
+//! unit test passes with correct orderings, and the checker's diagnostic
+//! machinery produces usable output for a seeded bug.
+
+use cdsspec::core as spec;
+use cdsspec::mc;
+use cdsspec::prelude::*;
+use cdsspec::structures::registry::benchmarks;
+
+/// Every Figure 7 benchmark is clean with correct orderings. Release
+/// builds explore exhaustively (this is what `figure7` reports); debug
+/// builds get a smaller budget so `cargo test` stays snappy — a truncated
+/// clean run is still a meaningful smoke check there.
+#[test]
+fn all_benchmarks_pass_with_correct_orderings() {
+    let exhaustive = !cfg!(debug_assertions);
+    let cap = if exhaustive { 2_000_000 } else { 40_000 };
+    for bench in benchmarks() {
+        let config = Config { max_executions: cap, ..Config::default() };
+        let stats = bench.check_default(config);
+        assert!(
+            !stats.buggy(),
+            "{}: unexpected bug with correct orderings: {}",
+            bench.name,
+            stats.bugs[0].bug
+        );
+        assert!(stats.feasible > 0, "{}: no feasible executions", bench.name);
+        if exhaustive {
+            assert!(!stats.truncated, "{}: exploration truncated", bench.name);
+        }
+    }
+}
+
+/// Every benchmark has at least one detectable injection — the spec isn't
+/// vacuous for any structure.
+#[test]
+fn every_benchmark_has_a_detectable_injection() {
+    let cap = if cfg!(debug_assertions) { 20_000 } else { 50_000 };
+    let config = Config { max_executions: cap, ..Config::default() };
+    for bench in benchmarks() {
+        let (row, trials) = cdsspec::inject::inject_benchmark(&bench, &config);
+        assert!(row.injections > 0, "{}: nothing injectable", bench.name);
+        assert!(
+            row.detected() > 0,
+            "{}: no injection detected — vacuous spec? trials: {:?}",
+            bench.name,
+            trials
+        );
+    }
+}
+
+/// The diagnostic report of a violation names the method, the values, and
+/// carries a renderable witness trace.
+#[test]
+fn diagnostics_are_actionable() {
+    // Seed a deliberate spec violation: claim a queue is LIFO.
+    let bogus = spec::Spec::new("bogus-stack-view", Vec::<i64>::new)
+        .method("enq", |m| m.side_effect(|s, e| s.push(e.arg(0).as_i64())))
+        .method("deq", |m| {
+            m.side_effect(|s, e| {
+                let s_ret = s.last().copied().unwrap_or(-1);
+                e.set_s_ret(s_ret);
+                if s_ret != -1 && e.ret().as_i64() != -1 {
+                    s.pop();
+                }
+            })
+            .post(|_, e| e.ret().as_i64() == -1 || e.ret() == e.s_ret)
+        });
+    let stats = spec::check(Config::default(), bogus, || {
+        let q = cdsspec::structures::blocking_queue::BlockingQueue::new();
+        q.enq(1);
+        q.enq(2);
+        let _ = q.deq(); // FIFO returns 1; the bogus LIFO spec expects 2
+    });
+    assert!(stats.buggy(), "the bogus spec must be violated");
+    let bug = &stats.bugs[0];
+    let msg = bug.bug.to_string();
+    assert!(msg.contains("deq"), "message names the method: {msg}");
+    assert!(msg.contains("history"), "message includes the history: {msg}");
+    assert!(bug.trace.contains("rmw"), "witness trace shows the atomic ops: {}", bug.trace);
+}
+
+/// Plugin errors for unknown methods are loud, not silent.
+#[test]
+fn unknown_method_is_reported() {
+    let empty_spec = spec::Spec::new("empty", || ());
+    let stats = spec::check(Config::default(), empty_spec, || {
+        let q = cdsspec::structures::blocking_queue::BlockingQueue::new();
+        q.enq(1);
+    });
+    assert!(stats.buggy());
+    assert!(stats.bugs[0].bug.to_string().contains("no specification for method"));
+}
+
+/// The history cap + sampling policy keep the checker usable when the
+/// call graph is wide (many unordered calls).
+#[test]
+fn history_sampling_policy_works() {
+    use cdsspec::core::HistoryPolicy;
+    let sampled = cdsspec::structures::register::make_spec()
+        .with_policy(HistoryPolicy::Sample { count: 16, seed: 42 });
+    let stats = spec::check(Config::default(), sampled, || {
+        let r = cdsspec::structures::register::Register::new();
+        let r1 = r.clone();
+        let t = mc::thread::spawn(move || {
+            r1.write(1);
+            let _ = r1.read();
+        });
+        r.write(2);
+        let _ = r.read();
+        t.join();
+    });
+    assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
+}
