@@ -26,10 +26,8 @@ fn bench_checker_overhead(c: &mut Criterion) {
 
     group.bench_function("blocking-queue-with-spec", |b| {
         b.iter(|| {
-            let stats = blocking_queue::check(
-                mc::Config::default(),
-                Ords::defaults(blocking_queue::SITES),
-            );
+            let stats =
+                blocking_queue::check(mc::Config::default(), Ords::defaults(blocking_queue::SITES));
             assert!(!stats.buggy());
             stats.executions
         })

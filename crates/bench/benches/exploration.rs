@@ -48,20 +48,30 @@ fn bench_exploration(c: &mut Criterion) {
     for (name, sleep) in [("sleep-sets-on", true), ("sleep-sets-off", false)] {
         group.bench_with_input(BenchmarkId::new("mp", name), &sleep, |b, &sleep| {
             b.iter(|| {
-                let config = Config { sleep_sets: sleep, ..Config::default() };
+                let config = Config {
+                    sleep_sets: sleep,
+                    ..Config::default()
+                };
                 let stats = mc::explore(config, mp_workload());
                 assert!(!stats.buggy());
                 stats.executions
             })
         });
-        group.bench_with_input(BenchmarkId::new("ticket-lock", name), &sleep, |b, &sleep| {
-            b.iter(|| {
-                let config = Config { sleep_sets: sleep, ..Config::default() };
-                let stats = mc::explore(config, lock_workload());
-                assert!(!stats.buggy());
-                stats.executions
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ticket-lock", name),
+            &sleep,
+            |b, &sleep| {
+                b.iter(|| {
+                    let config = Config {
+                        sleep_sets: sleep,
+                        ..Config::default()
+                    };
+                    let stats = mc::explore(config, lock_workload());
+                    assert!(!stats.buggy());
+                    stats.executions
+                })
+            },
+        );
     }
     group.finish();
 

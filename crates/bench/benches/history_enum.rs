@@ -35,9 +35,7 @@ fn bench_history_enum(c: &mut Criterion) {
             BenchmarkId::new("sample-64", format!("{k}x{len}")),
             &order,
             |b, order| {
-                b.iter(|| {
-                    all_histories(order, HistoryPolicy::Sample { count: 64, seed: 1 }).len()
-                })
+                b.iter(|| all_histories(order, HistoryPolicy::Sample { count: 64, seed: 1 }).len())
             },
         );
     }

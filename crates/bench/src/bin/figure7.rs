@@ -8,9 +8,22 @@
 //! comparison recorded in EXPERIMENTS.md.
 //!
 //! ```text
-//! cargo run -p cdsspec-bench --release --bin figure7
+//! cargo run -p cdsspec-bench --release --bin figure7 -- \
+//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>]
 //! ```
+//!
+//! With `--time-budget`, an expiring run writes a checkpoint (completed
+//! rows plus a mid-tree exploration checkpoint of the interrupted
+//! benchmark) and exits with status 3; `--resume` continues it. Resumed
+//! runs report exactly the execution/feasible counts of a
+//! straight-through run.
 
+use std::process::exit;
+
+use cdsspec_bench::{
+    load_checkpoint, remaining, store_checkpoint, Figure7Checkpoint, HarnessArgs, SavedRow7,
+    EXIT_INTERRUPTED,
+};
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::benchmarks;
 
@@ -28,7 +41,76 @@ const PAPER: &[(&str, u64, u64, f64)] = &[
     ("Ticket Lock", 1_790, 978, 0.17),
 ];
 
+fn print_row(row: &SavedRow7, resumed: bool) {
+    let paper = PAPER.iter().find(|(n, ..)| *n == row.name);
+    let (pe, pf, pt) = paper
+        .map(|(_, e, f, t)| (*e, *f, *t))
+        .unwrap_or((0, 0, 0.0));
+    let truncated = !matches!(row.stop.as_str(), "exhausted" | "first-bug");
+    println!(
+        "{:<20} {:>12} {:>12} {:>10.2}   {:>12} {:>12} {:>10.2}{}{}{}",
+        row.name,
+        row.executions,
+        row.feasible,
+        row.elapsed_ns as f64 / 1e9,
+        pe,
+        pf,
+        pt,
+        if truncated { "  [truncated]" } else { "" },
+        if resumed { "  [from checkpoint]" } else { "" },
+        if row.buggy {
+            "  [BUG — should not happen with correct orderings!]"
+        } else {
+            ""
+        },
+    );
+}
+
+fn save_and_exit(args: &HarnessArgs, ckpt: &Figure7Checkpoint) -> ! {
+    let Some(path) = args.checkpoint_path() else {
+        eprintln!(
+            "\ntime budget exhausted and no --checkpoint/--resume path given; \
+             partial results are lost"
+        );
+        exit(EXIT_INTERRUPTED);
+    };
+    if let Err(e) = store_checkpoint(path, &ckpt.to_text()) {
+        eprintln!("\n{e}");
+        exit(1);
+    }
+    eprintln!(
+        "\ntime budget exhausted after {} completed row(s); checkpoint written to {}; \
+         rerun with --resume {2} to continue",
+        ckpt.done.len(),
+        path.display(),
+        path.display()
+    );
+    exit(EXIT_INTERRUPTED);
+}
+
 fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("figure7: {e}");
+            exit(2);
+        }
+    };
+    let mut state = Figure7Checkpoint::default();
+    // A missing resume file is a fresh start, not an error: the binary
+    // deletes its checkpoint on completion, so `until figure7 --resume
+    // ck; do :; done` works from the first invocation.
+    if let Some(path) = args.resume.as_ref().filter(|p| p.exists()) {
+        match load_checkpoint(path, Figure7Checkpoint::from_text) {
+            Ok(ck) => state = ck,
+            Err(e) => {
+                eprintln!("figure7: {e}");
+                exit(2);
+            }
+        }
+    }
+    let deadline = args.deadline();
+
     println!("Figure 7 — benchmark results (ours vs. paper)\n");
     println!(
         "{:<20} {:>12} {:>12} {:>10}   {:>12} {:>12} {:>10}",
@@ -38,27 +120,66 @@ fn main() {
 
     let mut total_ok = true;
     for bench in benchmarks() {
-        let config = mc::Config { max_executions: 3_000_000, ..mc::Config::default() };
-        let stats = bench.check_default(config);
-        let paper = PAPER.iter().find(|(n, ..)| *n == bench.name);
-        let (pe, pf, pt) = paper.map(|(_, e, f, t)| (*e, *f, *t)).unwrap_or((0, 0, 0.0));
-        println!(
-            "{:<20} {:>12} {:>12} {:>10.2}   {:>12} {:>12} {:>10.2}{}{}",
-            bench.name,
-            stats.executions,
-            stats.feasible,
-            stats.elapsed.as_secs_f64(),
-            pe,
-            pf,
-            pt,
-            if stats.truncated { "  [truncated]" } else { "" },
-            if stats.buggy() {
-                total_ok = false;
-                "  [BUG — should not happen with correct orderings!]"
-            } else {
-                ""
-            },
-        );
+        if let Some(saved) = state.done.iter().find(|r| r.name == bench.name) {
+            total_ok &= !saved.buggy;
+            print_row(saved, true);
+            continue;
+        }
+
+        let budget = remaining(deadline);
+        if budget.is_some_and(|b| b.is_zero()) {
+            save_and_exit(&args, &state);
+        }
+        let mut config = mc::Config {
+            max_executions: 3_000_000,
+            time_budget: budget,
+            ..mc::Config::default()
+        };
+        // Pick up mid-tree if a previous run was interrupted inside this
+        // benchmark's exploration.
+        let prior = match state.current.take() {
+            Some((name, ckpt)) if name == bench.name => {
+                config.resume_script = Some(ckpt.script.clone());
+                Some(ckpt.stats)
+            }
+            other => {
+                state.current = other;
+                None
+            }
+        };
+        let fresh = bench.check_default(config);
+        let stats = match prior {
+            Some(mut p) => {
+                p.continue_with(fresh);
+                p
+            }
+            None => fresh,
+        };
+
+        if stats.stop == mc::StopReason::Deadline {
+            let ckpt = stats
+                .checkpoint()
+                .expect("a deadline stop leaves a frontier");
+            state.current = Some((bench.name.to_string(), ckpt));
+            save_and_exit(&args, &state);
+        }
+
+        let row = SavedRow7 {
+            name: bench.name.to_string(),
+            executions: stats.executions,
+            feasible: stats.feasible,
+            elapsed_ns: stats.elapsed.as_nanos(),
+            stop: stats.stop.to_string(),
+            buggy: stats.buggy(),
+        };
+        total_ok &= !row.buggy;
+        print_row(&row, false);
+        state.done.push(row);
+    }
+
+    // A completed run leaves no checkpoint behind.
+    if let Some(path) = args.checkpoint_path() {
+        let _ = std::fs::remove_file(path);
     }
     println!(
         "\nAll benchmarks clean: {}. Shape claim preserved: every benchmark finishes \

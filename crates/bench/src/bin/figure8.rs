@@ -1,13 +1,29 @@
 //! Regenerates **Figure 8** of the paper: the bug-injection detection
 //! table. Every non-relaxed atomic-op ordering in every benchmark is
 //! weakened one step (one site per trial); the first defect classifies
-//! the detection as Built-in / Admissibility / Assertion.
+//! the detection as Built-in / Admissibility / Assertion. Trials whose
+//! check crashed even after the campaign's bounded retry are reported in
+//! an `Err` column instead of silently vanishing.
 //!
 //! ```text
-//! cargo run -p cdsspec-bench --release --bin figure8 [--verbose]
+//! cargo run -p cdsspec-bench --release --bin figure8 -- [--verbose] \
+//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>]
 //! ```
+//!
+//! With `--time-budget`, the campaign stops *between benchmarks* when
+//! the budget expires, writes the completed rows to a checkpoint, and
+//! exits with status 3; `--resume` skips the saved rows and finishes the
+//! rest. Rows are only ever reported from complete trial sets, so an
+//! interrupted-and-resumed campaign prints exactly the rows of a
+//! straight-through one.
 
-use cdsspec_inject::run_campaign;
+use std::process::exit;
+
+use cdsspec_bench::{
+    load_checkpoint, remaining, store_checkpoint, Figure8Checkpoint, HarnessArgs, SavedRow8,
+    EXIT_INTERRUPTED,
+};
+use cdsspec_inject::inject_benchmark;
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::benchmarks;
 
@@ -25,65 +41,165 @@ const PAPER: &[(&str, usize, usize, usize, usize)] = &[
     ("Ticket Lock", 2, 0, 0, 2),
 ];
 
+fn print_row(row: &SavedRow8, resumed: bool) {
+    let paper = PAPER.iter().find(|(n, ..)| *n == row.name);
+    let (pi, pb, pa, ps) = paper
+        .map(|(_, i, b, a, s)| (*i, *b, *a, *s))
+        .unwrap_or((0, 0, 0, 0));
+    let prate = if pi == 0 {
+        100.0
+    } else {
+        100.0 * (pb + pa + ps) as f64 / pi as f64
+    };
+    let detected = row.builtin + row.admissibility + row.assertion;
+    let rate = if row.injections == 0 {
+        100.0
+    } else {
+        100.0 * detected as f64 / row.injections as f64
+    };
+    println!(
+        "{:<20} {:>6} {:>9} {:>7} {:>10} {:>4} {:>6.0}%   | {:>6} {:>9} {:>7} {:>10} {:>6.0}%{}",
+        row.name,
+        row.injections,
+        row.builtin,
+        row.admissibility,
+        row.assertion,
+        row.errored,
+        rate,
+        pi,
+        pb,
+        pa,
+        ps,
+        prate,
+        if resumed { "  [from checkpoint]" } else { "" },
+    );
+}
+
 fn main() {
-    let verbose = std::env::args().any(|a| a == "--verbose");
-    let config = mc::Config { max_executions: 300_000, ..mc::Config::default() };
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("figure8: {e}");
+            exit(2);
+        }
+    };
+    let mut state = Figure8Checkpoint::default();
+    // A missing resume file is a fresh start, not an error: the binary
+    // deletes its checkpoint on completion, so `until figure8 --resume
+    // ck; do :; done` works from the first invocation.
+    if let Some(path) = args.resume.as_ref().filter(|p| p.exists()) {
+        match load_checkpoint(path, Figure8Checkpoint::from_text) {
+            Ok(ck) => state = ck,
+            Err(e) => {
+                eprintln!("figure8: {e}");
+                exit(2);
+            }
+        }
+    }
+    let deadline = args.deadline();
+    let config = mc::Config {
+        max_executions: 300_000,
+        ..mc::Config::default()
+    };
     let benches = benchmarks();
 
     println!("Figure 8 — bug injection detection results (ours | paper)\n");
     println!(
-        "{:<20} {:>6} {:>9} {:>7} {:>10} {:>7}   | {:>6} {:>9} {:>7} {:>10} {:>7}",
-        "Benchmark", "#Inj", "Built-in", "Admiss", "Assertion", "Rate",
-        "#Inj", "Built-in", "Admiss", "Assertion", "Rate"
+        "{:<20} {:>6} {:>9} {:>7} {:>10} {:>4} {:>6}   | {:>6} {:>9} {:>7} {:>10} {:>7}",
+        "Benchmark",
+        "#Inj",
+        "Built-in",
+        "Admiss",
+        "Assertion",
+        "Err",
+        "Rate",
+        "#Inj",
+        "Built-in",
+        "Admiss",
+        "Assertion",
+        "Rate"
     );
-    println!("{}", "-".repeat(118));
+    println!("{}", "-".repeat(124));
 
-    let mut tot = (0usize, 0usize, 0usize, 0usize);
-    let results = run_campaign(&benches, &config);
-    for (row, trials) in &results {
-        let paper = PAPER.iter().find(|(n, ..)| *n == row.name);
-        let (pi, pb, pa, ps) =
-            paper.map(|(_, i, b, a, s)| (*i, *b, *a, *s)).unwrap_or((0, 0, 0, 0));
-        let prate = if pi == 0 { 100.0 } else { 100.0 * (pb + pa + ps) as f64 / pi as f64 };
-        println!(
-            "{:<20} {:>6} {:>9} {:>7} {:>10} {:>6.0}%   | {:>6} {:>9} {:>7} {:>10} {:>6.0}%",
-            row.name,
-            row.injections,
-            row.builtin,
-            row.admissibility,
-            row.assertion,
-            row.rate(),
-            pi,
-            pb,
-            pa,
-            ps,
-            prate,
-        );
+    let mut tot = (0usize, 0usize, 0usize, 0usize, 0usize);
+    for bench in &benches {
+        let (row, resumed) = match state.done.iter().find(|r| r.name == bench.name) {
+            Some(saved) => (saved.clone(), true),
+            None => {
+                if remaining(deadline).is_some_and(|b| b.is_zero()) {
+                    let Some(path) = args.checkpoint_path() else {
+                        eprintln!(
+                            "\ntime budget exhausted and no --checkpoint/--resume path \
+                             given; partial results are lost"
+                        );
+                        exit(EXIT_INTERRUPTED);
+                    };
+                    if let Err(e) = store_checkpoint(path, &state.to_text()) {
+                        eprintln!("\n{e}");
+                        exit(1);
+                    }
+                    eprintln!(
+                        "\ntime budget exhausted after {} of {} rows; checkpoint written \
+                         to {}; rerun with --resume {2} to continue",
+                        state.done.len(),
+                        benches.len(),
+                        path.display()
+                    );
+                    exit(EXIT_INTERRUPTED);
+                }
+                let (row, trials) = inject_benchmark(bench, &config);
+                if args.verbose {
+                    for t in &trials {
+                        println!(
+                            "    {:<28} {:>8} -> {:<8} {}",
+                            t.site,
+                            t.from.name(),
+                            t.to.name(),
+                            if t.errored {
+                                format!("ERRORED: {}", t.message.as_deref().unwrap_or(""))
+                            } else {
+                                match &t.detected {
+                                    Some(cat) => {
+                                        format!("{cat:?}: {}", t.message.as_deref().unwrap_or(""))
+                                    }
+                                    None => "NOT DETECTED".into(),
+                                }
+                            }
+                        );
+                    }
+                }
+                let saved = SavedRow8 {
+                    name: row.name.to_string(),
+                    injections: row.injections,
+                    builtin: row.builtin,
+                    admissibility: row.admissibility,
+                    assertion: row.assertion,
+                    errored: row.errored,
+                };
+                state.done.push(saved.clone());
+                (saved, false)
+            }
+        };
+        print_row(&row, resumed);
         tot.0 += row.injections;
         tot.1 += row.builtin;
         tot.2 += row.admissibility;
         tot.3 += row.assertion;
-        if verbose {
-            for t in trials {
-                println!(
-                    "    {:<28} {:>8} -> {:<8} {}",
-                    t.site,
-                    t.from.name(),
-                    t.to.name(),
-                    match &t.detected {
-                        Some(cat) => format!("{cat:?}: {}", t.message.as_deref().unwrap_or("")),
-                        None => "NOT DETECTED".into(),
-                    }
-                );
-            }
-        }
+        tot.4 += row.errored;
     }
-    println!("{}", "-".repeat(118));
-    let rate = if tot.0 == 0 { 100.0 } else { 100.0 * (tot.1 + tot.2 + tot.3) as f64 / tot.0 as f64 };
+    println!("{}", "-".repeat(124));
+    let rate = if tot.0 == 0 {
+        100.0
+    } else {
+        100.0 * (tot.1 + tot.2 + tot.3) as f64 / tot.0 as f64
+    };
     println!(
-        "{:<20} {:>6} {:>9} {:>7} {:>10} {:>6.0}%   | {:>6} {:>9} {:>7} {:>10} {:>6.0}%",
-        "Total", tot.0, tot.1, tot.2, tot.3, rate, 57, 15, 4, 34, 93.0
+        "{:<20} {:>6} {:>9} {:>7} {:>10} {:>4} {:>6.0}%   | {:>6} {:>9} {:>7} {:>10} {:>6.0}%",
+        "Total", tot.0, tot.1, tot.2, tot.3, tot.4, rate, 57, 15, 4, 34, 93.0
     );
+    if let Some(path) = args.checkpoint_path() {
+        let _ = std::fs::remove_file(path);
+    }
     println!(
         "\nShape claims preserved: the overwhelming majority of injections are detected;\n\
          spec checking (admissibility + assertions) detects substantially more than the\n\

@@ -8,14 +8,19 @@
 //!   check (the paper's methodology for showing the spec's added value).
 //!
 //! ```text
-//! cargo run -p cdsspec-bench --release --bin known_bugs
+//! cargo run -p cdsspec-bench --release --bin known_bugs -- [--time-budget <secs>]
 //! ```
+//!
+//! `--time-budget` bounds each reproduction's exploration wall-clock; a
+//! cut-short reproduction reports its stop reason in the summary line.
 
+use cdsspec_bench::HarnessArgs;
 use cdsspec_core as spec;
 use cdsspec_mc as mc;
 use cdsspec_structures::{chase_lev, ms_queue};
 
-fn report(name: &str, stats: &mc::Stats, expect_bug: bool) {
+/// Print one reproduction's verdict; `true` when it matched expectations.
+fn report(name: &str, stats: &mc::Stats, expect_bug: bool) -> bool {
     let verdict = match (stats.buggy(), expect_bug) {
         (true, true) => "DETECTED (as expected)",
         (false, false) => "clean (as expected)",
@@ -27,17 +32,35 @@ fn report(name: &str, stats: &mc::Stats, expect_bug: bool) {
         println!("    first defect: {}", b.bug);
     }
     println!("    ({})", stats.summary());
+    stats.buggy() == expect_bug
 }
 
 fn main() {
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("known_bugs: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = mc::Config {
+        time_budget: args.time_budget,
+        ..mc::Config::default()
+    };
+
     println!("§6.4.1 — known bugs\n");
 
+    let mut failures = 0usize;
+
     // Baseline sanity: correct versions are clean.
-    let stats = ms_queue::check(mc::Config::default(), cdsspec_structures::Ords::defaults(ms_queue::SITES));
-    report("M&S queue, correct orderings", &stats, false);
+    let stats = ms_queue::check(
+        config.clone(),
+        cdsspec_structures::Ords::defaults(ms_queue::SITES),
+    );
+    failures += usize::from(!report("M&S queue, correct orderings", &stats, false));
 
     // AutoMO bug 1: enqueue-side publication too weak.
-    let stats = spec::check(mc::Config::default(), ms_queue::make_spec(), || {
+    let stats = spec::check(config.clone(), ms_queue::make_spec(), || {
         let q = ms_queue::MsQueue::known_bug_enq();
         let q1 = q.clone();
         let t = mc::thread::spawn(move || {
@@ -48,10 +71,14 @@ fn main() {
         let _ = q.deq();
         t.join();
     });
-    report("M&S queue, known enqueue bug (AutoMO)", &stats, true);
+    failures += usize::from(!report(
+        "M&S queue, known enqueue bug (AutoMO)",
+        &stats,
+        true,
+    ));
 
     // AutoMO bug 2: dequeue-side acquisition too weak.
-    let stats = spec::check(mc::Config::default(), ms_queue::make_spec(), || {
+    let stats = spec::check(config.clone(), ms_queue::make_spec(), || {
         let q = ms_queue::MsQueue::known_bug_deq();
         let q1 = q.clone();
         let t = mc::thread::spawn(move || {
@@ -62,16 +89,22 @@ fn main() {
         let _ = q.deq();
         t.join();
     });
-    report("M&S queue, known dequeue bug (AutoMO)", &stats, true);
+    failures += usize::from(!report(
+        "M&S queue, known dequeue bug (AutoMO)",
+        &stats,
+        true,
+    ));
 
     println!();
 
-    let stats =
-        chase_lev::check(mc::Config::default(), cdsspec_structures::Ords::defaults(chase_lev::SITES));
-    report("Chase-Lev deque, correct orderings", &stats, false);
+    let stats = chase_lev::check(
+        config.clone(),
+        cdsspec_structures::Ords::defaults(chase_lev::SITES),
+    );
+    failures += usize::from(!report("Chase-Lev deque, correct orderings", &stats, false));
 
     // CDSChecker's resize bug: uninitialized load.
-    let stats = spec::check(mc::Config::default(), chase_lev::make_spec(), || {
+    let stats = spec::check(config.clone(), chase_lev::make_spec(), || {
         let d = chase_lev::ChaseLev::known_bug();
         let d1 = d.clone();
         let thief = mc::thread::spawn(move || {
@@ -85,10 +118,14 @@ fn main() {
         let _ = d.take();
         thief.join();
     });
-    report("Chase-Lev deque, resize bug (built-in detection)", &stats, true);
+    failures += usize::from(!report(
+        "Chase-Lev deque, resize bug (built-in detection)",
+        &stats,
+        true,
+    ));
 
     // Same bug with initialized buffers: only the spec can catch it.
-    let stats = spec::check(mc::Config::default(), chase_lev::make_spec(), || {
+    let stats = spec::check(config, chase_lev::make_spec(), || {
         let d = chase_lev::ChaseLev::known_bug_initialized();
         let d1 = d.clone();
         let thief = mc::thread::spawn(move || {
@@ -102,10 +139,23 @@ fn main() {
         let _ = d.take();
         thief.join();
     });
-    report("Chase-Lev deque, resize bug (spec-only detection)", &stats, true);
+    failures += usize::from(!report(
+        "Chase-Lev deque, resize bug (spec-only detection)",
+        &stats,
+        true,
+    ));
 
-    println!(
-        "\nAll three known bugs reproduce, including the spec-only re-detection that\n\
-         shows CDSSpec finds bugs the built-in checks cannot (paper §6.4.1)."
-    );
+    if failures == 0 {
+        println!(
+            "\nAll three known bugs reproduce, including the spec-only re-detection that\n\
+             shows CDSSpec finds bugs the built-in checks cannot (paper §6.4.1)."
+        );
+    } else {
+        println!(
+            "\n{failures} reproduction(s) did not match expectations. If a summary line\n\
+             above says `stop: deadline`, the time budget cut exploration short —\n\
+             rerun with a larger --time-budget (or none)."
+        );
+        std::process::exit(1);
+    }
 }

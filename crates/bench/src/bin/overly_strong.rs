@@ -8,15 +8,31 @@
 //! to `relaxed` and lists the survivors.
 //!
 //! ```text
-//! cargo run -p cdsspec-bench --release --bin overly_strong
+//! cargo run -p cdsspec-bench --release --bin overly_strong -- [--time-budget <secs>]
 //! ```
+//!
+//! `--time-budget` bounds each site's exploration wall-clock. As with
+//! the execution cap, a truncated clean trial still lists as a survivor
+//! — a *candidate*, weaker evidence than an exhaustive clean run.
 
+use cdsspec_bench::HarnessArgs;
 use cdsspec_inject::find_overly_strong;
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::benchmarks;
 
 fn main() {
-    let config = mc::Config { max_executions: 300_000, ..mc::Config::default() };
+    let args = match HarnessArgs::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("overly_strong: {e}");
+            std::process::exit(2);
+        }
+    };
+    let config = mc::Config {
+        max_executions: 300_000,
+        time_budget: args.time_budget,
+        ..mc::Config::default()
+    };
     println!("§6.4.3 — overly-strong memory-order candidates\n");
     println!("(sites whose full drop to `relaxed` triggers no violation on the unit test)\n");
 
@@ -24,7 +40,10 @@ fn main() {
     for bench in benchmarks() {
         let survivors = find_overly_strong(&bench, &config);
         if survivors.is_empty() {
-            println!("{:<20} — every non-relaxed parameter is load-bearing", bench.name);
+            println!(
+                "{:<20} — every non-relaxed parameter is load-bearing",
+                bench.name
+            );
         } else {
             for t in &survivors {
                 println!(
@@ -44,7 +63,11 @@ fn main() {
     println!(
         "\nPaper's §6.4.3 claim {}: a seq_cst CAS on the Chase-Lev `top` variable can be \
          weakened with no specification violation.",
-        if chase_lev_top_cas_survives { "REPRODUCED" } else { "NOT reproduced" }
+        if chase_lev_top_cas_survives {
+            "REPRODUCED"
+        } else {
+            "NOT reproduced"
+        }
     );
     println!(
         "Note: a survivor is a candidate, not a proof — as in the paper, the finding\n\

@@ -1,1 +1,370 @@
-//! Evaluation harness crate; see the binaries in `src/bin`.
+//! Shared harness plumbing for the evaluation binaries in `src/bin`:
+//! CLI flags for wall-clock budgets and checkpoint/resume, plus the
+//! figure-specific checkpoint file formats.
+//!
+//! The long-running harnesses (`figure7`, `figure8`) accept
+//!
+//! * `--time-budget <secs>` — a wall-clock budget for the whole run;
+//! * `--checkpoint <path>` — where to write a checkpoint if the budget
+//!   expires (exit status [`EXIT_INTERRUPTED`]);
+//! * `--resume <path>` — pick up a previous run's checkpoint (also the
+//!   default checkpoint destination, so repeated interruptions keep
+//!   updating one file).
+//!
+//! `figure7` checkpoints at *exploration* granularity — completed rows
+//! plus a mid-tree [`mc::Checkpoint`] for the interrupted benchmark — so
+//! an interrupted-and-resumed run reports exactly the counts of a
+//! straight-through one. `figure8` checkpoints at *benchmark*
+//! granularity: completed Figure 8 rows are saved verbatim and the
+//! interrupted benchmark's trials restart, which preserves the same
+//! guarantee (a row is only ever reported from a complete trial set).
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use cdsspec_mc as mc;
+
+/// Exit status when a run stops on its time budget with a checkpoint
+/// written: distinguishable from both success and failure so wrappers
+/// can loop `until exit != 3`.
+pub const EXIT_INTERRUPTED: i32 = 3;
+
+/// Parsed harness flags shared by the evaluation binaries.
+#[derive(Clone, Debug, Default)]
+pub struct HarnessArgs {
+    /// Wall-clock budget for the whole run.
+    pub time_budget: Option<Duration>,
+    /// Explicit checkpoint destination.
+    pub checkpoint: Option<PathBuf>,
+    /// Checkpoint to resume from.
+    pub resume: Option<PathBuf>,
+    /// Per-trial detail (figure8).
+    pub verbose: bool,
+}
+
+impl HarnessArgs {
+    /// Parse command-line flags (pass `std::env::args().skip(1)`).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<HarnessArgs, String> {
+        let mut out = HarnessArgs::default();
+        let mut args = args.peekable();
+        while let Some(flag) = args.next() {
+            match flag.as_str() {
+                "--time-budget" => {
+                    let secs = args
+                        .next()
+                        .ok_or("--time-budget needs a value in seconds")?
+                        .parse::<f64>()
+                        .map_err(|e| format!("--time-budget: {e}"))?;
+                    if !secs.is_finite() || secs < 0.0 {
+                        return Err(format!("--time-budget: bad value {secs}"));
+                    }
+                    out.time_budget = Some(Duration::from_secs_f64(secs));
+                }
+                "--checkpoint" => {
+                    out.checkpoint = Some(PathBuf::from(
+                        args.next().ok_or("--checkpoint needs a path")?,
+                    ));
+                }
+                "--resume" => {
+                    out.resume = Some(PathBuf::from(args.next().ok_or("--resume needs a path")?));
+                }
+                "--verbose" => out.verbose = true,
+                other => {
+                    return Err(format!(
+                        "unknown flag {other} (expected --time-budget <secs>, \
+                         --resume <path>, --checkpoint <path>, --verbose)"
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Where to write a checkpoint on interruption: `--checkpoint` if
+    /// given, else the `--resume` path.
+    pub fn checkpoint_path(&self) -> Option<&Path> {
+        self.checkpoint.as_deref().or(self.resume.as_deref())
+    }
+
+    /// The wall-clock deadline implied by `--time-budget`, fixed at call
+    /// time.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.time_budget.map(|b| Instant::now() + b)
+    }
+}
+
+/// Budget remaining until `deadline` (zero once passed; `None` when
+/// unbudgeted).
+pub fn remaining(deadline: Option<Instant>) -> Option<Duration> {
+    deadline.map(|d| d.saturating_duration_since(Instant::now()))
+}
+
+/// One completed Figure 7 row, preserved verbatim across interruptions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SavedRow7 {
+    /// Benchmark name.
+    pub name: String,
+    /// Executions explored.
+    pub executions: u64,
+    /// Feasible executions.
+    pub feasible: u64,
+    /// Exploration wall-clock, in nanoseconds.
+    pub elapsed_ns: u128,
+    /// Stop-reason label (see [`mc::StopReason`]).
+    pub stop: String,
+    /// Whether the run found a bug.
+    pub buggy: bool,
+}
+
+/// Figure 7 checkpoint: completed rows plus the interrupted benchmark's
+/// mid-tree exploration checkpoint.
+#[derive(Clone, Debug, Default)]
+pub struct Figure7Checkpoint {
+    /// Rows already computed.
+    pub done: Vec<SavedRow7>,
+    /// `(benchmark name, exploration checkpoint)` of the benchmark the
+    /// deadline interrupted, if it struck mid-benchmark.
+    pub current: Option<(String, mc::Checkpoint)>,
+}
+
+impl Figure7Checkpoint {
+    /// Serialize. Benchmark names must not contain `|` or newlines (the
+    /// registry's never do).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("figure7-checkpoint v1\n");
+        for r in &self.done {
+            out.push_str(&format!(
+                "row {}|{}|{}|{}|{}|{}\n",
+                r.name, r.executions, r.feasible, r.elapsed_ns, r.stop, r.buggy as u8
+            ));
+        }
+        if let Some((name, ckpt)) = &self.current {
+            out.push_str(&format!("current {name}\n"));
+            out.push_str(&ckpt.to_text());
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse a [`Figure7Checkpoint::to_text`] serialization.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("figure7-checkpoint v1") {
+            return Err("not a figure7 checkpoint (bad header)".into());
+        }
+        let mut out = Figure7Checkpoint::default();
+        let mut closed = false;
+        while let Some(line) = lines.next() {
+            if line == "end" {
+                closed = true;
+                break;
+            } else if let Some(rest) = line.strip_prefix("row ") {
+                let f: Vec<&str> = rest.split('|').collect();
+                if f.len() != 6 {
+                    return Err(format!("bad row line: {line}"));
+                }
+                let num = |s: &str| s.parse::<u64>().map_err(|e| format!("bad row field: {e}"));
+                out.done.push(SavedRow7 {
+                    name: f[0].to_string(),
+                    executions: num(f[1])?,
+                    feasible: num(f[2])?,
+                    elapsed_ns: f[3].parse().map_err(|e| format!("bad row field: {e}"))?,
+                    stop: f[4].to_string(),
+                    buggy: f[5] == "1",
+                });
+            } else if let Some(name) = line.strip_prefix("current ") {
+                // The embedded exploration checkpoint runs to its own
+                // `end` terminator.
+                let mut inner = String::new();
+                for l in lines.by_ref() {
+                    inner.push_str(l);
+                    inner.push('\n');
+                    if l == "end" {
+                        break;
+                    }
+                }
+                let ckpt = mc::Checkpoint::from_text(&inner)?;
+                out.current = Some((name.to_string(), ckpt));
+            } else {
+                return Err(format!("unrecognized checkpoint line: {line}"));
+            }
+        }
+        if !closed {
+            return Err("truncated figure7 checkpoint (missing end)".into());
+        }
+        Ok(out)
+    }
+}
+
+/// One completed Figure 8 row, preserved verbatim across interruptions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SavedRow8 {
+    /// Benchmark name.
+    pub name: String,
+    /// Injections performed.
+    pub injections: usize,
+    /// Built-in detections.
+    pub builtin: usize,
+    /// Admissibility detections.
+    pub admissibility: usize,
+    /// Assertion detections.
+    pub assertion: usize,
+    /// Errored trials.
+    pub errored: usize,
+}
+
+/// Figure 8 checkpoint: benchmark-granularity — completed rows only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Figure8Checkpoint {
+    /// Rows already computed.
+    pub done: Vec<SavedRow8>,
+}
+
+impl Figure8Checkpoint {
+    /// Serialize (same `|`-separated convention as Figure 7).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("figure8-checkpoint v1\n");
+        for r in &self.done {
+            out.push_str(&format!(
+                "row {}|{}|{}|{}|{}|{}\n",
+                r.name, r.injections, r.builtin, r.admissibility, r.assertion, r.errored
+            ));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse a [`Figure8Checkpoint::to_text`] serialization.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("figure8-checkpoint v1") {
+            return Err("not a figure8 checkpoint (bad header)".into());
+        }
+        let mut out = Figure8Checkpoint::default();
+        let mut closed = false;
+        for line in lines {
+            if line == "end" {
+                closed = true;
+                break;
+            }
+            let rest = line
+                .strip_prefix("row ")
+                .ok_or_else(|| format!("bad line: {line}"))?;
+            let f: Vec<&str> = rest.split('|').collect();
+            if f.len() != 6 {
+                return Err(format!("bad row line: {line}"));
+            }
+            let num = |s: &str| {
+                s.parse::<usize>()
+                    .map_err(|e| format!("bad row field: {e}"))
+            };
+            out.done.push(SavedRow8 {
+                name: f[0].to_string(),
+                injections: num(f[1])?,
+                builtin: num(f[2])?,
+                admissibility: num(f[3])?,
+                assertion: num(f[4])?,
+                errored: num(f[5])?,
+            });
+        }
+        if !closed {
+            return Err("truncated figure8 checkpoint (missing end)".into());
+        }
+        Ok(out)
+    }
+}
+
+/// Load and parse a checkpoint file through `parse`.
+pub fn load_checkpoint<T>(
+    path: &Path,
+    parse: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<T, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse(&text)
+}
+
+/// Write a checkpoint file (best effort is not enough here — an
+/// unwritable checkpoint is a hard error, the run's work would be lost).
+pub fn store_checkpoint(path: &Path, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> impl Iterator<Item = String> {
+        v.iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = HarnessArgs::parse(strings(&[
+            "--time-budget",
+            "1.5",
+            "--resume",
+            "ck.txt",
+            "--verbose",
+        ]))
+        .unwrap();
+        assert_eq!(a.time_budget, Some(Duration::from_millis(1500)));
+        assert_eq!(a.checkpoint_path(), Some(Path::new("ck.txt")));
+        assert!(a.verbose);
+        assert!(HarnessArgs::parse(strings(&["--bogus"])).is_err());
+        assert!(HarnessArgs::parse(strings(&["--time-budget", "-1"])).is_err());
+        assert!(HarnessArgs::parse(strings(&["--time-budget"])).is_err());
+    }
+
+    #[test]
+    fn explicit_checkpoint_beats_resume_path() {
+        let a = HarnessArgs::parse(strings(&["--resume", "a", "--checkpoint", "b"])).unwrap();
+        assert_eq!(a.checkpoint_path(), Some(Path::new("b")));
+    }
+
+    #[test]
+    fn figure7_checkpoint_round_trips() {
+        let mut inner = mc::Checkpoint::root();
+        inner.script = vec![0, 3, 1];
+        inner.stats.executions = 17;
+        inner.stats.stop = mc::StopReason::Deadline;
+        let ck = Figure7Checkpoint {
+            done: vec![SavedRow7 {
+                name: "SPSC Queue".into(),
+                executions: 42,
+                feasible: 30,
+                elapsed_ns: 1_000_000,
+                stop: "exhausted".into(),
+                buggy: false,
+            }],
+            current: Some(("RCU".into(), inner)),
+        };
+        let back = Figure7Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert_eq!(back.done, ck.done);
+        let (name, ckpt) = back.current.unwrap();
+        assert_eq!(name, "RCU");
+        assert_eq!(ckpt.script, vec![0, 3, 1]);
+        assert_eq!(ckpt.stats.executions, 17);
+    }
+
+    #[test]
+    fn figure8_checkpoint_round_trips() {
+        let ck = Figure8Checkpoint {
+            done: vec![SavedRow8 {
+                name: "Ticket Lock".into(),
+                injections: 2,
+                builtin: 0,
+                admissibility: 0,
+                assertion: 2,
+                errored: 0,
+            }],
+        };
+        assert_eq!(Figure8Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
+        assert!(Figure8Checkpoint::from_text("garbage").is_err());
+        assert!(Figure8Checkpoint::from_text("figure8-checkpoint v1\nrow x|1\nend").is_err());
+        assert!(Figure8Checkpoint::from_text("figure8-checkpoint v1\n").is_err());
+    }
+}

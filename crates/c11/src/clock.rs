@@ -58,9 +58,7 @@ impl VecClock {
 
     /// Does this clock dominate `other` pointwise (`other ⊑ self`)?
     pub fn includes(&self, other: &VecClock) -> bool {
-        (0..other.counts.len()).all(|i| {
-            other.counts[i] <= self.counts.get(i).copied().unwrap_or(0)
-        })
+        (0..other.counts.len()).all(|i| other.counts[i] <= self.counts.get(i).copied().unwrap_or(0))
     }
 
     /// Does this clock know about event number `seq` (1-based) of `tid`?

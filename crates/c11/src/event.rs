@@ -108,7 +108,11 @@ impl EventKind {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            EventKind::AtomicStore { .. } | EventKind::Rmw { written: Some(_), .. }
+            EventKind::AtomicStore { .. }
+                | EventKind::Rmw {
+                    written: Some(_),
+                    ..
+                }
         )
     }
 
@@ -149,7 +153,11 @@ impl EventKind {
     pub fn mo_index(&self) -> Option<u32> {
         match self {
             EventKind::AtomicStore { mo_index, .. } => Some(*mo_index),
-            EventKind::Rmw { written: Some(_), mo_index, .. } => Some(*mo_index),
+            EventKind::Rmw {
+                written: Some(_),
+                mo_index,
+                ..
+            } => Some(*mo_index),
             _ => None,
         }
     }
@@ -196,7 +204,9 @@ mod tests {
             id: EventId(id),
             tid: Tid(tid),
             seq,
-            kind: EventKind::Fence { ord: MemOrd::SeqCst },
+            kind: EventKind::Fence {
+                ord: MemOrd::SeqCst,
+            },
             clock,
             sc_index: None,
         }
@@ -244,7 +254,9 @@ mod tests {
         assert_eq!(failed_cas.written_val(), None);
         assert_eq!(failed_cas.mo_index(), None);
 
-        let fence = EventKind::Fence { ord: MemOrd::AcqRel };
+        let fence = EventKind::Fence {
+            ord: MemOrd::AcqRel,
+        };
         assert_eq!(fence.atomic_loc(), None);
         assert_eq!(fence.ord(), Some(MemOrd::AcqRel));
     }

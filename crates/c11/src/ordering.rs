@@ -174,9 +174,14 @@ mod tests {
     #[test]
     fn weakening_strictly_weakens() {
         for o in [Relaxed, Acquire, Release, AcqRel, SeqCst] {
-            for w in [o.weaken_load(), o.weaken_store(), o.weaken_rmw(), o.weaken_rmw_acq()]
-                .into_iter()
-                .flatten()
+            for w in [
+                o.weaken_load(),
+                o.weaken_store(),
+                o.weaken_rmw(),
+                o.weaken_rmw_acq(),
+            ]
+            .into_iter()
+            .flatten()
             {
                 assert!(o.at_least(w) && o != w, "{o} -> {w} must strictly weaken");
             }

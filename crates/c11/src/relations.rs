@@ -24,7 +24,12 @@ pub enum AxiomError {
     /// `hb` contradicts execution order (would imply a cycle).
     HbCycle { a: EventId, b: EventId },
     /// The stored vector clocks disagree with the recomputed `hb`.
-    ClockMismatch { a: EventId, b: EventId, online: bool, offline: bool },
+    ClockMismatch {
+        a: EventId,
+        b: EventId,
+        online: bool,
+        offline: bool,
+    },
     /// A read's `rf` edge is malformed (wrong location, wrong value, or
     /// points forward in execution order).
     BadRf { read: EventId, detail: String },
@@ -52,7 +57,12 @@ impl std::fmt::Display for AxiomError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AxiomError::HbCycle { a, b } => write!(f, "hb cycle between {a} and {b}"),
-            AxiomError::ClockMismatch { a, b, online, offline } => write!(
+            AxiomError::ClockMismatch {
+                a,
+                b,
+                online,
+                offline,
+            } => write!(
                 f,
                 "clock mismatch for ({a},{b}): online hb={online}, offline hb={offline}"
             ),
@@ -88,7 +98,10 @@ struct HbMatrix {
 
 impl HbMatrix {
     fn new(n: usize) -> Self {
-        HbMatrix { n, bits: vec![false; n * n] }
+        HbMatrix {
+            n,
+            bits: vec![false; n * n],
+        }
     }
 
     #[inline]
@@ -265,7 +278,10 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
     for a in 0..n {
         for b in 0..n {
             if hb.get(a, b) && b <= a {
-                errors.push(AxiomError::HbCycle { a: EventId(a as u32), b: EventId(b as u32) });
+                errors.push(AxiomError::HbCycle {
+                    a: EventId(a as u32),
+                    b: EventId(b as u32),
+                });
             }
         }
     }
@@ -294,7 +310,9 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
     for (ri, r) in trace.events.iter().enumerate() {
         let (loc, rf, read_val) = match &r.kind {
             EventKind::AtomicLoad { loc, rf, val, .. } => (*loc, *rf, *val),
-            EventKind::Rmw { loc, rf, read_val, .. } => (*loc, *rf, *read_val),
+            EventKind::Rmw {
+                loc, rf, read_val, ..
+            } => (*loc, *rf, *read_val),
             _ => continue,
         };
         let Some(w) = rf else { continue };
@@ -326,7 +344,10 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
         for &w2 in trace.mo_of(loc) {
             let w2e = trace.event(w2);
             if w2e.kind.mo_index().unwrap_or(0) > w_mo && hb.get(w2.idx(), ri) {
-                errors.push(AxiomError::CoWr { read: EventId(ri as u32), hidden_by: w2 });
+                errors.push(AxiomError::CoWr {
+                    read: EventId(ri as u32),
+                    hidden_by: w2,
+                });
             }
         }
 
@@ -334,7 +355,10 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
         for &w2 in trace.mo_of(loc) {
             let w2e = trace.event(w2);
             if hb.get(ri, w2.idx()) && w2e.kind.mo_index().unwrap_or(0) <= w_mo && w2 != w {
-                errors.push(AxiomError::CoRw { read: EventId(ri as u32), write: w2 });
+                errors.push(AxiomError::CoRw {
+                    read: EventId(ri as u32),
+                    write: w2,
+                });
             }
         }
     }
@@ -363,7 +387,10 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
             let ma = trace.event(wa).kind.mo_index().unwrap_or(0);
             let mb = trace.event(wb).kind.mo_index().unwrap_or(0);
             if ma > mb {
-                errors.push(AxiomError::CoRr { first: EventId(i as u32), second: EventId(j as u32) });
+                errors.push(AxiomError::CoRr {
+                    first: EventId(i as u32),
+                    second: EventId(j as u32),
+                });
             }
         }
     }
@@ -373,7 +400,10 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
         for (x, &w1) in locs.iter().enumerate() {
             for &w2 in &locs[x + 1..] {
                 if hb.get(w2.idx(), w1.idx()) {
-                    errors.push(AxiomError::CoWw { first: w2, second: w1 });
+                    errors.push(AxiomError::CoWw {
+                        first: w2,
+                        second: w1,
+                    });
                 }
             }
         }
@@ -381,13 +411,21 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
 
     // RMW atomicity.
     for (i, e) in trace.events.iter().enumerate() {
-        if let EventKind::Rmw { rf, written: Some(_), mo_index, .. } = &e.kind {
+        if let EventKind::Rmw {
+            rf,
+            written: Some(_),
+            mo_index,
+            ..
+        } = &e.kind
+        {
             let expected_prev = match rf {
                 Some(w) => trace.event(*w).kind.mo_index().map(|m| m + 1),
                 None => Some(0),
             };
             if expected_prev != Some(*mo_index) {
-                errors.push(AxiomError::RmwAtomicity { rmw: EventId(i as u32) });
+                errors.push(AxiomError::RmwAtomicity {
+                    rmw: EventId(i as u32),
+                });
             }
         }
     }
@@ -443,18 +481,28 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
         let nthreads = trace.num_threads as usize;
         let mut sc_last_store = CoherenceMap::new();
         let mut published = CoherenceMap::new();
-        let mut own_stores: Vec<CoherenceMap> = (0..nthreads).map(|_| CoherenceMap::new()).collect();
-        let mut fence_floor: Vec<CoherenceMap> = (0..nthreads).map(|_| CoherenceMap::new()).collect();
+        let mut own_stores: Vec<CoherenceMap> =
+            (0..nthreads).map(|_| CoherenceMap::new()).collect();
+        let mut fence_floor: Vec<CoherenceMap> =
+            (0..nthreads).map(|_| CoherenceMap::new()).collect();
 
         for e in &trace.events {
             match &e.kind {
-                EventKind::AtomicStore { loc, ord, mo_index, .. } => {
+                EventKind::AtomicStore {
+                    loc, ord, mo_index, ..
+                } => {
                     own_stores[e.tid.idx()].raise(*loc, *mo_index);
                     if ord.is_seq_cst() {
                         sc_last_store.raise(*loc, *mo_index);
                     }
                 }
-                EventKind::Rmw { loc, ord, written: Some(_), mo_index, .. } => {
+                EventKind::Rmw {
+                    loc,
+                    ord,
+                    written: Some(_),
+                    mo_index,
+                    ..
+                } => {
                     own_stores[e.tid.idx()].raise(*loc, *mo_index);
                     if ord.is_seq_cst() {
                         sc_last_store.raise(*loc, *mo_index);
@@ -467,18 +515,34 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
                     let own = own_stores[t].clone();
                     published.join(&own); // p5 (and later p6)
                 }
-                EventKind::AtomicLoad { loc, ord, rf: Some(w), .. }
-                | EventKind::Rmw { loc, ord, rf: Some(w), .. } => {
+                EventKind::AtomicLoad {
+                    loc,
+                    ord,
+                    rf: Some(w),
+                    ..
+                }
+                | EventKind::Rmw {
+                    loc,
+                    ord,
+                    rf: Some(w),
+                    ..
+                } => {
                     let got = trace.event(*w).kind.mo_index().unwrap_or(0);
                     if let Some(fl) = fence_floor[e.tid.idx()].get(*loc) {
                         if got < fl {
-                            errors.push(AxiomError::ScFence { read: e.id, rule: "p4/p6" });
+                            errors.push(AxiomError::ScFence {
+                                read: e.id,
+                                rule: "p4/p6",
+                            });
                         }
                     }
                     if ord.is_seq_cst() {
                         if let Some(fl) = published.get(*loc) {
                             if got < fl {
-                                errors.push(AxiomError::ScFence { read: e.id, rule: "p5" });
+                                errors.push(AxiomError::ScFence {
+                                    read: e.id,
+                                    rule: "p5",
+                                });
                             }
                         }
                     }
@@ -511,7 +575,12 @@ mod tests {
 
     impl Builder {
         fn new(threads: usize) -> Self {
-            Builder { events: Vec::new(), mo: Vec::new(), sc: Vec::new(), seqs: vec![0; threads] }
+            Builder {
+                events: Vec::new(),
+                mo: Vec::new(),
+                sc: Vec::new(),
+                seqs: vec![0; threads],
+            }
         }
 
         fn push(&mut self, tid: u32, kind: EventKind) -> EventId {
@@ -544,14 +613,35 @@ mod tests {
         }
 
         fn store(&mut self, tid: u32, loc: u32, ord: MemOrd, val: Val) -> EventId {
-            let mo_index =
-                self.mo.get(loc as usize).map(|v| v.len() as u32).unwrap_or(0);
-            self.push(tid, EventKind::AtomicStore { loc: LocId(loc), ord, val, mo_index })
+            let mo_index = self
+                .mo
+                .get(loc as usize)
+                .map(|v| v.len() as u32)
+                .unwrap_or(0);
+            self.push(
+                tid,
+                EventKind::AtomicStore {
+                    loc: LocId(loc),
+                    ord,
+                    val,
+                    mo_index,
+                },
+            )
         }
 
         fn load(&mut self, tid: u32, loc: u32, ord: MemOrd, rf: Option<EventId>) -> EventId {
-            let val = rf.map(|w| self.events[w.idx()].kind.written_val().unwrap()).unwrap_or(0);
-            self.push(tid, EventKind::AtomicLoad { loc: LocId(loc), ord, rf, val })
+            let val = rf
+                .map(|w| self.events[w.idx()].kind.written_val().unwrap())
+                .unwrap_or(0);
+            self.push(
+                tid,
+                EventKind::AtomicLoad {
+                    loc: LocId(loc),
+                    ord,
+                    rf,
+                    val,
+                },
+            )
         }
 
         fn finish(mut self) -> Trace {
@@ -610,7 +700,8 @@ mod tests {
         let t = b.finish();
         let errs = validate(&t, false);
         assert!(
-            errs.iter().any(|e| matches!(e, AxiomError::CoWr { .. } | AxiomError::CoRr { .. })),
+            errs.iter()
+                .any(|e| matches!(e, AxiomError::CoWr { .. } | AxiomError::CoRr { .. })),
             "{errs:?}"
         );
     }
@@ -626,7 +717,10 @@ mod tests {
         b.load(1, 0, Relaxed, Some(w1));
         let t = b.finish();
         let errs = validate(&t, false);
-        assert!(errs.iter().any(|e| matches!(e, AxiomError::CoRr { .. })), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::CoRr { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -654,7 +748,10 @@ mod tests {
         b.load(2, 0, SeqCst, Some(w1));
         let t = b.finish();
         let errs = validate(&t, false);
-        assert!(errs.iter().any(|e| matches!(e, AxiomError::ScRead { .. })), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::ScRead { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -678,7 +775,10 @@ mod tests {
         let r = b.load(2, 0, Acquire, Some(rmw));
         let t = b.finish();
         assert!(validate(&t, true).is_empty());
-        assert!(t.hb(h, r), "release sequence must give hb(head, acquire reader)");
+        assert!(
+            t.hb(h, r),
+            "release sequence must give hb(head, acquire reader)"
+        );
     }
 
     #[test]
@@ -694,7 +794,10 @@ mod tests {
         let r = b.load(1, 0, Relaxed, Some(d));
         let t = b.finish();
         assert!(validate(&t, true).is_empty());
-        assert!(t.hb(d, r), "fence-fence synchronization must order the data accesses");
+        assert!(
+            t.hb(d, r),
+            "fence-fence synchronization must order the data accesses"
+        );
     }
 
     #[test]
@@ -717,7 +820,11 @@ mod tests {
         );
         let t = b.finish();
         let errs = validate(&t, false);
-        assert!(errs.iter().any(|e| matches!(e, AxiomError::RmwAtomicity { .. })), "{errs:?}");
+        assert!(
+            errs.iter()
+                .any(|e| matches!(e, AxiomError::RmwAtomicity { .. })),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -732,7 +839,8 @@ mod tests {
         let t = b.finish();
         let errs = validate(&t, false);
         assert!(
-            errs.iter().any(|e| matches!(e, AxiomError::ScFence { rule: "p5", .. })),
+            errs.iter()
+                .any(|e| matches!(e, AxiomError::ScFence { rule: "p5", .. })),
             "{errs:?}"
         );
     }
@@ -750,7 +858,8 @@ mod tests {
         let t = b.finish();
         let errs = validate(&t, false);
         assert!(
-            errs.iter().any(|e| matches!(e, AxiomError::ScFence { rule: "p4/p6", .. })),
+            errs.iter()
+                .any(|e| matches!(e, AxiomError::ScFence { rule: "p4/p6", .. })),
             "{errs:?}"
         );
     }
@@ -774,10 +883,18 @@ mod tests {
         let w = b.store(0, 0, Relaxed, 1);
         b.push(
             0,
-            EventKind::AtomicLoad { loc: LocId(0), ord: Relaxed, rf: Some(w), val: 99 },
+            EventKind::AtomicLoad {
+                loc: LocId(0),
+                ord: Relaxed,
+                rf: Some(w),
+                val: 99,
+            },
         );
         let t = b.finish();
         let errs = validate(&t, false);
-        assert!(errs.iter().any(|e| matches!(e, AxiomError::BadRf { .. })), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| matches!(e, AxiomError::BadRf { .. })),
+            "{errs:?}"
+        );
     }
 }

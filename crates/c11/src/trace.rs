@@ -211,16 +211,26 @@ impl Trace {
                         }
                     }
                 }
-                EventKind::AtomicStore { loc, ord, val, mo_index } => {
+                EventKind::AtomicStore {
+                    loc,
+                    ord,
+                    val,
+                    mo_index,
+                } => {
                     let _ = write!(s, "store {loc} {ord} := {val} (mo {mo_index})");
                 }
-                EventKind::Rmw { loc, ord, rf, read_val, written, mo_index } => {
+                EventKind::Rmw {
+                    loc,
+                    ord,
+                    rf,
+                    read_val,
+                    written,
+                    mo_index,
+                } => {
                     match written {
                         Some(w) => {
-                            let _ = write!(
-                                s,
-                                "rmw   {loc} {ord} {read_val} -> {w} (mo {mo_index})"
-                            );
+                            let _ =
+                                write!(s, "rmw   {loc} {ord} {read_val} -> {w} (mo {mo_index})");
                         }
                         None => {
                             let _ = write!(s, "rmw   {loc} {ord} read {read_val} (failed)");
@@ -267,7 +277,14 @@ mod tests {
     fn mk_event(id: u32, tid: u32, seq: u32, kind: EventKind, sc: Option<u32>) -> Event {
         let mut clock = Clock::new();
         clock.vc.set(Tid(tid), seq);
-        Event { id: EventId(id), tid: Tid(tid), seq, kind, clock, sc_index: sc }
+        Event {
+            id: EventId(id),
+            tid: Tid(tid),
+            seq,
+            kind,
+            clock,
+            sc_index: sc,
+        }
     }
 
     fn two_event_trace() -> Trace {
@@ -275,7 +292,12 @@ mod tests {
             0,
             0,
             1,
-            EventKind::AtomicStore { loc: LocId(0), ord: MemOrd::SeqCst, val: 1, mo_index: 0 },
+            EventKind::AtomicStore {
+                loc: LocId(0),
+                ord: MemOrd::SeqCst,
+                val: 1,
+                mo_index: 0,
+            },
             Some(0),
         );
         let mut load = mk_event(
@@ -344,7 +366,8 @@ mod tests {
     #[test]
     fn atomic_op_count_ignores_thread_events() {
         let mut t = two_event_trace();
-        t.events.push(mk_event(2, 0, 2, EventKind::ThreadFinish, None));
+        t.events
+            .push(mk_event(2, 0, 2, EventKind::ThreadFinish, None));
         assert_eq!(t.atomic_op_count(), 2);
     }
 }

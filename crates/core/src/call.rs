@@ -73,7 +73,10 @@ impl std::fmt::Display for ExtractError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExtractError::OpWithoutOperation { tid, method } => {
-                write!(f, "{tid}: ordering-point annotation in `{method}` precedes any atomic op")
+                write!(
+                    f,
+                    "{tid}: ordering-point annotation in `{method}` precedes any atomic op"
+                )
             }
             ExtractError::EndWithoutBegin { tid } => {
                 write!(f, "{tid}: method end without begin")
@@ -85,7 +88,10 @@ impl std::fmt::Display for ExtractError {
                 write!(f, "{tid}: thread finished inside method `{method}`")
             }
             ExtractError::NoOrderingPoints { tid, method } => {
-                write!(f, "{tid}: method `{method}` completed without any ordering point")
+                write!(
+                    f,
+                    "{tid}: method `{method}` completed without any ordering point"
+                )
             }
         }
     }
@@ -123,20 +129,27 @@ pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
                 }
             },
             SpecNote::MethodArg { val } => {
-                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
                 if oc.depth == 0 {
                     oc.args.push(*val);
                 }
             }
             SpecNote::MethodEnd { ret } => {
-                let oc = slot.as_mut().ok_or(ExtractError::EndWithoutBegin { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::EndWithoutBegin { tid: ann.tid })?;
                 if oc.depth > 0 {
                     oc.depth -= 1;
                     continue;
                 }
                 let oc = slot.take().expect("checked above");
                 if oc.confirmed.is_empty() {
-                    return Err(ExtractError::NoOrderingPoints { tid: ann.tid, method: oc.name });
+                    return Err(ExtractError::NoOrderingPoints {
+                        tid: ann.tid,
+                        method: oc.name,
+                    });
                 }
                 calls.push(MethodCall {
                     id: CallId(calls.len() as u32),
@@ -149,7 +162,9 @@ pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
                 });
             }
             SpecNote::OpDefine => {
-                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
                 let ev = ann.after.ok_or(ExtractError::OpWithoutOperation {
                     tid: ann.tid,
                     method: oc.name,
@@ -157,12 +172,16 @@ pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
                 oc.confirmed.push(ev);
             }
             SpecNote::OpClear => {
-                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
                 oc.confirmed.clear();
                 oc.potential.clear();
             }
             SpecNote::PotentialOp { label } => {
-                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
                 let ev = ann.after.ok_or(ExtractError::OpWithoutOperation {
                     tid: ann.tid,
                     method: oc.name,
@@ -170,7 +189,9 @@ pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
                 oc.potential.push((label, ev));
             }
             SpecNote::OpCheck { label } => {
-                let oc = slot.as_mut().ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
+                let oc = slot
+                    .as_mut()
+                    .ok_or(ExtractError::NoteOutsideMethod { tid: ann.tid })?;
                 let mut kept = Vec::new();
                 for (l, ev) in oc.potential.drain(..) {
                     if l == *label {
@@ -186,7 +207,10 @@ pub fn extract_calls(trace: &Trace) -> Result<Vec<MethodCall>, ExtractError> {
 
     for (i, slot) in open.iter().enumerate() {
         if let Some(oc) = slot {
-            return Err(ExtractError::UnclosedMethod { tid: Tid(i as u32), method: oc.name });
+            return Err(ExtractError::UnclosedMethod {
+                tid: Tid(i as u32),
+                method: oc.name,
+            });
         }
     }
     Ok(calls)
@@ -198,19 +222,40 @@ mod tests {
     use cdsspec_c11::{Annotation, SpecVal};
 
     fn ann(tid: u32, after: Option<u32>, note: SpecNote) -> Annotation {
-        Annotation { tid: Tid(tid), after: after.map(EventId), note }
+        Annotation {
+            tid: Tid(tid),
+            after: after.map(EventId),
+            note,
+        }
     }
 
     fn trace_with(annotations: Vec<Annotation>, threads: u32) -> Trace {
-        Trace { annotations, num_threads: threads, ..Trace::default() }
+        Trace {
+            annotations,
+            num_threads: threads,
+            ..Trace::default()
+        }
     }
 
     #[test]
     fn simple_call_extraction() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "enq" }),
-                ann(0, None, SpecNote::MethodArg { val: SpecVal::I64(7) }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "enq",
+                    },
+                ),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodArg {
+                        val: SpecVal::I64(7),
+                    },
+                ),
                 ann(0, Some(3), SpecNote::OpDefine),
                 ann(0, Some(4), SpecNote::MethodEnd { ret: SpecVal::Unit }),
             ],
@@ -227,11 +272,24 @@ mod tests {
     fn op_clear_discards_previous_points() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "deq" }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "deq",
+                    },
+                ),
                 ann(0, Some(1), SpecNote::OpDefine),
                 ann(0, Some(2), SpecNote::OpClear),
                 ann(0, Some(2), SpecNote::OpDefine), // OPClearDefine expansion
-                ann(0, Some(3), SpecNote::MethodEnd { ret: SpecVal::I64(-1) }),
+                ann(
+                    0,
+                    Some(3),
+                    SpecNote::MethodEnd {
+                        ret: SpecVal::I64(-1),
+                    },
+                ),
             ],
             1,
         );
@@ -244,7 +302,14 @@ mod tests {
     fn potential_op_confirmed_by_check() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "get" }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "get",
+                    },
+                ),
                 ann(0, Some(1), SpecNote::PotentialOp { label: "A" }),
                 ann(0, Some(2), SpecNote::PotentialOp { label: "B" }),
                 ann(0, Some(3), SpecNote::OpCheck { label: "B" }),
@@ -253,14 +318,25 @@ mod tests {
             1,
         );
         let calls = extract_calls(&t).unwrap();
-        assert_eq!(calls[0].ordering_points, vec![EventId(2)], "only the checked label");
+        assert_eq!(
+            calls[0].ordering_points,
+            vec![EventId(2)],
+            "only the checked label"
+        );
     }
 
     #[test]
     fn unchecked_potential_op_is_dropped() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "get" }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "get",
+                    },
+                ),
                 ann(0, Some(1), SpecNote::OpDefine),
                 ann(0, Some(2), SpecNote::PotentialOp { label: "A" }),
                 ann(0, Some(3), SpecNote::MethodEnd { ret: SpecVal::Unit }),
@@ -275,8 +351,22 @@ mod tests {
     fn nested_calls_fold_into_outermost() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "put_all" }),
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "put" }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "put_all",
+                    },
+                ),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "put",
+                    },
+                ),
                 ann(0, Some(1), SpecNote::OpDefine),
                 ann(0, Some(1), SpecNote::MethodEnd { ret: SpecVal::Unit }),
                 ann(0, Some(2), SpecNote::MethodEnd { ret: SpecVal::Unit }),
@@ -293,11 +383,31 @@ mod tests {
     fn interleaved_threads_extract_independently() {
         let t = trace_with(
             vec![
-                ann(0, None, SpecNote::MethodBegin { obj: 1, name: "enq" }),
-                ann(1, None, SpecNote::MethodBegin { obj: 1, name: "deq" }),
+                ann(
+                    0,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "enq",
+                    },
+                ),
+                ann(
+                    1,
+                    None,
+                    SpecNote::MethodBegin {
+                        obj: 1,
+                        name: "deq",
+                    },
+                ),
                 ann(0, Some(1), SpecNote::OpDefine),
                 ann(1, Some(2), SpecNote::OpDefine),
-                ann(1, Some(2), SpecNote::MethodEnd { ret: SpecVal::I64(5) }),
+                ann(
+                    1,
+                    Some(2),
+                    SpecNote::MethodEnd {
+                        ret: SpecVal::I64(5),
+                    },
+                ),
                 ann(0, Some(1), SpecNote::MethodEnd { ret: SpecVal::Unit }),
             ],
             2,
@@ -311,11 +421,20 @@ mod tests {
 
     #[test]
     fn errors_are_reported() {
-        let t = trace_with(vec![ann(0, None, SpecNote::MethodEnd { ret: SpecVal::Unit })], 1);
-        assert_eq!(extract_calls(&t), Err(ExtractError::EndWithoutBegin { tid: Tid(0) }));
+        let t = trace_with(
+            vec![ann(0, None, SpecNote::MethodEnd { ret: SpecVal::Unit })],
+            1,
+        );
+        assert_eq!(
+            extract_calls(&t),
+            Err(ExtractError::EndWithoutBegin { tid: Tid(0) })
+        );
 
         let t = trace_with(vec![ann(0, None, SpecNote::OpDefine)], 1);
-        assert_eq!(extract_calls(&t), Err(ExtractError::NoteOutsideMethod { tid: Tid(0) }));
+        assert_eq!(
+            extract_calls(&t),
+            Err(ExtractError::NoteOutsideMethod { tid: Tid(0) })
+        );
 
         let t = trace_with(
             vec![
@@ -326,11 +445,23 @@ mod tests {
         );
         assert_eq!(
             extract_calls(&t),
-            Err(ExtractError::OpWithoutOperation { tid: Tid(0), method: "m" })
+            Err(ExtractError::OpWithoutOperation {
+                tid: Tid(0),
+                method: "m"
+            })
         );
 
-        let t = trace_with(vec![ann(0, None, SpecNote::MethodBegin { obj: 1, name: "m" })], 1);
-        assert_eq!(extract_calls(&t), Err(ExtractError::UnclosedMethod { tid: Tid(0), method: "m" }));
+        let t = trace_with(
+            vec![ann(0, None, SpecNote::MethodBegin { obj: 1, name: "m" })],
+            1,
+        );
+        assert_eq!(
+            extract_calls(&t),
+            Err(ExtractError::UnclosedMethod {
+                tid: Tid(0),
+                method: "m"
+            })
+        );
 
         let t = trace_with(
             vec![
@@ -341,7 +472,10 @@ mod tests {
         );
         assert_eq!(
             extract_calls(&t),
-            Err(ExtractError::NoOrderingPoints { tid: Tid(0), method: "m" })
+            Err(ExtractError::NoOrderingPoints {
+                tid: Tid(0),
+                method: "m"
+            })
         );
     }
 }

@@ -53,8 +53,12 @@ fn render_history(calls: &[MethodCall], h: &[usize]) -> String {
     h.iter()
         .map(|&i| {
             let c = &calls[i];
-            let args =
-                c.args.iter().map(|a| format!("{a:?}")).collect::<Vec<_>>().join(",");
+            let args = c
+                .args
+                .iter()
+                .map(|a| format!("{a:?}"))
+                .collect::<Vec<_>>()
+                .join(",");
             format!("{}#{}({args})={:?}", c.name, c.id.0, c.ret)
         })
         .collect::<Vec<_>>()
@@ -71,7 +75,9 @@ pub fn build_call_order(trace: &Trace, calls: &[MethodCall]) -> CallOrder {
                 continue;
             }
             let ordered = a.ordering_points.iter().any(|&x| {
-                b.ordering_points.iter().any(|&y| x != y && trace.ordered_before(x, y))
+                b.ordering_points
+                    .iter()
+                    .any(|&y| x != y && trace.ordered_before(x, y))
             });
             if ordered {
                 order.add_edge(i, j);
@@ -87,7 +93,10 @@ impl<S: Send + 'static> SpecChecker<S> {
     /// instance independently against its own sequential state
     /// (specification composition, paper §3.2 / Theorem 1).
     fn check_inner(&self, trace: &Trace) -> Vec<Bug> {
-        let plugin_bug = |message: String| Bug::Plugin { plugin: "cdsspec", message };
+        let plugin_bug = |message: String| Bug::Plugin {
+            plugin: "cdsspec",
+            message,
+        };
 
         let all_calls = match extract_calls(trace) {
             Ok(c) => c,
@@ -113,10 +122,16 @@ impl<S: Send + 'static> SpecChecker<S> {
 
     /// Check the projection of the execution onto one object.
     fn check_object(&self, trace: &Trace, calls: &[MethodCall]) -> Vec<Bug> {
-        let plugin_bug = |message: String| Bug::Plugin { plugin: "cdsspec", message };
+        let plugin_bug = |message: String| Bug::Plugin {
+            plugin: "cdsspec",
+            message,
+        };
         for c in calls {
             if self.spec.lookup(c.name).is_none() {
-                return vec![plugin_bug(format!("no specification for method `{}`", c.name))];
+                return vec![plugin_bug(format!(
+                    "no specification for method `{}`",
+                    c.name
+                ))];
             }
         }
 
@@ -322,6 +337,60 @@ where
 {
     let spec = Arc::new(spec);
     cdsspec_mc::explore_with_plugins(config, SpecChecker::plugins(spec), test)
+}
+
+/// One part of a multi-test benchmark suite: a specification plus the
+/// unit test to explore under it.
+pub type SuitePart<S> = (Spec<S>, Box<dyn Fn() + Send + Sync + 'static>);
+
+/// Explore a *suite* of unit tests in order — the paper's §6.4
+/// corner-case suites — stopping at the first buggy part, with exact
+/// checkpoint/resume across parts.
+///
+/// A plain sequence of [`check`] calls merged together cannot resume: a
+/// [`cdsspec_mc::Stats::frontier`] replay script does not say which
+/// part's choice tree it belongs to. `check_suite` therefore prefixes
+/// every frontier it reports with the part index and peels that prefix
+/// off [`cdsspec_mc::Config::resume_script`] on the way back in, so the
+/// suite as a whole keeps the partition invariant
+/// `executions(full) == executions(to checkpoint) + executions(resumed)`.
+///
+/// A wall-clock [`cdsspec_mc::Config::time_budget`] covers the whole
+/// suite, not each part: later parts run on whatever remains.
+pub fn check_suite<S>(config: cdsspec_mc::Config, parts: Vec<SuitePart<S>>) -> cdsspec_mc::Stats
+where
+    S: Send + 'static,
+{
+    let last = parts.len().saturating_sub(1);
+    let (start, inner_script) = match &config.resume_script {
+        Some(script) if !script.is_empty() => (script[0].min(last), Some(script[1..].to_vec())),
+        _ => (0, None),
+    };
+    let deadline = config.time_budget.map(|b| std::time::Instant::now() + b);
+    let mut acc = cdsspec_mc::Stats::default();
+    for (idx, (spec, test)) in parts.into_iter().enumerate().skip(start) {
+        let mut part_config = config.clone();
+        part_config.resume_script = if idx == start {
+            inner_script.clone()
+        } else {
+            None
+        };
+        part_config.time_budget =
+            deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
+        let mut fresh = check(part_config, spec, test);
+        if let Some(frontier) = fresh.frontier.take() {
+            let mut prefixed = Vec::with_capacity(frontier.len() + 1);
+            prefixed.push(idx);
+            prefixed.extend(frontier);
+            fresh.frontier = Some(prefixed);
+        }
+        let stop_here = fresh.buggy() || fresh.truncated();
+        acc.continue_with(fresh);
+        if stop_here {
+            break;
+        }
+    }
+    acc
 }
 
 /// Like [`check`] but panics with a diagnostic on the first violation —

@@ -25,7 +25,11 @@ pub struct CallOrder {
 impl CallOrder {
     /// An order over `n` calls with no edges yet.
     pub fn new(n: usize) -> Self {
-        CallOrder { n, succ: vec![Vec::new(); n], reach: vec![false; n * n] }
+        CallOrder {
+            n,
+            succ: vec![Vec::new(); n],
+            reach: vec![false; n * n],
+        }
     }
 
     /// Number of calls.
@@ -138,7 +142,15 @@ pub fn for_each_history<F: FnMut(&[usize]) -> bool>(
             let mut prefix = Vec::with_capacity(order.n);
             let mut used = vec![false; order.n];
             let mut count = 0usize;
-            topo_recurse(order, &mut indegree, &mut used, &mut prefix, cap, &mut count, &mut f);
+            topo_recurse(
+                order,
+                &mut indegree,
+                &mut used,
+                &mut prefix,
+                cap,
+                &mut count,
+                &mut f,
+            );
             count
         }
         HistoryPolicy::Sample { count, seed } => {
@@ -204,8 +216,9 @@ fn random_topo(order: &CallOrder, rng: &mut StdRng) -> Vec<usize> {
     let mut used = vec![false; order.n];
     let mut out = Vec::with_capacity(order.n);
     while out.len() < order.n {
-        let ready: Vec<usize> =
-            (0..order.n).filter(|&v| !used[v] && indegree[v] == 0).collect();
+        let ready: Vec<usize> = (0..order.n)
+            .filter(|&v| !used[v] && indegree[v] == 0)
+            .collect();
         let v = ready[rng.gen_range(0..ready.len())];
         used[v] = true;
         out.push(v);

@@ -84,7 +84,7 @@ pub use annotations::{
     op_clear_define_if, op_define, op_define_if, potential_op, potential_op_if,
 };
 pub use call::{extract_calls, CallId, ExtractError, MethodCall};
-pub use checker::{build_call_order, check, check_ok, SpecChecker};
+pub use checker::{build_call_order, check, check_ok, check_suite, SpecChecker, SuitePart};
 pub use history::{all_histories, for_each_history, CallOrder, HistoryPolicy};
 pub use spec::{AdmissibilityRule, CallEval, MethodSpec, Spec};
 

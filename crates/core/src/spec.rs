@@ -99,7 +99,10 @@ impl<S> MethodSpec<S> {
 
     /// `@SideEffect`: the call's action on the equivalent sequential data
     /// structure.
-    pub fn side_effect(mut self, f: impl Fn(&mut S, &mut CallEval) + Send + Sync + 'static) -> Self {
+    pub fn side_effect(
+        mut self,
+        f: impl Fn(&mut S, &mut CallEval) + Send + Sync + 'static,
+    ) -> Self {
         self.side_effect = Some(Box::new(f));
         self
     }
@@ -113,14 +116,20 @@ impl<S> MethodSpec<S> {
 
     /// `@JustifyingPrecondition`: checked before the call executes in a
     /// sequential execution over one of its justifying subhistories.
-    pub fn justify_pre(mut self, f: impl Fn(&S, &CallEval) -> bool + Send + Sync + 'static) -> Self {
+    pub fn justify_pre(
+        mut self,
+        f: impl Fn(&S, &CallEval) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.justify_pre = Some(Box::new(f));
         self
     }
 
     /// `@JustifyingPostcondition`: checked after the call executes on a
     /// justifying subhistory; at least one subhistory must satisfy it.
-    pub fn justify_post(mut self, f: impl Fn(&S, &CallEval) -> bool + Send + Sync + 'static) -> Self {
+    pub fn justify_post(
+        mut self,
+        f: impl Fn(&S, &CallEval) -> bool + Send + Sync + 'static,
+    ) -> Self {
         self.justify_post = Some(Box::new(f));
         self
     }
@@ -194,7 +203,11 @@ impl<S> Spec<S> {
         m2: &'static str,
         guard: impl Fn(&MethodCall, &MethodCall) -> bool + Send + Sync + 'static,
     ) -> Self {
-        self.admissibility.push(AdmissibilityRule { m1, m2, guard: Box::new(guard) });
+        self.admissibility.push(AdmissibilityRule {
+            m1,
+            m2,
+            guard: Box::new(guard),
+        });
         self
     }
 
@@ -247,7 +260,9 @@ mod tests {
     #[test]
     fn builder_assembles_queue_spec() {
         let spec = Spec::new("queue", VecDeque::<i64>::new)
-            .method("enq", |m| m.side_effect(|s, e| s.push_back(e.arg(0).as_i64())))
+            .method("enq", |m| {
+                m.side_effect(|s, e| s.push_back(e.arg(0).as_i64()))
+            })
             .method("deq", |m| {
                 m.side_effect(|s, e| {
                     let s_ret = s.front().copied().unwrap_or(-1);
@@ -311,8 +326,7 @@ mod tests {
 
     #[test]
     fn admissibility_guard_runs() {
-        let spec: Spec<()> =
-            Spec::new("q", || ()).admit("deq", "enq", |d, _| d.ret.as_i64() == -1);
+        let spec: Spec<()> = Spec::new("q", || ()).admit("deq", "enq", |d, _| d.ret.as_i64() == -1);
         let rule = &spec.admissibility[0];
         let failed_deq = call("deq", vec![], SpecVal::I64(-1));
         let ok_deq = call("deq", vec![], SpecVal::I64(3));

@@ -58,7 +58,10 @@ struct Probe {
 
 impl Probe {
     fn new() -> Self {
-        Probe { obj: mc::new_object_id(), cell: Atomic::new(0) }
+        Probe {
+            obj: mc::new_object_id(),
+            cell: Atomic::new(0),
+        }
     }
     fn put(&self, v: i64) {
         spec::method_begin(self.obj, "put");
@@ -110,7 +113,10 @@ fn reads_from_determines_cross_thread_order() {
         let get = names.iter().position(|(n, _)| *n == "get").unwrap();
         let got = names[get].1;
         if got == 7 {
-            assert!(edges.contains(&(put, get)), "acquired read ⇒ r-ordered: {edges:?}");
+            assert!(
+                edges.contains(&(put, get)),
+                "acquired read ⇒ r-ordered: {edges:?}"
+            );
             saw_ordered = true;
         } else {
             assert!(
@@ -120,7 +126,10 @@ fn reads_from_determines_cross_thread_order() {
             saw_concurrent = true;
         }
     }
-    assert!(saw_ordered && saw_concurrent, "both behaviors must be explored");
+    assert!(
+        saw_ordered && saw_concurrent,
+        "both behaviors must be explored"
+    );
 }
 
 /// Calls on different objects never share an order relation (per-object
@@ -177,7 +186,10 @@ fn retry_loops_order_by_final_attempt() {
         }
     }
     let runs = probe_orders(|| {
-        let c = Counter { obj: mc::new_object_id(), cell: Atomic::new(0) };
+        let c = Counter {
+            obj: mc::new_object_id(),
+            cell: Atomic::new(0),
+        };
         let c1 = c.clone();
         let t = mc::thread::spawn(move || {
             let _ = c1.bump();

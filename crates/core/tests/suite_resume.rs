@@ -1,0 +1,138 @@
+//! `check_suite` resumability: interrupting a multi-part benchmark suite
+//! at any point and resuming from the reported frontier must visit
+//! exactly the executions a straight-through run would have — the
+//! partition invariant that makes the evaluation harness's
+//! checkpoint/resume exact even for the suite benchmarks.
+
+use std::time::Duration;
+
+use cdsspec_core as spec;
+use cdsspec_mc as mc;
+use mc::MemOrd::*;
+use mc::{Atomic, Config};
+use spec::{check_suite, Spec, SuitePart};
+
+fn part_a() {
+    let x = Atomic::new(0i64);
+    let t = mc::thread::spawn(move || x.store(1, Relaxed));
+    let _ = x.load(Relaxed);
+    t.join();
+}
+
+fn part_b() {
+    let x = Atomic::new(0i64);
+    let y = Atomic::new(0i64);
+    let t1 = mc::thread::spawn(move || x.store(1, Relaxed));
+    let t2 = mc::thread::spawn(move || y.store(1, Relaxed));
+    let _ = x.load(Relaxed);
+    let _ = y.load(Relaxed);
+    t1.join();
+    t2.join();
+}
+
+/// The raw-atomics closures make no specification calls, so an empty
+/// spec sees clean executions and the suite exercises pure exploration.
+fn suite() -> Vec<SuitePart<()>> {
+    vec![
+        (Spec::new("noop", || ()), Box::new(part_a)),
+        (Spec::new("noop", || ()), Box::new(part_b)),
+    ]
+}
+
+#[test]
+fn suite_runs_all_parts() {
+    let full = check_suite(Config::default(), suite());
+    assert_eq!(full.stop, mc::StopReason::Exhausted, "{}", full.summary());
+    assert!(full.frontier.is_none());
+    let a = spec::check(Config::default(), Spec::new("noop", || ()), part_a);
+    let b = spec::check(Config::default(), Spec::new("noop", || ()), part_b);
+    assert_eq!(full.executions, a.executions + b.executions);
+}
+
+/// Cutting the suite at every sampled cap and resuming from the reported
+/// frontier partitions the executions exactly, whichever part the cap
+/// lands in.
+#[test]
+fn suite_partitions_across_any_cut() {
+    let full = check_suite(Config::default(), suite());
+    let part_a_total = spec::check(Config::default(), Spec::new("noop", || ()), part_a).executions;
+    let stride = (full.executions / 8).max(1) as usize;
+    // Sampled caps, plus forced cuts inside part A (cap 1) and inside
+    // part B (cap just past part A's tree).
+    let caps = (1..full.executions)
+        .step_by(stride)
+        .chain([1, part_a_total + 1])
+        .collect::<Vec<_>>();
+    for cap in caps {
+        let cut = check_suite(
+            Config {
+                max_executions: cap,
+                ..Config::default()
+            },
+            suite(),
+        );
+        if cut.stop == mc::StopReason::Exhausted {
+            // The per-part cap never fired (each part is under `cap`).
+            assert_eq!(cut.executions, full.executions);
+            continue;
+        }
+        assert_eq!(
+            cut.stop,
+            mc::StopReason::ExecutionCap,
+            "cap {cap}: {}",
+            cut.summary()
+        );
+        let frontier = cut
+            .frontier
+            .clone()
+            .expect("capped suite leaves a frontier");
+        // The per-part cap cuts part A only while it is below part A's
+        // tree size; at or past it, part A exhausts and part B truncates.
+        let expected_part = usize::from(cap >= part_a_total);
+        assert_eq!(
+            frontier[0], expected_part,
+            "cap {cap} cuts in part {expected_part}"
+        );
+        let resumed = check_suite(
+            Config {
+                resume_script: Some(frontier),
+                ..Config::default()
+            },
+            suite(),
+        );
+        assert_eq!(
+            cut.executions + resumed.executions,
+            full.executions,
+            "cap {cap}: cut {} + resumed {} != full {}",
+            cut.summary(),
+            resumed.summary(),
+            full.summary()
+        );
+    }
+}
+
+/// A wall-clock budget of zero stops the suite with a resumable frontier
+/// in its first part, and the resumed run completes the tree.
+#[test]
+fn suite_deadline_resumes_exactly() {
+    let full = check_suite(Config::default(), suite());
+    let cut = check_suite(
+        Config {
+            time_budget: Some(Duration::ZERO),
+            ..Config::default()
+        },
+        suite(),
+    );
+    assert_eq!(cut.stop, mc::StopReason::Deadline, "{}", cut.summary());
+    let frontier = cut.frontier.clone().expect("deadline leaves a frontier");
+    assert_eq!(frontier[0], 0, "a zero budget stops in the first part");
+    let resumed = check_suite(
+        Config {
+            resume_script: Some(frontier),
+            ..Config::default()
+        },
+        suite(),
+    );
+    assert_eq!(cut.executions + resumed.executions, full.executions);
+    assert_eq!(resumed.stop, mc::StopReason::Exhausted);
+}

@@ -14,6 +14,19 @@
 //! * **Admissibility** — the execution left required-ordered calls
 //!   unordered;
 //! * **Assertion** — a specification condition failed.
+//!
+//! ## Resilience
+//!
+//! A campaign is only useful if it finishes: one crashing trial must not
+//! take the other several dozen rows down with it. Every `check` call is
+//! therefore run under [`std::panic::catch_unwind`]; a panicking trial is
+//! retried **once** at a reduced budget (a tenth of the execution cap,
+//! half the time budget), and if the retry also dies the trial is
+//! recorded as [`Trial::errored`] rather than aborting the campaign.
+//! Trials whose exploration ended with [`mc::StopReason::Errored`] (a
+//! specification plugin panicked and the checker contained it) are
+//! classified the same way — an errored trial is *no verdict*, not an
+//! assertion detection.
 
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::Benchmark;
@@ -40,6 +53,10 @@ pub struct Trial {
     pub message: Option<String>,
     /// Executions explored in the trial.
     pub executions: u64,
+    /// The trial produced no usable verdict: the benchmark's `check`
+    /// panicked twice (initial attempt plus the reduced-budget retry) or
+    /// the exploration stopped with [`mc::StopReason::Errored`].
+    pub errored: bool,
 }
 
 /// Per-benchmark aggregate (one Figure 8 row).
@@ -55,15 +72,19 @@ pub struct Row {
     pub admissibility: usize,
     /// Detected as specification (assertion) violations.
     pub assertion: usize,
+    /// Trials with no usable verdict (see [`Trial::errored`]).
+    pub errored: usize,
 }
 
 impl Row {
-    /// Total detections.
+    /// Total detections. Errored trials are not detections.
     pub fn detected(&self) -> usize {
         self.builtin + self.admissibility + self.assertion
     }
 
     /// Detection rate in percent (100 when nothing was injectable).
+    /// Errored trials count against the rate: a trial we could not judge
+    /// is conservatively reported as a miss.
     pub fn rate(&self) -> f64 {
         if self.injections == 0 {
             100.0
@@ -73,9 +94,70 @@ impl Row {
     }
 }
 
+/// Render a panic payload for diagnostics.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one trial's `check` under panic containment.
+///
+/// A panicking attempt gets exactly one retry at a reduced budget — a
+/// tenth of the execution cap and half the wall-clock budget — on the
+/// theory that crashes in modeled code often depend on how deep the
+/// exploration gets. If both attempts die, a synthetic
+/// [`mc::StopReason::Errored`] result is returned so the campaign keeps
+/// its row. The second tuple element carries panic diagnostics, if any.
+fn run_guarded(bench: &Benchmark, config: &mc::Config, ords: &Ords) -> (mc::Stats, Option<String>) {
+    let attempt = |cfg: mc::Config| {
+        let ords = ords.clone();
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (bench.check)(cfg, ords)))
+    };
+    match attempt(config.clone()) {
+        Ok(stats) => (stats, None),
+        Err(payload) => {
+            let first = panic_text(payload.as_ref());
+            let reduced = mc::Config {
+                max_executions: (config.max_executions / 10).max(1),
+                time_budget: config.time_budget.map(|d| d / 2),
+                ..config.clone()
+            };
+            match attempt(reduced) {
+                Ok(stats) => {
+                    let note =
+                        format!("check panicked, retry at reduced budget succeeded: {first}");
+                    (stats, Some(note))
+                }
+                Err(second) => {
+                    let stats = mc::Stats {
+                        stop: mc::StopReason::Errored,
+                        ..mc::Stats::default()
+                    };
+                    let note = format!(
+                        "check panicked twice: {first}; retry: {}",
+                        panic_text(second.as_ref())
+                    );
+                    (stats, Some(note))
+                }
+            }
+        }
+    }
+}
+
 /// Run the full one-step-weakening campaign against one benchmark.
+///
+/// Never panics out of a trial: see the module-level *Resilience* notes.
+/// The returned row always covers every injectable site.
 pub fn inject_benchmark(bench: &Benchmark, config: &mc::Config) -> (Row, Vec<Trial>) {
-    let mut row = Row { name: bench.name, ..Row::default() };
+    let mut row = Row {
+        name: bench.name,
+        ..Row::default()
+    };
     let mut trials = Vec::new();
     let base = bench.default_ords();
     for site_idx in base.injectable_sites() {
@@ -86,38 +168,57 @@ pub fn inject_benchmark(bench: &Benchmark, config: &mc::Config) -> (Row, Vec<Tri
         }
         let to = ords.get(site_idx);
         row.injections += 1;
-        let stats = (bench.check)(config.clone(), ords);
-        let detected = stats.bugs.first().map(|b| b.bug.category());
-        match detected {
-            Some(BugCategory::BuiltIn) | Some(BugCategory::Internal) => row.builtin += 1,
-            Some(BugCategory::Admissibility) => row.admissibility += 1,
-            Some(BugCategory::Assertion) => row.assertion += 1,
-            None => {}
+        let (stats, note) = run_guarded(bench, config, &ords);
+        let errored = stats.stop == mc::StopReason::Errored;
+        let detected = if errored {
+            None
+        } else {
+            stats.bugs.first().map(|b| b.bug.category())
+        };
+        if errored {
+            row.errored += 1;
+        } else {
+            match detected {
+                Some(BugCategory::BuiltIn) | Some(BugCategory::Internal) => row.builtin += 1,
+                Some(BugCategory::Admissibility) => row.admissibility += 1,
+                Some(BugCategory::Assertion) => row.assertion += 1,
+                None => {}
+            }
         }
+        let bug_message = stats.bugs.first().map(|b| b.bug.to_string());
+        let message = if errored {
+            note.or(bug_message)
+        } else {
+            bug_message.or(note)
+        };
         trials.push(Trial {
             benchmark: bench.name,
             site: bench.sites[site_idx].name,
             from,
             to,
             detected,
-            message: stats.bugs.first().map(|b| b.bug.to_string()),
+            message,
             executions: stats.executions,
+            errored,
         });
     }
     (row, trials)
 }
 
 /// Run the campaign over a benchmark suite.
-pub fn run_campaign(
-    benchmarks: &[Benchmark],
-    config: &mc::Config,
-) -> Vec<(Row, Vec<Trial>)> {
-    benchmarks.iter().map(|b| inject_benchmark(b, config)).collect()
+pub fn run_campaign(benchmarks: &[Benchmark], config: &mc::Config) -> Vec<(Row, Vec<Trial>)> {
+    benchmarks
+        .iter()
+        .map(|b| inject_benchmark(b, config))
+        .collect()
 }
 
 /// §6.4.3: drop each non-relaxed site of a benchmark all the way to
 /// `relaxed` and report the sites that trigger **no** violation — the
 /// candidates for overly strong memory-order parameters.
+///
+/// Errored trials are **not** survivors: a crashed check is no evidence
+/// that the site tolerates `relaxed`.
 pub fn find_overly_strong(bench: &Benchmark, config: &mc::Config) -> Vec<Trial> {
     let mut survivors = Vec::new();
     let base = bench.default_ords();
@@ -125,7 +226,10 @@ pub fn find_overly_strong(bench: &Benchmark, config: &mc::Config) -> Vec<Trial> 
         let mut ords = Ords::defaults(bench.sites);
         let from = ords.get(site_idx);
         ords.set(site_idx, MemOrd::Relaxed);
-        let stats = (bench.check)(config.clone(), ords);
+        let (stats, note) = run_guarded(bench, config, &ords);
+        if stats.stop == mc::StopReason::Errored {
+            continue;
+        }
         if !stats.buggy() {
             survivors.push(Trial {
                 benchmark: bench.name,
@@ -133,8 +237,9 @@ pub fn find_overly_strong(bench: &Benchmark, config: &mc::Config) -> Vec<Trial> 
                 from,
                 to: MemOrd::Relaxed,
                 detected: None,
-                message: None,
+                message: note,
                 executions: stats.executions,
+                errored: false,
             });
         }
     }
@@ -147,15 +252,32 @@ mod tests {
     use cdsspec_structures::registry::benchmarks;
 
     fn quick_config() -> mc::Config {
-        let cap = if cfg!(debug_assertions) { 15_000 } else { 30_000 };
-        mc::Config { max_executions: cap, ..mc::Config::default() }
+        let cap = if cfg!(debug_assertions) {
+            15_000
+        } else {
+            30_000
+        };
+        mc::Config {
+            max_executions: cap,
+            ..mc::Config::default()
+        }
     }
 
     #[test]
     fn row_arithmetic() {
-        let row = Row { name: "x", injections: 4, builtin: 1, admissibility: 1, assertion: 1 };
-        assert_eq!(row.detected(), 3);
-        assert!((row.rate() - 75.0).abs() < 1e-9);
+        let row = Row {
+            name: "x",
+            injections: 5,
+            builtin: 1,
+            admissibility: 1,
+            assertion: 1,
+            errored: 1,
+        };
+        assert_eq!(row.detected(), 3, "errored trials are not detections");
+        assert!(
+            (row.rate() - 60.0).abs() < 1e-9,
+            "errored trials count against the rate"
+        );
         assert_eq!(Row::default().rate(), 100.0);
     }
 
@@ -163,7 +285,10 @@ mod tests {
     /// injections must be caught (the paper's 2/2 row).
     #[test]
     fn ticket_lock_row_matches_paper_shape() {
-        let bench = benchmarks().into_iter().find(|b| b.name == "Ticket Lock").unwrap();
+        let bench = benchmarks()
+            .into_iter()
+            .find(|b| b.name == "Ticket Lock")
+            .unwrap();
         let (row, trials) = inject_benchmark(&bench, &quick_config());
         assert_eq!(row.injections, 2, "{trials:?}");
         assert_eq!(row.detected(), 2, "{trials:?}");
@@ -177,13 +302,20 @@ mod tests {
         let (row, trials) = inject_benchmark(&bench, &quick_config());
         assert!(row.injections >= 2);
         assert_eq!(row.detected(), row.injections, "{trials:?}");
-        assert_eq!(row.builtin, row.detected(), "all RCU detections are built-in: {trials:?}");
+        assert_eq!(
+            row.builtin,
+            row.detected(),
+            "all RCU detections are built-in: {trials:?}"
+        );
     }
 
     /// The Chase-Lev top CAS survives full weakening (the §6.4.3 finding).
     #[test]
     fn chase_lev_has_an_overly_strong_cas() {
-        let bench = benchmarks().into_iter().find(|b| b.name == "Chase-Lev Deque").unwrap();
+        let bench = benchmarks()
+            .into_iter()
+            .find(|b| b.name == "Chase-Lev Deque")
+            .unwrap();
         let survivors = find_overly_strong(&bench, &quick_config());
         assert!(
             survivors.iter().any(|t| t.site.contains("top_cas")),

@@ -84,6 +84,18 @@ pub fn yield_now() {
     }
 }
 
+/// Feed the hang watchdog without a scheduling point. Modeled code doing
+/// a legitimately long non-atomic computation (longer than
+/// `Config::hang_timeout`) between visible operations should call this
+/// periodically so the watchdog does not mistake it for a wedged thread.
+/// No-op outside a model run.
+pub fn progress_hint() {
+    if !crate::worker::in_model() {
+        return;
+    }
+    with_ctx(|ctx| ctx.shared.inner.lock().heartbeat());
+}
+
 /// Allocate `v` for the duration of the current execution and return a raw
 /// pointer to it. The allocation is freed when the execution ends (after
 /// every modeled thread has stopped), which makes it the right tool for

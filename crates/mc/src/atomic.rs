@@ -10,8 +10,8 @@ use std::marker::PhantomData;
 
 use cdsspec_c11::{LocId, MemOrd, PrimVal};
 
-use crate::msg::{Op, Reply, RmwKind};
 use crate::api::visible_op;
+use crate::msg::{Op, Reply, RmwKind};
 use crate::worker::with_ctx;
 
 /// A modeled atomic memory location holding a `T`.
@@ -37,19 +37,27 @@ impl<T: PrimVal> Atomic<T> {
     /// threads flows through whatever publishes the handle).
     pub fn new(v: T) -> Self {
         let loc = with_ctx(|ctx| {
-            ctx.shared.inner.lock().mem.alloc_atomic(ctx.tid, Some(v.to_bits()))
+            ctx.shared
+                .inner
+                .lock()
+                .mem
+                .alloc_atomic(ctx.tid, Some(v.to_bits()))
         });
-        Atomic { loc, _marker: PhantomData }
+        Atomic {
+            loc,
+            _marker: PhantomData,
+        }
     }
 
     /// A new **uninitialized** atomic. Loads that can observe the cell
     /// before any store are reported as CDSChecker-style "uninitialized
     /// load" bugs — this is how the known Chase-Lev resize bug manifests.
     pub fn uninit() -> Self {
-        let loc = with_ctx(|ctx| {
-            ctx.shared.inner.lock().mem.alloc_atomic(ctx.tid, None)
-        });
-        Atomic { loc, _marker: PhantomData }
+        let loc = with_ctx(|ctx| ctx.shared.inner.lock().mem.alloc_atomic(ctx.tid, None));
+        Atomic {
+            loc,
+            _marker: PhantomData,
+        }
     }
 
     /// The underlying location id (diagnostics).
@@ -67,7 +75,11 @@ impl<T: PrimVal> Atomic<T> {
 
     /// Atomic store.
     pub fn store(&self, v: T, ord: MemOrd) {
-        match visible_op(Op::Store { loc: self.loc, ord, val: v.to_bits() }) {
+        match visible_op(Op::Store {
+            loc: self.loc,
+            ord,
+            val: v.to_bits(),
+        }) {
             Reply::Ok => {}
             r => unreachable!("store reply {r:?}"),
         }
@@ -75,7 +87,11 @@ impl<T: PrimVal> Atomic<T> {
 
     /// Atomic exchange; returns the previous value.
     pub fn swap(&self, v: T, ord: MemOrd) -> T {
-        match visible_op(Op::Rmw { loc: self.loc, ord, kind: RmwKind::Swap(v.to_bits()) }) {
+        match visible_op(Op::Rmw {
+            loc: self.loc,
+            ord,
+            kind: RmwKind::Swap(v.to_bits()),
+        }) {
             Reply::Rmw { old, .. } => T::from_bits(old),
             r => unreachable!("swap reply {r:?}"),
         }
@@ -85,7 +101,13 @@ impl<T: PrimVal> Atomic<T> {
     /// failure `Err(observed)`. The failure path is an atomic load with
     /// `fail_ord` and may observe stale values — the weak-memory behavior
     /// the paper's examples revolve around.
-    pub fn compare_exchange(&self, expected: T, new: T, ord: MemOrd, fail_ord: MemOrd) -> Result<T, T> {
+    pub fn compare_exchange(
+        &self,
+        expected: T,
+        new: T,
+        ord: MemOrd,
+        fail_ord: MemOrd,
+    ) -> Result<T, T> {
         self.cas(expected, new, ord, fail_ord, false)
     }
 
@@ -107,15 +129,26 @@ impl<T: PrimVal> Atomic<T> {
             fail_ord,
             weak,
         };
-        match visible_op(Op::Rmw { loc: self.loc, ord, kind }) {
+        match visible_op(Op::Rmw {
+            loc: self.loc,
+            ord,
+            kind,
+        }) {
             Reply::Rmw { old, success: true } => Ok(T::from_bits(old)),
-            Reply::Rmw { old, success: false } => Err(T::from_bits(old)),
+            Reply::Rmw {
+                old,
+                success: false,
+            } => Err(T::from_bits(old)),
             r => unreachable!("cas reply {r:?}"),
         }
     }
 
     fn fetch_op(&self, kind: RmwKind, ord: MemOrd) -> T {
-        match visible_op(Op::Rmw { loc: self.loc, ord, kind }) {
+        match visible_op(Op::Rmw {
+            loc: self.loc,
+            ord,
+            kind,
+        }) {
             Reply::Rmw { old, .. } => T::from_bits(old),
             r => unreachable!("rmw reply {r:?}"),
         }

@@ -1,5 +1,7 @@
 //! Exploration configuration.
 
+use std::time::Duration;
+
 /// Tuning knobs for [`crate::explore`].
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -20,8 +22,32 @@ pub struct Config {
     /// chains of unannotated spin loops, which would otherwise branch
     /// exponentially until the step bound.
     pub max_futile_reads: u32,
-    /// Safety valve: stop exploring after this many executions.
+    /// Safety valve: stop exploring after this many executions. When
+    /// resuming from a checkpoint, the cap bounds the executions of the
+    /// resumed run, not the checkpointed total.
     pub max_executions: u64,
+    /// Wall-clock budget for the whole exploration. Checked between
+    /// executions (never mid-execution, so checkpointed partition counts
+    /// stay exact); on expiry the run stops with `StopReason::Deadline`
+    /// and a resumable frontier. `None` = unlimited.
+    pub time_budget: Option<Duration>,
+    /// Watchdog: abort an execution that makes no scheduling progress for
+    /// this long (a wedged modeled thread, e.g. an infinite non-atomic
+    /// loop), reporting `Bug::InternalHang`. `None` disables the watchdog
+    /// and restores the old park-forever behavior.
+    pub hang_timeout: Option<Duration>,
+    /// When the deadline fires before exhaustion, additionally probe this
+    /// many random-walk executions of the *unexplored* part of the choice
+    /// tree (seeded by `sample_seed`, fully deterministic). 0 disables
+    /// the degradation mode.
+    pub deadline_samples: u64,
+    /// PRNG seed for deadline-degraded sampling.
+    pub sample_seed: u64,
+    /// Start DFS from this replay script instead of the tree root —
+    /// the `Checkpoint::script` of an interrupted run. Threads resumption
+    /// through APIs that only accept a `Config` (e.g. the benchmark
+    /// registry's `check` function pointers). `None`/empty = the root.
+    pub resume_script: Option<Vec<usize>>,
     /// Maximum modeled threads per execution.
     pub max_threads: u32,
     /// Enable sleep-set partial-order reduction (on by default; the
@@ -43,6 +69,11 @@ impl Default for Config {
             max_spins: 4,
             max_futile_reads: 3,
             max_executions: 20_000_000,
+            time_budget: None,
+            hang_timeout: Some(Duration::from_secs(10)),
+            deadline_samples: 0,
+            sample_seed: 0xCD55_9EC5,
+            resume_script: None,
             max_threads: 32,
             sleep_sets: true,
             stop_on_first_bug: true,
@@ -56,7 +87,10 @@ impl Config {
     /// Preset used by the test suites: exhaustive, with online axiom
     /// validation enabled.
     pub fn validating() -> Self {
-        Config { validate_axioms: true, ..Config::default() }
+        Config {
+            validate_axioms: true,
+            ..Config::default()
+        }
     }
 }
 
@@ -71,5 +105,9 @@ mod tests {
         assert!(c.sleep_sets);
         assert!(!c.validate_axioms);
         assert!(Config::validating().validate_axioms);
+        assert!(c.time_budget.is_none(), "no deadline unless asked");
+        assert!(c.hang_timeout.is_some(), "watchdog on by default");
+        assert_eq!(c.deadline_samples, 0, "sampling degradation is opt-in");
+        assert!(c.resume_script.is_none());
     }
 }

@@ -35,7 +35,10 @@ impl<T: PrimVal> Data<T> {
             debug_assert!(bug.is_none());
             id
         });
-        Data { id: d, _marker: PhantomData }
+        Data {
+            id: d,
+            _marker: PhantomData,
+        }
     }
 
     /// Non-atomic read; a race with an unordered write is reported as a

@@ -3,114 +3,304 @@
 //! Re-executes the test closure, replaying a prefix of recorded choices and
 //! deviating at the deepest choice point that still has unexplored
 //! alternatives — the classic stateless-model-checking loop (CDSChecker,
-//! CHESS). Terminates when the whole choice tree is exhausted.
+//! CHESS). Terminates when the whole choice tree is exhausted, the
+//! execution cap is hit, or the wall-clock budget expires.
+//!
+//! ## Resumability
+//!
+//! The replay script *is* the explorer's complete state: `next_script`
+//! computes the first unexplored leaf from the last execution's choices,
+//! and a run cut short by the cap or the deadline records that script as
+//! its [`Stats::frontier`]. [`explore_from`] restarts DFS at a
+//! [`Checkpoint`]'s frontier and visits exactly the leaves the original
+//! run had left, so execution counts partition:
+//! `executions(full) == executions(to checkpoint) + executions(resumed)`.
+//!
+//! ## Deadline degradation
+//!
+//! With `Config::deadline_samples > 0`, a run that hits its deadline
+//! additionally probes the *unexplored* region with seeded random-walk
+//! executions (each replays the frontier prefix, then resolves choice
+//! points by PRNG) — deterministic per `Config::sample_seed`, and the
+//! DFS frontier is advanced past each probed subtree so samples spread
+//! across the remaining tree instead of clustering under one branch.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::config::Config;
 use crate::plugin::Plugin;
-use crate::report::{Bug, FoundBug, Stats};
-use crate::runtime::{run_once, ChoiceRec, RunOutcome};
-use crate::worker::Pool;
+use crate::report::{Bug, Checkpoint, FoundBug, Stats, StopReason};
+use crate::runtime::{run_once, ChoiceRec, RunOutcome, RunResult};
+use crate::worker::{panic_message, Pool};
 use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 /// Maximum distinct bug records retained (duplicates across executions are
 /// folded; exploration statistics still count every occurrence).
 const MAX_BUG_RECORDS: usize = 24;
 
-/// Exhaustively explore `test` under `config`, invoking `plugins` on every
-/// feasible execution.
-pub fn explore_with_plugins<F>(config: Config, mut plugins: Vec<Box<dyn Plugin>>, test: F) -> Stats
-where
-    F: Fn() + Send + Sync + 'static,
-{
-    let start = Instant::now();
-    let test: Arc<dyn Fn() + Send + Sync> = Arc::new(test);
-    let pool = Arc::new(Mutex::new(Pool::new()));
-    let mut stats = Stats::default();
-    let mut script: Vec<usize> = Vec::new();
-    let mut seen_bugs: Vec<String> = Vec::new();
+/// One DFS campaign over a test closure's choice tree.
+struct Explorer {
+    config: Config,
+    pool: Arc<Mutex<Pool>>,
+    test: Arc<dyn Fn() + Send + Sync>,
+    stats: Stats,
+    /// Rendered messages of every bug seen (the dedup key).
+    seen_bugs: HashSet<String>,
+    /// Executions performed by *this* run (`stats.executions` may include
+    /// a resumed checkpoint's prior count; the cap applies locally).
+    local_executions: u64,
+    deadline: Option<Instant>,
+}
 
-    loop {
-        let result = run_once(&config, &pool, &script, Arc::clone(&test));
-        stats.executions += 1;
+impl Explorer {
+    fn new(config: Config, prior: Stats, test: Arc<dyn Fn() + Send + Sync>) -> Self {
+        let deadline = config.time_budget.map(|b| Instant::now() + b);
+        let seen_bugs = prior.bugs.iter().map(|b| b.bug.to_string()).collect();
+        Explorer {
+            config,
+            pool: Arc::new(Mutex::new(Pool::new())),
+            test,
+            stats: prior,
+            seen_bugs,
+            local_executions: 0,
+            deadline,
+        }
+    }
 
-        if config.verbose {
+    /// Record one bug occurrence, deduplicated by rendered message.
+    fn record_bug(&mut self, bug: Bug, trace: &cdsspec_c11::Trace) {
+        let key = bug.to_string();
+        if self.seen_bugs.insert(key) && self.stats.bugs.len() < MAX_BUG_RECORDS {
+            self.stats.bugs.push(FoundBug {
+                bug,
+                execution: self.stats.executions - 1,
+                trace: trace.render(),
+            });
+        }
+    }
+
+    /// Run one execution and fold its outcome into the stats. Returns the
+    /// choice record (for DFS backtracking) plus `Some(reason)` when the
+    /// campaign must stop because of what happened *inside* the execution
+    /// (a bug with `stop_on_first_bug`, or a crashed checker).
+    fn step(
+        &mut self,
+        plugins: &mut [Box<dyn Plugin>],
+        script: &[usize],
+        sampler: Option<StdRng>,
+    ) -> (RunResult, Option<StopReason>) {
+        let result = run_once(
+            &self.config,
+            &self.pool,
+            script,
+            Arc::clone(&self.test),
+            sampler,
+        );
+        self.stats.executions += 1;
+        self.local_executions += 1;
+
+        if self.config.verbose {
             eprintln!(
-                "== execution {} ({:?}) ==\n{}",
-                stats.executions,
+                "== execution {} ({:?}{}) ==\n{}",
+                self.stats.executions,
                 result.outcome,
+                if result.hung {
+                    ", wedged worker leaked"
+                } else {
+                    ""
+                },
                 result.trace.render()
             );
         }
 
-        let mut record_bug = |bug: Bug, stats: &mut Stats, trace: &cdsspec_c11::Trace| {
-            let key = bug.to_string();
-            if !seen_bugs.contains(&key) {
-                seen_bugs.push(key);
-                if stats.bugs.len() < MAX_BUG_RECORDS {
-                    stats.bugs.push(FoundBug {
-                        bug,
-                        execution: stats.executions - 1,
-                        trace: trace.render(),
-                    });
-                }
-            }
-        };
-
-        let mut stop = false;
+        let mut stop = None;
         match &result.outcome {
             RunOutcome::Completed => {
-                stats.feasible += 1;
-                if config.validate_axioms {
+                self.stats.feasible += 1;
+                if self.config.validate_axioms {
                     for err in cdsspec_c11::relations::validate(&result.trace, true) {
-                        record_bug(
-                            Bug::AxiomViolation { message: err.to_string() },
-                            &mut stats,
+                        self.record_bug(
+                            Bug::AxiomViolation {
+                                message: err.to_string(),
+                            },
                             &result.trace,
                         );
-                        stop = true;
+                        stop = Some(StopReason::FirstBug);
                     }
                 }
                 for plugin in plugins.iter_mut() {
-                    let found = plugin.check(&result.trace);
-                    if !found.is_empty() && config.stop_on_first_bug {
-                        stop = true;
+                    // A buggy checker must not take the campaign down with
+                    // it: contain the panic, report it as a plugin bug,
+                    // and stop with `Errored` so callers see the run is
+                    // incomplete rather than silently clean.
+                    let name = plugin.name();
+                    let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        plugin.check(&result.trace)
+                    }));
+                    let found = match checked {
+                        Ok(found) => found,
+                        Err(payload) => {
+                            let message = format!("checker panicked: {}", panic_message(&payload));
+                            self.record_bug(
+                                Bug::Plugin {
+                                    plugin: name,
+                                    message,
+                                },
+                                &result.trace,
+                            );
+                            stop = Some(StopReason::Errored);
+                            continue;
+                        }
+                    };
+                    if !found.is_empty() && self.config.stop_on_first_bug {
+                        stop = Some(StopReason::FirstBug);
                     }
                     for bug in found {
-                        record_bug(bug, &mut stats, &result.trace);
+                        self.record_bug(bug, &result.trace);
                     }
                 }
             }
             RunOutcome::BugFound(bug) => {
-                stats.feasible += 1; // a buggy execution is a real behavior
-                record_bug(bug.clone(), &mut stats, &result.trace);
-                if config.stop_on_first_bug {
-                    stop = true;
+                self.stats.feasible += 1; // a buggy execution is a real behavior
+                self.record_bug(bug.clone(), &result.trace);
+                if self.config.stop_on_first_bug {
+                    stop = Some(StopReason::FirstBug);
                 }
             }
-            RunOutcome::Diverged => stats.diverged += 1,
-            RunOutcome::SleepPruned => stats.sleep_pruned += 1,
+            RunOutcome::Diverged => self.stats.diverged += 1,
+            RunOutcome::SleepPruned => self.stats.sleep_pruned += 1,
         }
+        (result, stop)
+    }
 
-        if stop {
-            break;
-        }
-        if stats.executions >= config.max_executions {
-            stats.truncated = true;
-            break;
-        }
+    /// The DFS phase: explore leaves depth-first from `script` until the
+    /// tree is exhausted or a stop condition fires.
+    fn dfs(&mut self, plugins: &mut [Box<dyn Plugin>], mut script: Vec<usize>) {
+        loop {
+            let (result, stop) = self.step(plugins, &script, None);
+            // Where DFS would go next — recorded before deciding to stop,
+            // so an interrupted run always knows its frontier.
+            let frontier = next_script(&result.choices);
 
-        // Backtrack: deepest choice with an unexplored alternative.
-        match next_script(&result.choices) {
-            Some(next) => script = next,
-            None => break,
+            if let Some(reason) = stop {
+                self.stats.stop = reason;
+                self.stats.frontier = frontier;
+                return;
+            }
+            // Exhaustion outranks the resource limits: a cap or deadline
+            // that fires on the final leaf did not truncate anything, and
+            // `ExecutionCap`/`Deadline` always imply a resumable frontier.
+            let Some(next) = frontier else {
+                self.stats.stop = StopReason::Exhausted;
+                self.stats.frontier = None;
+                return;
+            };
+            if self.local_executions >= self.config.max_executions {
+                self.stats.stop = StopReason::ExecutionCap;
+                self.stats.frontier = Some(next);
+                return;
+            }
+            // The deadline is only checked between executions: partition
+            // counts stay exact across checkpoint/resume.
+            if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                self.stats.stop = StopReason::Deadline;
+                self.stats.frontier = Some(next);
+                return;
+            }
+            script = next;
         }
     }
 
-    stats.elapsed = start.elapsed();
-    stats
+    /// Deadline degradation: probe the unexplored region with seeded
+    /// random walks. Each sample replays the current frontier prefix and
+    /// resolves further choices by PRNG, then the frontier advances past
+    /// that subtree so successive samples march across the remaining tree.
+    fn sample_remaining(&mut self, plugins: &mut [Box<dyn Plugin>]) {
+        for i in 0..self.config.deadline_samples {
+            let Some(prefix) = self.stats.frontier.clone() else {
+                break;
+            };
+            let rng = StdRng::seed_from_u64(self.config.sample_seed.wrapping_add(i));
+            let (result, stop) = self.step(plugins, &prefix, Some(rng));
+            self.stats.sampled += 1;
+            if stop.is_some() {
+                // Keep `Deadline` as the overall stop reason unless the
+                // sample errored — sampling is best-effort extra coverage.
+                if stop == Some(StopReason::Errored) {
+                    self.stats.stop = StopReason::Errored;
+                }
+                break;
+            }
+            // Advance the DFS frontier past the prefix we just probed.
+            // Only the scripted prefix is deterministic; the random tail
+            // must not leak into the stored frontier.
+            let prefix_len = prefix.len();
+            let replayed = &result.choices[..prefix_len.min(result.choices.len())];
+            self.stats.frontier = next_script(replayed);
+        }
+    }
+
+    fn finish(mut self, start: Instant, prior_elapsed: std::time::Duration) -> Stats {
+        self.stats.elapsed = prior_elapsed + start.elapsed();
+        self.stats
+    }
+}
+
+/// Exhaustively explore `test` under `config`, invoking `plugins` on every
+/// feasible execution.
+pub fn explore_with_plugins<F>(config: Config, plugins: Vec<Box<dyn Plugin>>, test: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_from_with_plugins(config, Checkpoint::root(), plugins, test)
+}
+
+/// Resume an interrupted exploration from `checkpoint` (see
+/// [`Stats::checkpoint`] / [`Checkpoint::from_text`]): statistics continue
+/// accumulating on top of the checkpointed counts, previously reported
+/// bugs stay deduplicated, and DFS restarts at the checkpointed frontier.
+pub fn explore_from<F>(config: Config, checkpoint: Checkpoint, test: F) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    explore_from_with_plugins(config, checkpoint, Vec::new(), test)
+}
+
+/// [`explore_from`] with plugins.
+pub fn explore_from_with_plugins<F>(
+    config: Config,
+    checkpoint: Checkpoint,
+    mut plugins: Vec<Box<dyn Plugin>>,
+    test: F,
+) -> Stats
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let start = Instant::now();
+    // Precedence: an explicit checkpoint wins; otherwise a script smuggled
+    // through `Config::resume_script` (the only channel available to
+    // callers holding a plain `fn(Config) -> Stats`, like the benchmark
+    // registry) seeds the start position.
+    let script = if !checkpoint.script.is_empty() {
+        checkpoint.script.clone()
+    } else {
+        config.resume_script.clone().unwrap_or_default()
+    };
+    let prior = checkpoint.stats;
+    let prior_elapsed = prior.elapsed;
+    let test: Arc<dyn Fn() + Send + Sync> = Arc::new(test);
+
+    let mut explorer = Explorer::new(config, prior, test);
+    explorer.stats.elapsed = std::time::Duration::ZERO; // tracked via finish()
+    explorer.dfs(&mut plugins, script);
+    if explorer.stats.stop == StopReason::Deadline && explorer.config.deadline_samples > 0 {
+        explorer.sample_remaining(&mut plugins);
+    }
+    explorer.finish(start, prior_elapsed)
 }
 
 /// Compute the replay script for the next DFS leaf, or `None` when the
@@ -159,7 +349,10 @@ mod tests {
     use super::*;
 
     fn rec(picked: usize, num: usize) -> ChoiceRec {
-        ChoiceRec { picked, num_options: num }
+        ChoiceRec {
+            picked,
+            num_options: num,
+        }
     }
 
     #[test]

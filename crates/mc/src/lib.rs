@@ -50,22 +50,22 @@
 pub mod api;
 pub mod atomic;
 pub mod config;
-pub(crate) mod runtime;
 pub mod data;
 pub mod explore;
 pub mod memstate;
 pub mod msg;
 pub mod plugin;
 pub mod report;
+pub(crate) mod runtime;
 pub(crate) mod worker;
 
-pub use api::{alloc, annotate, fence, new_object_id, spin_loop, thread, yield_now};
+pub use api::{alloc, annotate, fence, new_object_id, progress_hint, spin_loop, thread, yield_now};
 pub use atomic::{Atomic, AtomicPtr};
 pub use config::Config;
 pub use data::Data;
-pub use explore::{explore, explore_with_plugins, model};
+pub use explore::{explore, explore_from, explore_from_with_plugins, explore_with_plugins, model};
 pub use plugin::{FnPlugin, Plugin};
-pub use report::{Bug, BugCategory, FoundBug, Stats};
+pub use report::{Bug, BugCategory, Checkpoint, FoundBug, Stats, StopReason};
 pub use worker::in_model;
 
 // Re-export the vocabulary crate so downstream users need one import.

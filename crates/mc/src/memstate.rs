@@ -143,7 +143,11 @@ impl MemState {
     }
 
     fn store_val(&self, id: EventId) -> Val {
-        self.trace.event(id).kind.written_val().expect("rf target must be a write")
+        self.trace
+            .event(id)
+            .kind
+            .written_val()
+            .expect("rf target must be a write")
     }
 
     /// Append an event for `tid`, bumping its clock, and return its id.
@@ -163,7 +167,14 @@ impl MemState {
         };
         let clock = th.clock.clone();
         let seq = th.seq;
-        self.trace.events.push(Event { id, tid, seq, kind, clock, sc_index });
+        self.trace.events.push(Event {
+            id,
+            tid,
+            seq,
+            kind,
+            clock,
+            sc_index,
+        });
         self.sync_of.push(None);
         self.last_event[tid.idx()] = Some(id);
         id
@@ -201,7 +212,11 @@ impl MemState {
         // C++11 29.3p3: an SC read must see the last preceding SC store in
         // S (== the mo-max SC store, since S is commit order) or a non-SC
         // store that does not happen-before it.
-        let b_idx: Option<u32> = if ord.is_seq_cst() { self.sc_last_store.get(loc) } else { None };
+        let b_idx: Option<u32> = if ord.is_seq_cst() {
+            self.sc_last_store.get(loc)
+        } else {
+            None
+        };
         let b_event = b_idx.map(|i| stores[i as usize]);
 
         for idx in (lo..stores.len()).rev() {
@@ -232,12 +247,21 @@ impl MemState {
     /// CASes are plain loads of any coherent store whose value differs from
     /// `expected`; weak CASes may additionally fail while reading
     /// `expected`.
-    pub fn rmw_candidates(&self, tid: Tid, loc: LocId, _ord: MemOrd, kind: RmwKind) -> Vec<RfChoice> {
+    pub fn rmw_candidates(
+        &self,
+        tid: Tid,
+        loc: LocId,
+        _ord: MemOrd,
+        kind: RmwKind,
+    ) -> Vec<RfChoice> {
         let stores = self.loc_stores(loc);
         if stores.is_empty() {
             // Uninitialized RMW: surfaces as a built-in bug; the update is
             // applied to 0 so the trace stays well-formed until reported.
-            return vec![RfChoice { rf: None, success: !matches!(kind, RmwKind::Cas { .. }) }];
+            return vec![RfChoice {
+                rf: None,
+                success: !matches!(kind, RmwKind::Cas { .. }),
+            }];
         }
         let last = *stores.last().expect("nonempty");
         match kind {
@@ -249,17 +273,29 @@ impl MemState {
                 let mut out = Vec::new();
                 let last_val = self.store_val(last);
                 if kind.apply(last_val).is_some() {
-                    out.push(RfChoice { rf: Some(last), success: true });
+                    out.push(RfChoice {
+                        rf: Some(last),
+                        success: true,
+                    });
                     if weak {
-                        out.push(RfChoice { rf: Some(last), success: false });
+                        out.push(RfChoice {
+                            rf: Some(last),
+                            success: false,
+                        });
                     }
                 } else {
-                    out.push(RfChoice { rf: Some(last), success: false });
+                    out.push(RfChoice {
+                        rf: Some(last),
+                        success: false,
+                    });
                 }
                 // Stale reads use the *failure* ordering.
                 for cand in self.load_candidates(tid, loc, fail_ord) {
                     let Some(w) = cand else {
-                        out.push(RfChoice { rf: None, success: false });
+                        out.push(RfChoice {
+                            rf: None,
+                            success: false,
+                        });
                         continue;
                     };
                     if w == last {
@@ -267,7 +303,10 @@ impl MemState {
                     }
                     let v = self.store_val(w);
                     if kind.apply(v).is_none() || weak {
-                        out.push(RfChoice { rf: Some(w), success: false });
+                        out.push(RfChoice {
+                            rf: Some(w),
+                            success: false,
+                        });
                     }
                     // A strong CAS that reads `expected` from a non-maximal
                     // store is inconsistent (its write could not be mo-adjacent),
@@ -275,7 +314,10 @@ impl MemState {
                 }
                 out
             }
-            _ => vec![RfChoice { rf: Some(last), success: true }],
+            _ => vec![RfChoice {
+                rf: Some(last),
+                success: true,
+            }],
         }
     }
 
@@ -290,7 +332,12 @@ impl MemState {
     /// Clock effects of reading `rf` at `ord` (shared by loads and RMWs).
     fn absorb_read(&mut self, tid: Tid, loc: LocId, ord: MemOrd, rf: Option<EventId>) {
         let Some(w) = rf else { return };
-        let mo_idx = self.trace.event(w).kind.mo_index().expect("rf target writes");
+        let mo_idx = self
+            .trace
+            .event(w)
+            .kind
+            .mo_index()
+            .expect("rf target writes");
         let sync = self.sync_of[w.idx()].clone();
         let th = &mut self.threads[tid.idx()];
         th.clock.rmax.raise(loc, mo_idx);
@@ -311,7 +358,16 @@ impl MemState {
             th.clock.wmax.raise(loc, mo_index);
             th.own_stores.raise(loc, mo_index);
         }
-        let id = self.push_event(tid, EventKind::AtomicStore { loc, ord, val, mo_index }, Some(ord));
+        let id = self.push_event(
+            tid,
+            EventKind::AtomicStore {
+                loc,
+                ord,
+                val,
+                mo_index,
+            },
+            Some(ord),
+        );
         self.trace.mo[loc.idx()].push(id);
         self.finish_write(tid, loc, ord, id, mo_index, None);
         id
@@ -363,7 +419,9 @@ impl MemState {
     ) -> (Val, bool) {
         let old = choice.rf.map(|w| self.store_val(w)).unwrap_or(0);
         if choice.success {
-            let new = kind.apply(old).expect("successful RMW must produce a value");
+            let new = kind
+                .apply(old)
+                .expect("successful RMW must produce a value");
             let inherited = choice.rf.and_then(|w| self.sync_of[w.idx()].clone());
             self.absorb_read(tid, loc, ord, choice.rf);
             let mo_index = self.trace.mo[loc.idx()].len() as u32;
@@ -374,7 +432,14 @@ impl MemState {
             }
             let id = self.push_event(
                 tid,
-                EventKind::Rmw { loc, ord, rf: choice.rf, read_val: old, written: Some(new), mo_index },
+                EventKind::Rmw {
+                    loc,
+                    ord,
+                    rf: choice.rf,
+                    read_val: old,
+                    written: Some(new),
+                    mo_index,
+                },
                 Some(ord),
             );
             self.trace.mo[loc.idx()].push(id);
@@ -388,7 +453,14 @@ impl MemState {
             self.absorb_read(tid, loc, fail_ord, choice.rf);
             self.push_event(
                 tid,
-                EventKind::Rmw { loc, ord: fail_ord, rf: choice.rf, read_val: old, written: None, mo_index: 0 },
+                EventKind::Rmw {
+                    loc,
+                    ord: fail_ord,
+                    rf: choice.rf,
+                    read_val: old,
+                    written: None,
+                    mo_index: 0,
+                },
                 Some(fail_ord),
             );
             (old, false)
@@ -448,12 +520,22 @@ impl MemState {
             let d = &self.data[loc.idx()];
             if let Some((wt, ws)) = d.last_write {
                 if wt != tid && !th.clock.vc.knows(wt, ws) {
-                    bug = Some(Bug::DataRace { loc, first: wt, second: tid, second_is_write: true });
+                    bug = Some(Bug::DataRace {
+                        loc,
+                        first: wt,
+                        second: tid,
+                        second_is_write: true,
+                    });
                 }
             }
             for &(rt, rs) in &d.reads_since_write {
                 if rt != tid && !th.clock.vc.knows(rt, rs) {
-                    bug = Some(Bug::DataRace { loc, first: rt, second: tid, second_is_write: true });
+                    bug = Some(Bug::DataRace {
+                        loc,
+                        first: rt,
+                        second: tid,
+                        second_is_write: true,
+                    });
                 }
             }
         }
@@ -475,7 +557,12 @@ impl MemState {
             let d = &self.data[loc.idx()];
             if let Some((wt, ws)) = d.last_write {
                 if wt != tid && !th.clock.vc.knows(wt, ws) {
-                    bug = Some(Bug::DataRace { loc, first: wt, second: tid, second_is_write: false });
+                    bug = Some(Bug::DataRace {
+                        loc,
+                        first: wt,
+                        second: tid,
+                        second_is_write: false,
+                    });
                 }
             }
         }
@@ -617,7 +704,11 @@ mod tests {
         let top = *m.loc_stores(x).last().unwrap();
         m.apply_load(t2, x, Acquire, Some(top));
         let dcands = m.load_candidates(t2, data, Relaxed);
-        assert_eq!(dcands.len(), 1, "release sequence must carry the data store");
+        assert_eq!(
+            dcands.len(),
+            1,
+            "release sequence must carry the data store"
+        );
         assert_eq!(m.apply_load(t2, data, Relaxed, dcands[0]), 5);
     }
 
@@ -675,7 +766,12 @@ mod tests {
         let x = m.alloc_atomic(t(0), Some(0));
         let t1 = m.spawn_thread(t(0));
         m.apply_store(t(0), x, Relaxed, 1);
-        let kind = RmwKind::Cas { expected: 1, new: 9, fail_ord: Relaxed, weak: false };
+        let kind = RmwKind::Cas {
+            expected: 1,
+            new: 9,
+            fail_ord: Relaxed,
+            weak: false,
+        };
         let cands = m.rmw_candidates(t1, x, AcqRel, kind);
         // latest store holds 1 → success candidate; init store holds 0 →
         // stale fail candidate.
@@ -684,7 +780,12 @@ mod tests {
         assert!(cands.iter().any(|c| !c.success));
         // CAS expecting 0 (stale value): reading the stale store cannot
         // succeed; the only candidates are failures.
-        let kind0 = RmwKind::Cas { expected: 0, new: 9, fail_ord: Relaxed, weak: false };
+        let kind0 = RmwKind::Cas {
+            expected: 0,
+            new: 9,
+            fail_ord: Relaxed,
+            weak: false,
+        };
         let cands0 = m.rmw_candidates(t1, x, AcqRel, kind0);
         assert!(cands0.iter().all(|c| !c.success));
     }
@@ -695,10 +796,18 @@ mod tests {
         let mut m = MemState::new();
         let x = m.alloc_atomic(t(0), Some(1));
         let t1 = m.spawn_thread(t(0));
-        let kind = RmwKind::Cas { expected: 1, new: 2, fail_ord: Relaxed, weak: true };
+        let kind = RmwKind::Cas {
+            expected: 1,
+            new: 2,
+            fail_ord: Relaxed,
+            weak: true,
+        };
         let cands = m.rmw_candidates(t1, x, AcqRel, kind);
         assert!(cands.iter().any(|c| c.success));
-        assert!(cands.iter().any(|c| !c.success), "weak CAS must offer spurious failure");
+        assert!(
+            cands.iter().any(|c| !c.success),
+            "weak CAS must offer spurious failure"
+        );
     }
 
     /// Data-race detection: unordered write/write race is flagged; ordered

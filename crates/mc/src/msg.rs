@@ -58,7 +58,11 @@ pub enum Op {
     /// Atomic store.
     Store { loc: LocId, ord: MemOrd, val: Val },
     /// Atomic read-modify-write.
-    Rmw { loc: LocId, ord: MemOrd, kind: RmwKind },
+    Rmw {
+        loc: LocId,
+        ord: MemOrd,
+        kind: RmwKind,
+    },
     /// Memory fence.
     Fence { ord: MemOrd },
     /// Block until `target` finishes, then synchronize with its last state.
@@ -87,10 +91,18 @@ impl Op {
     pub fn is_sc(&self) -> bool {
         matches!(
             self,
-            Op::Load { ord: MemOrd::SeqCst, .. }
-                | Op::Store { ord: MemOrd::SeqCst, .. }
-                | Op::Rmw { ord: MemOrd::SeqCst, .. }
-                | Op::Fence { ord: MemOrd::SeqCst }
+            Op::Load {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Op::Store {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Op::Rmw {
+                ord: MemOrd::SeqCst,
+                ..
+            } | Op::Fence {
+                ord: MemOrd::SeqCst
+            }
         )
     }
 
@@ -108,7 +120,14 @@ impl Op {
     /// * everything else (different locations, joins, spins) is independent.
     pub fn dependent(&self, other: &Op) -> bool {
         // SC fences are global.
-        let sc_fence = |o: &Op| matches!(o, Op::Fence { ord: MemOrd::SeqCst });
+        let sc_fence = |o: &Op| {
+            matches!(
+                o,
+                Op::Fence {
+                    ord: MemOrd::SeqCst
+                }
+            )
+        };
         if sc_fence(self) || sc_fence(other) {
             return self.loc().is_some()
                 || other.loc().is_some()
@@ -179,16 +198,28 @@ mod tests {
         assert_eq!(RmwKind::Swap(9).apply(1), Some(9));
         assert_eq!(RmwKind::FetchOr(0b10).apply(0b01), Some(0b11));
         assert_eq!(RmwKind::FetchAnd(0b10).apply(0b11), Some(0b10));
-        let cas = RmwKind::Cas { expected: 5, new: 6, fail_ord: Relaxed, weak: false };
+        let cas = RmwKind::Cas {
+            expected: 5,
+            new: 6,
+            fail_ord: Relaxed,
+            weak: false,
+        };
         assert_eq!(cas.apply(5), Some(6));
         assert_eq!(cas.apply(4), None);
     }
 
     fn load(loc: u32, ord: MemOrd) -> Op {
-        Op::Load { loc: LocId(loc), ord }
+        Op::Load {
+            loc: LocId(loc),
+            ord,
+        }
     }
     fn store(loc: u32, ord: MemOrd) -> Op {
-        Op::Store { loc: LocId(loc), ord, val: 0 }
+        Op::Store {
+            loc: LocId(loc),
+            ord,
+            val: 0,
+        }
     }
 
     #[test]

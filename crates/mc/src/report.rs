@@ -1,4 +1,5 @@
-//! Exploration outcomes: bug kinds, found-bug records, aggregate stats.
+//! Exploration outcomes: bug kinds, found-bug records, aggregate stats,
+//! stop reasons, and serializable checkpoints for resumable campaigns.
 
 use cdsspec_c11::{DataId, LocId, Tid};
 use std::time::Duration;
@@ -8,7 +9,12 @@ use std::time::Duration;
 pub enum Bug {
     /// Two unordered accesses to a non-atomic location, at least one a
     /// write (CDSChecker built-in check).
-    DataRace { loc: DataId, first: Tid, second: Tid, second_is_write: bool },
+    DataRace {
+        loc: DataId,
+        first: Tid,
+        second: Tid,
+        second_is_write: bool,
+    },
     /// An atomic load could observe the location before any initialization
     /// (CDSChecker built-in check).
     UninitLoad { loc: LocId, tid: Tid },
@@ -17,10 +23,23 @@ pub enum Bug {
     /// A modeled thread panicked (includes `mc_assert!` failures).
     UserPanic { tid: Tid, message: String },
     /// A plugin (e.g. the CDSSpec checker) rejected the execution.
-    Plugin { plugin: &'static str, message: String },
+    Plugin {
+        plugin: &'static str,
+        message: String,
+    },
     /// The offline axiom validator rejected a trace the online checker
     /// produced — an internal consistency failure, never expected.
     AxiomViolation { message: String },
+    /// An execution made no scheduling progress for `stalled_ms`
+    /// milliseconds and was aborted by the watchdog — the modeled code
+    /// wedged an OS worker (e.g. an unannotated infinite non-atomic loop).
+    InternalHang { stalled_ms: u64 },
+    /// A bug deserialized from a [`Checkpoint`]: only its category and
+    /// rendered message survive the round trip.
+    Restored {
+        category: BugCategory,
+        message: String,
+    },
 }
 
 impl Bug {
@@ -37,6 +56,8 @@ impl Bug {
                 }
             }
             Bug::AxiomViolation { .. } => BugCategory::Internal,
+            Bug::InternalHang { .. } => BugCategory::BuiltIn,
+            Bug::Restored { category, .. } => *category,
         }
     }
 }
@@ -44,7 +65,12 @@ impl Bug {
 impl std::fmt::Display for Bug {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Bug::DataRace { loc, first, second, second_is_write } => write!(
+            Bug::DataRace {
+                loc,
+                first,
+                second,
+                second_is_write,
+            } => write!(
                 f,
                 "data race on {loc}: {first} and {second} unordered ({} second access)",
                 if *second_is_write { "write" } else { "read" }
@@ -56,6 +82,15 @@ impl std::fmt::Display for Bug {
             Bug::UserPanic { tid, message } => write!(f, "panic in {tid}: {message}"),
             Bug::Plugin { plugin, message } => write!(f, "[{plugin}] {message}"),
             Bug::AxiomViolation { message } => write!(f, "AXIOM VIOLATION (internal): {message}"),
+            Bug::InternalHang { stalled_ms } => {
+                write!(
+                    f,
+                    "internal hang: no scheduling progress for {stalled_ms} ms"
+                )
+            }
+            // Print the message verbatim: the dedup key of a restored bug
+            // must equal the key of the live bug it was serialized from.
+            Bug::Restored { message, .. } => write!(f, "{message}"),
         }
     }
 }
@@ -64,7 +99,7 @@ impl std::fmt::Display for Bug {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum BugCategory {
     /// CDSChecker built-in checks (races, uninitialized loads) plus
-    /// deadlocks/panics.
+    /// deadlocks/panics/hangs.
     BuiltIn,
     /// CDSSpec admissibility-condition failures.
     Admissibility,
@@ -72,6 +107,27 @@ pub enum BugCategory {
     Assertion,
     /// Internal consistency failure of the checker itself.
     Internal,
+}
+
+impl BugCategory {
+    fn label(&self) -> &'static str {
+        match self {
+            BugCategory::BuiltIn => "builtin",
+            BugCategory::Admissibility => "admissibility",
+            BugCategory::Assertion => "assertion",
+            BugCategory::Internal => "internal",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "builtin" => BugCategory::BuiltIn,
+            "admissibility" => BugCategory::Admissibility,
+            "assertion" => BugCategory::Assertion,
+            "internal" => BugCategory::Internal,
+            _ => return None,
+        })
+    }
 }
 
 /// One bug occurrence, with the trace that exhibited it.
@@ -83,6 +139,74 @@ pub struct FoundBug {
     pub execution: u64,
     /// Rendered trace for diagnostics.
     pub trace: String,
+}
+
+/// Why an exploration run returned.
+///
+/// Ordered by "badness": [`Stats::merge`] keeps the worst reason of the
+/// two runs, so a suite of sub-runs reports `Deadline` if any sub-run was
+/// cut short by the clock, and `Errored` if any sub-run crashed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The whole choice tree was explored.
+    #[default]
+    Exhausted,
+    /// `Config::stop_on_first_bug` ended the run at the first defect.
+    FirstBug,
+    /// `Config::max_executions` was reached.
+    ExecutionCap,
+    /// `Config::time_budget` expired before exhaustion.
+    Deadline,
+    /// The run aborted abnormally (e.g. a checker plugin panicked).
+    Errored,
+}
+
+impl StopReason {
+    fn severity(self) -> u8 {
+        match self {
+            StopReason::Exhausted => 0,
+            StopReason::FirstBug => 1,
+            StopReason::ExecutionCap => 2,
+            StopReason::Deadline => 3,
+            StopReason::Errored => 4,
+        }
+    }
+
+    /// The worse (more truncated) of two reasons.
+    pub fn worst(self, other: StopReason) -> StopReason {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        match self {
+            StopReason::Exhausted => "exhausted",
+            StopReason::FirstBug => "first-bug",
+            StopReason::ExecutionCap => "execution-cap",
+            StopReason::Deadline => "deadline",
+            StopReason::Errored => "errored",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<Self> {
+        Some(match s {
+            "exhausted" => StopReason::Exhausted,
+            "first-bug" => StopReason::FirstBug,
+            "execution-cap" => StopReason::ExecutionCap,
+            "deadline" => StopReason::Deadline,
+            "errored" => StopReason::Errored,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for StopReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// Aggregate result of a [`crate::explore`] run.
@@ -99,12 +223,18 @@ pub struct Stats {
     pub diverged: u64,
     /// Branches pruned by sleep sets (redundant interleavings).
     pub sleep_pruned: u64,
+    /// Executions contributed by deadline-degraded random-walk sampling
+    /// (a subset of `executions`; see `Config::deadline_samples`).
+    pub sampled: u64,
     /// Bugs found (deduplicated per (category, message) pair).
     pub bugs: Vec<FoundBug>,
     /// Wall-clock time of the whole exploration.
     pub elapsed: Duration,
-    /// True when exploration ended because `max_executions` was hit.
-    pub truncated: bool,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Replay script of the first unexplored DFS leaf, when the run
+    /// stopped before exhausting the tree — the seed of a [`Checkpoint`].
+    pub frontier: Option<Vec<usize>>,
 }
 
 impl Stats {
@@ -118,31 +248,234 @@ impl Stats {
         self.bugs.iter().find(|b| b.bug.category() == cat)
     }
 
+    /// Compatibility accessor for the pre-`StopReason` API: was the run
+    /// cut short by a resource limit? (`FirstBug` is deliberate stopping,
+    /// not truncation — matching the old `truncated: bool` semantics,
+    /// which only covered the execution cap.)
+    pub fn truncated(&self) -> bool {
+        matches!(
+            self.stop,
+            StopReason::ExecutionCap | StopReason::Deadline | StopReason::Errored
+        )
+    }
+
+    /// A checkpoint from which [`crate::explore_from`] can resume, when
+    /// the run left part of the tree unexplored.
+    pub fn checkpoint(&self) -> Option<Checkpoint> {
+        self.frontier.as_ref().map(|script| Checkpoint {
+            script: script.clone(),
+            stats: self.clone(),
+        })
+    }
+
     /// Merge another run's statistics into this one (used when a
     /// benchmark's standard check is a *suite* of unit tests, as the
-    /// paper's §6.4 corner-case tests are).
+    /// paper's §6.4 corner-case tests are). Keeps the worst stop reason
+    /// and the other run's frontier, if any.
     pub fn merge(&mut self, other: Stats) {
         self.executions += other.executions;
         self.feasible += other.feasible;
         self.diverged += other.diverged;
         self.sleep_pruned += other.sleep_pruned;
+        self.sampled += other.sampled;
         self.elapsed += other.elapsed;
-        self.truncated |= other.truncated;
+        self.stop = self.stop.worst(other.stop);
+        if other.frontier.is_some() {
+            self.frontier = other.frontier;
+        }
         self.bugs.extend(other.bugs);
+    }
+
+    /// Fold a resumed run's statistics into checkpointed ones. Counters
+    /// accumulate like [`Stats::merge`], but the continuation's stop
+    /// reason and frontier *replace* the originals: the checkpoint's
+    /// `Deadline`/`ExecutionCap` describes the interruption, not the
+    /// combined run's fate.
+    pub fn continue_with(&mut self, continuation: Stats) {
+        let stop = continuation.stop;
+        let frontier = continuation.frontier.clone();
+        self.merge(continuation);
+        self.stop = stop;
+        self.frontier = frontier;
     }
 
     /// One-line summary (used by the evaluation harness).
     pub fn summary(&self) -> String {
         format!(
-            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), {:.2?}",
+            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), {:.2?}, stop: {}",
             self.executions,
             self.feasible,
             self.diverged,
             self.sleep_pruned,
             self.bugs.len(),
-            self.elapsed
+            self.elapsed,
+            self.stop
         )
     }
+}
+
+/// A resumable exploration position: the replay script of the first
+/// unexplored DFS leaf plus the statistics accumulated so far.
+///
+/// The DFS explorer's replay script *is* its complete state — re-running
+/// from `script` visits exactly the leaves a straight-through run would
+/// have visited after the interruption point, so
+/// `executions(full) == executions(to checkpoint) + executions(resumed)`.
+#[derive(Clone, Debug, Default)]
+pub struct Checkpoint {
+    /// Replay script of the next unexplored leaf.
+    pub script: Vec<usize>,
+    /// Statistics accumulated before the interruption.
+    pub stats: Stats,
+}
+
+impl Checkpoint {
+    /// The checkpoint at the root of the tree: resuming from it explores
+    /// everything from scratch.
+    pub fn root() -> Self {
+        Checkpoint::default()
+    }
+
+    /// Serialize to a line-oriented text format (see [`Checkpoint::from_text`]).
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("cdsspec-checkpoint v1\n");
+        let script = if self.script.is_empty() {
+            "-".to_string()
+        } else {
+            self.script
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        out.push_str(&format!("script {script}\n"));
+        out.push_str(&format!(
+            "counts {} {} {} {} {}\n",
+            self.stats.executions,
+            self.stats.feasible,
+            self.stats.diverged,
+            self.stats.sleep_pruned,
+            self.stats.sampled
+        ));
+        out.push_str(&format!("elapsed_ns {}\n", self.stats.elapsed.as_nanos()));
+        out.push_str(&format!("stop {}\n", self.stats.stop));
+        for b in &self.stats.bugs {
+            out.push_str(&format!(
+                "bug {} {} {}\n",
+                b.bug.category().label(),
+                b.execution,
+                escape(&b.bug.to_string())
+            ));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parse the format produced by [`Checkpoint::to_text`]. Bugs come
+    /// back as [`Bug::Restored`] (category + message only). Returns a
+    /// human-readable error for malformed input.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty checkpoint")?;
+        if header != "cdsspec-checkpoint v1" {
+            return Err(format!("unrecognized checkpoint header: {header:?}"));
+        }
+        let mut ck = Checkpoint::root();
+        let mut saw_end = false;
+        for line in lines {
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "script" => {
+                    if rest != "-" {
+                        ck.script = rest
+                            .split(',')
+                            .map(|c| {
+                                c.parse()
+                                    .map_err(|e| format!("bad script entry {c:?}: {e}"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                    }
+                }
+                "counts" => {
+                    let nums: Vec<u64> = rest
+                        .split_whitespace()
+                        .map(|c| c.parse().map_err(|e| format!("bad count {c:?}: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    if nums.len() != 5 {
+                        return Err(format!("expected 5 counters, got {}", nums.len()));
+                    }
+                    ck.stats.executions = nums[0];
+                    ck.stats.feasible = nums[1];
+                    ck.stats.diverged = nums[2];
+                    ck.stats.sleep_pruned = nums[3];
+                    ck.stats.sampled = nums[4];
+                }
+                "elapsed_ns" => {
+                    let ns: u128 = rest
+                        .parse()
+                        .map_err(|e| format!("bad elapsed_ns {rest:?}: {e}"))?;
+                    ck.stats.elapsed = Duration::from_nanos(ns.min(u64::MAX as u128) as u64);
+                }
+                "stop" => {
+                    ck.stats.stop = StopReason::from_label(rest)
+                        .ok_or_else(|| format!("unknown stop reason {rest:?}"))?;
+                }
+                "bug" => {
+                    let mut parts = rest.splitn(3, ' ');
+                    let cat = parts
+                        .next()
+                        .and_then(BugCategory::from_label)
+                        .ok_or_else(|| format!("bad bug category in {rest:?}"))?;
+                    let execution: u64 = parts
+                        .next()
+                        .and_then(|e| e.parse().ok())
+                        .ok_or_else(|| format!("bad bug execution in {rest:?}"))?;
+                    let message = unescape(parts.next().unwrap_or(""));
+                    ck.stats.bugs.push(FoundBug {
+                        bug: Bug::Restored {
+                            category: cat,
+                            message,
+                        },
+                        execution,
+                        trace: String::new(),
+                    });
+                }
+                "end" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(format!("unknown checkpoint line {other:?}")),
+            }
+        }
+        if !saw_end {
+            return Err("truncated checkpoint (missing end line)".into());
+        }
+        // A checkpointed run by definition has unexplored work, so the
+        // frontier is the script itself.
+        ck.stats.frontier = Some(ck.script.clone());
+        Ok(ck)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -158,15 +491,26 @@ mod tests {
             second_is_write: true,
         };
         assert_eq!(race.category(), BugCategory::BuiltIn);
-        let adm = Bug::Plugin { plugin: "cdsspec", message: "admissibility: x".into() };
+        let adm = Bug::Plugin {
+            plugin: "cdsspec",
+            message: "admissibility: x".into(),
+        };
         assert_eq!(adm.category(), BugCategory::Admissibility);
-        let spec = Bug::Plugin { plugin: "cdsspec", message: "postcondition failed".into() };
+        let spec = Bug::Plugin {
+            plugin: "cdsspec",
+            message: "postcondition failed".into(),
+        };
         assert_eq!(spec.category(), BugCategory::Assertion);
+        let hang = Bug::InternalHang { stalled_ms: 250 };
+        assert_eq!(hang.category(), BugCategory::BuiltIn);
     }
 
     #[test]
     fn display_is_informative() {
-        let b = Bug::UninitLoad { loc: LocId(3), tid: Tid(1) };
+        let b = Bug::UninitLoad {
+            loc: LocId(3),
+            tid: Tid(1),
+        };
         assert!(b.to_string().contains("a3"));
         assert!(b.to_string().contains("T1"));
     }
@@ -176,7 +520,9 @@ mod tests {
         let mut s = Stats::default();
         assert!(!s.buggy());
         s.bugs.push(FoundBug {
-            bug: Bug::Deadlock { blocked: vec![Tid(1)] },
+            bug: Bug::Deadlock {
+                blocked: vec![Tid(1)],
+            },
             execution: 0,
             trace: String::new(),
         });
@@ -184,5 +530,138 @@ mod tests {
         assert!(s.first_of(BugCategory::BuiltIn).is_some());
         assert!(s.first_of(BugCategory::Assertion).is_none());
         assert!(s.summary().contains("bug"));
+    }
+
+    #[test]
+    fn stop_reason_worst_of() {
+        use StopReason::*;
+        assert_eq!(Exhausted.worst(Deadline), Deadline);
+        assert_eq!(Deadline.worst(Exhausted), Deadline);
+        assert_eq!(FirstBug.worst(ExecutionCap), ExecutionCap);
+        assert_eq!(Errored.worst(Deadline), Errored);
+        assert_eq!(Exhausted.worst(Exhausted), Exhausted);
+    }
+
+    #[test]
+    fn truncated_compat_semantics() {
+        let mut s = Stats::default();
+        assert!(!s.truncated());
+        s.stop = StopReason::FirstBug;
+        assert!(!s.truncated(), "stopping at a bug is not truncation");
+        for stop in [
+            StopReason::ExecutionCap,
+            StopReason::Deadline,
+            StopReason::Errored,
+        ] {
+            s.stop = stop;
+            assert!(s.truncated(), "{stop} should count as truncated");
+        }
+    }
+
+    #[test]
+    fn merge_keeps_worst_stop_and_latest_frontier() {
+        let mut a = Stats {
+            executions: 10,
+            stop: StopReason::Deadline,
+            frontier: Some(vec![0, 1]),
+            ..Stats::default()
+        };
+        let b = Stats {
+            executions: 5,
+            stop: StopReason::FirstBug,
+            ..Stats::default()
+        };
+        a.merge(b);
+        assert_eq!(a.executions, 15);
+        assert_eq!(a.stop, StopReason::Deadline);
+        assert_eq!(
+            a.frontier,
+            Some(vec![0, 1]),
+            "no new frontier keeps the old one"
+        );
+
+        let c = Stats {
+            executions: 2,
+            stop: StopReason::Errored,
+            frontier: Some(vec![3]),
+            ..Stats::default()
+        };
+        a.merge(c);
+        assert_eq!(a.stop, StopReason::Errored);
+        assert_eq!(a.frontier, Some(vec![3]));
+    }
+
+    #[test]
+    fn continue_with_takes_continuation_fate() {
+        let mut prior = Stats {
+            executions: 10,
+            stop: StopReason::Deadline,
+            frontier: Some(vec![0, 1]),
+            ..Stats::default()
+        };
+        let resumed = Stats {
+            executions: 7,
+            stop: StopReason::Exhausted,
+            ..Stats::default()
+        };
+        prior.continue_with(resumed);
+        assert_eq!(prior.executions, 17);
+        assert_eq!(prior.stop, StopReason::Exhausted);
+        assert_eq!(prior.frontier, None);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let stats = Stats {
+            executions: 42,
+            feasible: 30,
+            diverged: 7,
+            sleep_pruned: 5,
+            sampled: 3,
+            elapsed: Duration::from_millis(1234),
+            stop: StopReason::Deadline,
+            frontier: Some(vec![0, 2, 1]),
+            bugs: vec![FoundBug {
+                bug: Bug::UserPanic {
+                    tid: Tid(2),
+                    message: "boom\nwith newline".into(),
+                },
+                execution: 17,
+                trace: "irrelevant".into(),
+            }],
+        };
+        let ck = stats.checkpoint().expect("has frontier");
+        let text = ck.to_text();
+        let back = Checkpoint::from_text(&text).expect("parses");
+        assert_eq!(back.script, vec![0, 2, 1]);
+        assert_eq!(back.stats.executions, 42);
+        assert_eq!(back.stats.feasible, 30);
+        assert_eq!(back.stats.diverged, 7);
+        assert_eq!(back.stats.sleep_pruned, 5);
+        assert_eq!(back.stats.sampled, 3);
+        assert_eq!(back.stats.stop, StopReason::Deadline);
+        assert_eq!(back.stats.bugs.len(), 1);
+        // The restored bug renders identically, so dedup on resume works.
+        assert_eq!(
+            back.stats.bugs[0].bug.to_string(),
+            stats.bugs[0].bug.to_string()
+        );
+        assert_eq!(back.stats.bugs[0].bug.category(), BugCategory::BuiltIn);
+        assert_eq!(back.stats.bugs[0].execution, 17);
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        assert!(Checkpoint::from_text("").is_err());
+        assert!(Checkpoint::from_text("not a checkpoint\nend\n").is_err());
+        assert!(Checkpoint::from_text("cdsspec-checkpoint v1\nscript 0,1\n").is_err());
+        assert!(Checkpoint::from_text("cdsspec-checkpoint v1\nstop nonsense\nend\n").is_err());
+    }
+
+    #[test]
+    fn empty_script_round_trips() {
+        let ck = Checkpoint::root();
+        let back = Checkpoint::from_text(&ck.to_text()).unwrap();
+        assert!(back.script.is_empty());
     }
 }

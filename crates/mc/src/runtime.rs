@@ -20,9 +20,12 @@
 //! The explorer thread only participates at execution boundaries.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cdsspec_c11::{EventId, LocId, Tid, Trace};
 use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::Rng;
 
 use crate::config::Config;
 use crate::memstate::MemState;
@@ -57,6 +60,10 @@ pub(crate) struct RunResult {
     pub outcome: RunOutcome,
     pub trace: Trace,
     pub choices: Vec<ChoiceRec>,
+    /// The execution wedged an OS worker that had to be leaked (the
+    /// watchdog aborted, but one job never exited). The per-execution
+    /// arena is intentionally kept alive in this case.
+    pub hung: bool,
 }
 
 /// The mutable heart of one execution, guarded by [`Shared::inner`].
@@ -89,6 +96,13 @@ pub(crate) struct ExecState {
     outcome: Option<RunOutcome>,
     /// Abort in progress: remaining workers unwind on wakeup.
     dying: bool,
+    /// Heartbeat counter: bumped on every scheduling decision (and by
+    /// `crate::api::progress_hint`). The watchdog in [`run_once`] aborts
+    /// the execution when this stops moving for `Config::hang_timeout`.
+    progress: u64,
+    /// When set, choice points past the replay script are resolved by
+    /// this PRNG instead of depth-first (deadline-degraded sampling).
+    sampler: Option<StdRng>,
 }
 
 /// Shared handle between the explorer, the workers, and the user-facing
@@ -118,16 +132,30 @@ impl ExecState {
         if n <= 1 {
             return 0;
         }
-        let picked = if self.cursor < self.script.len() { self.script[self.cursor] } else { 0 };
+        let picked = if self.cursor < self.script.len() {
+            self.script[self.cursor]
+        } else if let Some(rng) = &mut self.sampler {
+            rng.gen_range(0..n)
+        } else {
+            0
+        };
         assert!(
             picked < n,
             "replay divergence: script wants option {picked} of {n} at choice {} — \
              the test closure is nondeterministic",
             self.cursor
         );
-        self.choices.push(ChoiceRec { picked, num_options: n });
+        self.choices.push(ChoiceRec {
+            picked,
+            num_options: n,
+        });
         self.cursor += 1;
         picked
+    }
+
+    /// Feed the watchdog (see the `progress` field).
+    pub(crate) fn heartbeat(&mut self) {
+        self.progress = self.progress.wrapping_add(1);
     }
 
     fn register_thread(&mut self) -> Tid {
@@ -218,6 +246,7 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
     if st.outcome.is_some() {
         return;
     }
+    st.heartbeat();
 
     // Worker-side race found since the last decision?
     let pending_bug = shared.pending_bug.lock().take();
@@ -241,13 +270,19 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
         .map(|i| Tid(i as u32))
         .collect();
     if enabled.is_empty() {
-        let blocked: Vec<Tid> =
-            (0..st.alive.len()).filter(|&i| st.alive[i]).map(|i| Tid(i as u32)).collect();
+        let blocked: Vec<Tid> = (0..st.alive.len())
+            .filter(|&i| st.alive[i])
+            .map(|i| Tid(i as u32))
+            .collect();
         return abort(shared, st, RunOutcome::BugFound(Bug::Deadlock { blocked }));
     }
 
     let mut runnable: Vec<Tid> = if st.config.sleep_sets {
-        enabled.iter().copied().filter(|t| !st.sleep[t.idx()]).collect()
+        enabled
+            .iter()
+            .copied()
+            .filter(|t| !st.sleep[t.idx()])
+            .collect()
     } else {
         enabled
     };
@@ -268,7 +303,9 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
     st.sleep[t.idx()] = false;
     st.last_sched = t;
 
-    let op = st.pending[t.idx()].take().expect("runnable thread has a pending op");
+    let op = st.pending[t.idx()]
+        .take()
+        .expect("runnable thread has a pending op");
     match st.process(t, &op) {
         Ok(reply) => {
             if st.config.sleep_sets {
@@ -350,19 +387,27 @@ pub(crate) fn spawn_thread(
         std::panic::panic_any(DieMarker);
     }
     if st.pending.len() >= st.config.max_threads as usize {
-        let bug = Bug::UserPanic { tid: me, message: "max_threads exceeded".into() };
+        let bug = Bug::UserPanic {
+            tid: me,
+            message: "max_threads exceeded".into(),
+        };
         abort(shared, &mut st, RunOutcome::BugFound(bug));
         drop(st);
         std::panic::panic_any(DieMarker);
     }
     let child = st.register_thread();
+    st.heartbeat();
     shared.cvs.lock().push(Arc::new(Condvar::new()));
     st.mem.spawn_thread(me);
     st.running += 1; // the child runs until its first visible op
     st.active_jobs += 1;
     let pool = Arc::clone(&shared.pool);
     drop(st);
-    pool.lock().dispatch(Job { tid: child, shared: Arc::clone(shared), closure });
+    pool.lock().dispatch(Job {
+        tid: child,
+        shared: Arc::clone(shared),
+        closure,
+    });
     child
 }
 
@@ -421,12 +466,15 @@ pub(crate) fn job_exited(shared: &Shared) {
 // Explorer-side driver.
 // ---------------------------------------------------------------------
 
-/// Execute the test closure once, replaying `script`.
+/// Execute the test closure once, replaying `script`. With a `sampler`,
+/// choice points beyond the script are resolved randomly instead of
+/// depth-first (deadline-degraded sampling).
 pub(crate) fn run_once(
     config: &Config,
     pool: &Arc<Mutex<Pool>>,
     script: &[usize],
     test: Arc<dyn Fn() + Send + Sync>,
+    sampler: Option<StdRng>,
 ) -> RunResult {
     let shared = Arc::new(Shared {
         inner: Mutex::new(ExecState {
@@ -446,6 +494,8 @@ pub(crate) fn run_once(
             last_sched: Tid::MAIN,
             outcome: None,
             dying: false,
+            progress: 0,
+            sampler,
         }),
         cvs: Mutex::new(Vec::new()),
         done: Condvar::new(),
@@ -469,18 +519,73 @@ pub(crate) fn run_once(
         closure: Box::new(move || t2()),
     });
 
-    // Wait for the verdict + full job drain (arena safety).
-    let (outcome, trace, choices) = {
+    // Wait for the verdict + full job drain (arena safety). With a
+    // hang_timeout, a watchdog polls the heartbeat counter: an execution
+    // whose scheduler makes no progress for the configured interval is
+    // aborted (`Bug::InternalHang`), and if the wedged job still refuses
+    // to exit, it is leaked rather than parking the explorer forever.
+    let (outcome, trace, choices, hung) = {
         let mut st = shared.inner.lock();
-        while !(st.outcome.is_some() && st.active_jobs == 0) {
-            shared.done.wait(&mut st);
+        let mut hung = false;
+        match config.hang_timeout {
+            None => {
+                while !(st.outcome.is_some() && st.active_jobs == 0) {
+                    shared.done.wait(&mut st);
+                }
+            }
+            Some(limit) => {
+                let slice = (limit / 4).max(Duration::from_millis(10));
+                let mut last_progress = st.progress;
+                let mut last_change = Instant::now();
+                loop {
+                    if st.outcome.is_some() && st.active_jobs == 0 {
+                        break;
+                    }
+                    shared.done.wait_for(&mut st, slice);
+                    if st.progress != last_progress {
+                        last_progress = st.progress;
+                        last_change = Instant::now();
+                        continue;
+                    }
+                    let stalled = last_change.elapsed();
+                    if stalled < limit {
+                        continue;
+                    }
+                    if st.outcome.is_none() {
+                        let bug = Bug::InternalHang {
+                            stalled_ms: stalled.as_millis() as u64,
+                        };
+                        abort(&shared, &mut st, RunOutcome::BugFound(bug));
+                        // Fresh grace period for the surviving jobs to
+                        // unwind and drain.
+                        last_change = Instant::now();
+                    } else {
+                        // Already aborted, still not drained: a job is
+                        // wedged in user code and will never exit.
+                        hung = true;
+                        break;
+                    }
+                }
+            }
         }
         (
             st.outcome.clone().expect("decided"),
             std::mem::take(&mut st.mem.trace),
             std::mem::take(&mut st.choices),
+            hung,
         )
     };
-    shared.arena.lock().clear();
-    RunResult { outcome, trace, choices }
+    if !hung {
+        shared.arena.lock().clear();
+    }
+    // On a hang the arena stays alive deliberately: the wedged thread may
+    // still dereference per-execution allocations, and its thread-local
+    // context keeps `shared` (and thus the arena) reachable. The leak is
+    // bounded by one wedged execution per InternalHang report.
+    RunResult {
+        outcome,
+        trace,
+        choices,
+        hung,
+    }
 }

@@ -70,20 +70,40 @@ impl Pool {
     pub fn new() -> Self {
         install_quiet_panic_hook();
         let (free_tx, free_rx) = channel();
-        Pool { workers: Vec::new(), free_rx, free_tx }
+        Pool {
+            workers: Vec::new(),
+            free_rx,
+            free_tx,
+        }
     }
 
     /// Dispatch a job onto a free worker, growing the pool when necessary.
+    /// A worker whose OS thread has died (its job channel is closed) is
+    /// respawned in place and the dispatch retried — one lost thread must
+    /// not take down the whole exploration.
     pub fn dispatch(&mut self, job: Job) {
-        let idx = match self.free_rx.try_recv() {
-            Ok(i) => i,
-            Err(_) => {
-                let i = self.workers.len();
-                self.workers.push(spawn_worker(i, self.free_tx.clone()));
-                i
-            }
-        };
-        self.workers[idx].job_tx.send(job).expect("pool worker died");
+        let mut job = job;
+        loop {
+            let idx = match self.free_rx.try_recv() {
+                Ok(i) => i,
+                Err(_) => {
+                    let i = self.workers.len();
+                    self.workers.push(spawn_worker(i, self.free_tx.clone()));
+                    i
+                }
+            };
+            job = match self.workers[idx].job_tx.send(job) {
+                Ok(()) => return,
+                Err(std::sync::mpsc::SendError(j)) => j,
+            };
+            // Dead worker: replace it and hand the fresh one the job
+            // directly (it never announced itself free).
+            self.workers[idx] = spawn_worker(idx, self.free_tx.clone());
+            job = match self.workers[idx].job_tx.send(job) {
+                Ok(()) => return,
+                Err(std::sync::mpsc::SendError(j)) => j,
+            };
+        }
     }
 }
 
@@ -125,9 +145,16 @@ fn spawn_worker(index: usize, free_tx: Sender<usize>) -> WorkerHandle {
 }
 
 fn run_job(job: Job) {
-    let Job { tid, shared, closure } = job;
+    let Job {
+        tid,
+        shared,
+        closure,
+    } = job;
     CTX.with(|c| {
-        *c.borrow_mut() = Some(Ctx { tid, shared: Arc::clone(&shared) });
+        *c.borrow_mut() = Some(Ctx {
+            tid,
+            shared: Arc::clone(&shared),
+        });
     });
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure));
     CTX.with(|c| {
@@ -146,7 +173,7 @@ fn run_job(job: Job) {
     runtime::job_exited(&shared);
 }
 
-fn panic_message(payload: &Box<dyn Any + Send>) -> String {
+pub(crate) fn panic_message(payload: &Box<dyn Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -24,7 +24,11 @@ where
             o3.lock().unwrap().insert(v);
         });
     });
-    assert!(!stats.buggy(), "unexpected bug: {:?}", stats.bugs.first().map(|b| &b.bug));
+    assert!(
+        !stats.buggy(),
+        "unexpected bug: {:?}",
+        stats.bugs.first().map(|b| &b.bug)
+    );
     let set = outcomes.lock().unwrap().clone();
     (set, stats)
 }
@@ -50,7 +54,10 @@ fn sb_relaxed_allows_both_zero() {
         t.join();
         record(vec![*r1.lock().unwrap(), r2]);
     });
-    assert!(outcomes.contains(&vec![0, 0]), "weak SB outcome missing: {outcomes:?}");
+    assert!(
+        outcomes.contains(&vec![0, 0]),
+        "weak SB outcome missing: {outcomes:?}"
+    );
     assert!(outcomes.contains(&vec![1, 1]));
     assert!(outcomes.contains(&vec![0, 1]));
     assert!(outcomes.contains(&vec![1, 0]));
@@ -73,7 +80,10 @@ fn sb_seq_cst_forbids_both_zero() {
         t.join();
         record(vec![*r1.lock().unwrap(), r2]);
     });
-    assert!(!outcomes.contains(&vec![0, 0]), "SC must forbid 0/0: {outcomes:?}");
+    assert!(
+        !outcomes.contains(&vec![0, 0]),
+        "SC must forbid 0/0: {outcomes:?}"
+    );
     assert!(outcomes.len() >= 2);
 }
 
@@ -96,7 +106,10 @@ fn sb_sc_fences_forbid_both_zero() {
         t.join();
         record(vec![*r1.lock().unwrap(), r2]);
     });
-    assert!(!outcomes.contains(&vec![0, 0]), "SC fences must forbid 0/0: {outcomes:?}");
+    assert!(
+        !outcomes.contains(&vec![0, 0]),
+        "SC fences must forbid 0/0: {outcomes:?}"
+    );
 }
 
 /// Message passing with release/acquire: stale data unreadable after
@@ -132,7 +145,10 @@ fn mp_relaxed_shows_stale() {
         t.join();
         record(vec![f, d]);
     });
-    assert!(outcomes.contains(&vec![1, 0]), "relaxed MP must show stale data: {outcomes:?}");
+    assert!(
+        outcomes.contains(&vec![1, 0]),
+        "relaxed MP must show stale data: {outcomes:?}"
+    );
     assert!(outcomes.contains(&vec![1, 42]));
 }
 
@@ -264,7 +280,10 @@ fn cas_stale_failure_is_observable() {
         t.join();
         record(vec![r.is_ok() as i64]);
     });
-    assert!(outcomes.contains(&vec![0]) && outcomes.contains(&vec![1]), "{outcomes:?}");
+    assert!(
+        outcomes.contains(&vec![0]) && outcomes.contains(&vec![1]),
+        "{outcomes:?}"
+    );
 }
 
 /// Uninitialized atomic loads are detected.
@@ -275,7 +294,11 @@ fn uninit_load_detected() {
         let _ = x.load(Relaxed);
     });
     assert!(stats.buggy());
-    assert!(matches!(stats.bugs[0].bug, mc::Bug::UninitLoad { .. }), "{:?}", stats.bugs[0].bug);
+    assert!(
+        matches!(stats.bugs[0].bug, mc::Bug::UninitLoad { .. }),
+        "{:?}",
+        stats.bugs[0].bug
+    );
 }
 
 /// Unordered non-atomic accesses are detected as data races.
@@ -288,7 +311,11 @@ fn data_race_detected() {
         t.join();
     });
     assert!(stats.buggy());
-    assert!(matches!(stats.bugs[0].bug, mc::Bug::DataRace { .. }), "{:?}", stats.bugs[0].bug);
+    assert!(
+        matches!(stats.bugs[0].bug, mc::Bug::DataRace { .. }),
+        "{:?}",
+        stats.bugs[0].bug
+    );
 }
 
 /// Properly published non-atomic data does not race.
@@ -357,7 +384,10 @@ fn released_spin_completes() {
 #[test]
 fn sleep_sets_preserve_outcomes() {
     fn run(sleep: bool) -> (BTreeSet<Vec<i64>>, u64) {
-        let config = Config { sleep_sets: sleep, ..Config::validating() };
+        let config = Config {
+            sleep_sets: sleep,
+            ..Config::validating()
+        };
         let (outcomes, stats) = collect(config, |record| {
             let x = Atomic::new(0i64);
             let y = Atomic::new(0i64);
@@ -375,7 +405,10 @@ fn sleep_sets_preserve_outcomes() {
     let (with, n_with) = run(true);
     let (without, n_without) = run(false);
     assert_eq!(with, without);
-    assert!(n_with <= n_without, "sleep sets should not increase executions");
+    assert!(
+        n_with <= n_without,
+        "sleep sets should not increase executions"
+    );
 }
 
 /// Join must synchronize: after joining, the child's writes are visible.

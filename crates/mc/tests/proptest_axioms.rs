@@ -78,7 +78,10 @@ fn run_modeled(prog: &Program, locs: usize, force_sc: bool) -> (BTreeSet<Vec<i64
     let prog = Arc::new(prog.clone());
     let outcomes: Arc<Mutex<BTreeSet<Vec<i64>>>> = Arc::new(Mutex::new(BTreeSet::new()));
     let oc = Arc::clone(&outcomes);
-    let config = Config { max_executions: 300_000, ..Config::validating() };
+    let config = Config {
+        max_executions: 300_000,
+        ..Config::validating()
+    };
 
     let stats = mc::explore(config, move || {
         let cells: Vec<Atomic<i64>> = (0..locs).map(|_| Atomic::new(0)).collect();
@@ -110,7 +113,11 @@ fn run_modeled(prog: &Program, locs: usize, force_sc: bool) -> (BTreeSet<Vec<i64
 fn interp(steps: &[(Step, MemOrd)], cells: &[Atomic<i64>], force_sc: bool) -> Vec<i64> {
     let mut reads = Vec::new();
     for &(step, ord) in steps {
-        let ord = if force_sc { SeqCst } else { legal_ord(step, ord) };
+        let ord = if force_sc {
+            SeqCst
+        } else {
+            legal_ord(step, ord)
+        };
         match step {
             Step::Load(l) => reads.push(cells[l].load(ord)),
             Step::Store(l, v) => cells[l].store(v, ord),
@@ -119,7 +126,11 @@ fn interp(steps: &[(Step, MemOrd)], cells: &[Atomic<i64>], force_sc: bool) -> Ve
                 // Under force_sc the *failure* ordering must stay SC too:
                 // C11 lets a failed CAS read with a weaker ordering, and a
                 // stale acquire read would be (correctly!) non-SC.
-                let fail = if force_sc { SeqCst } else { ord.weaken_load().unwrap_or(Relaxed) };
+                let fail = if force_sc {
+                    SeqCst
+                } else {
+                    ord.weaken_load().unwrap_or(Relaxed)
+                };
                 let r = cells[l].compare_exchange(e, n, ord, fail);
                 reads.push(match r {
                     Ok(old) => old,
@@ -212,7 +223,7 @@ proptest! {
         let axiom_bug = stats.bugs.iter().any(|b| matches!(b.bug, mc::Bug::AxiomViolation { .. }));
         prop_assert!(!axiom_bug, "axiom violation: {:?}", stats.bugs);
         prop_assert!(stats.feasible > 0);
-        prop_assert!(!stats.truncated, "exploration truncated: {}", stats.summary());
+        prop_assert!(!stats.truncated(), "exploration truncated: {}", stats.summary());
     }
 
     /// With everything seq_cst, the modeled outcome set equals the naive
@@ -269,12 +280,69 @@ proptest! {
     }
 }
 
+/// A checkpoint is lossless: running to a cap and resuming visits the
+/// same leaves as a straight-through run, so every counter partitions.
+fn modeled_closure(prog: Arc<Program>, locs: usize) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let cells: Vec<Atomic<i64>> = (0..locs).map(|_| Atomic::new(0)).collect();
+        let mut handles = Vec::new();
+        for steps in prog.iter().skip(1) {
+            let steps = steps.clone();
+            let cells = cells.clone();
+            handles.push(mc::thread::spawn(move || {
+                let _ = interp(&steps, &cells, false);
+            }));
+        }
+        let _ = interp(&prog[0], &cells, false);
+        for h in handles {
+            h.join();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// `executions(full) == executions(to checkpoint) + executions(resume)`
+    /// for every counter, on litmus-sized random programs.
+    #[test]
+    fn checkpoint_partitions_executions(prog in program_strategy(2, 2, 2), cap in 1u64..10) {
+        let prog = Arc::new(prog);
+        let base = Config { stop_on_first_bug: false, ..Config::default() };
+        let full = mc::explore(base.clone(), modeled_closure(Arc::clone(&prog), 2));
+        let capped = Config { max_executions: cap, ..base.clone() };
+        let cut = mc::explore(capped, modeled_closure(Arc::clone(&prog), 2));
+        match cut.checkpoint() {
+            Some(ckpt) => {
+                prop_assert_eq!(cut.stop, mc::StopReason::ExecutionCap);
+                let resumed = mc::explore_from(base, ckpt, modeled_closure(prog, 2));
+                // Resumed stats accumulate on top of the checkpoint, so
+                // totals must land exactly on the straight-through run.
+                prop_assert_eq!(resumed.executions, full.executions);
+                prop_assert_eq!(resumed.feasible, full.feasible);
+                prop_assert_eq!(resumed.diverged, full.diverged);
+                prop_assert_eq!(resumed.sleep_pruned, full.sleep_pruned);
+                prop_assert_eq!(resumed.stop, mc::StopReason::Exhausted);
+            }
+            None => {
+                // The cap never fired: the tree fit inside it.
+                prop_assert_eq!(cut.executions, full.executions);
+                prop_assert_eq!(cut.stop, mc::StopReason::Exhausted);
+            }
+        }
+    }
+}
+
 /// As [`run_modeled`] with weak orderings and a sleep-set switch.
 fn run_modeled_cfg(prog: &Program, locs: usize, sleep: bool) -> (BTreeSet<Vec<i64>>, mc::Stats) {
     let prog = Arc::new(prog.clone());
     let outcomes: Arc<Mutex<BTreeSet<Vec<i64>>>> = Arc::new(Mutex::new(BTreeSet::new()));
     let oc = Arc::clone(&outcomes);
-    let config = Config { max_executions: 300_000, sleep_sets: sleep, ..Config::validating() };
+    let config = Config {
+        max_executions: 300_000,
+        sleep_sets: sleep,
+        ..Config::validating()
+    };
     let stats = mc::explore(config, move || {
         let cells: Vec<Atomic<i64>> = (0..locs).map(|_| Atomic::new(0)).collect();
         let reads: ReadLog = Arc::new(Mutex::new(Vec::new()));

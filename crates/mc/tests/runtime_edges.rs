@@ -1,6 +1,9 @@
 //! Edge-case tests for the token-passing runtime: thread limits,
-//! truncation, yields, deep nesting, pool reuse across explorations, and
-//! the verbose/validating config paths.
+//! truncation, yields, deep nesting, pool reuse across explorations, the
+//! verbose/validating config paths, and the resilience layer (watchdog,
+//! deadlines, checkpoint/resume, sampling degradation).
+
+use std::time::Duration;
 
 use cdsspec_mc as mc;
 use mc::MemOrd::*;
@@ -9,7 +12,10 @@ use mc::{mc_assert, Atomic, Config};
 /// Exceeding `max_threads` is a reported bug, not a hang.
 #[test]
 fn max_threads_is_enforced() {
-    let config = Config { max_threads: 3, ..Config::default() };
+    let config = Config {
+        max_threads: 3,
+        ..Config::default()
+    };
     let stats = mc::explore(config, || {
         let mut handles = Vec::new();
         for _ in 0..5 {
@@ -26,7 +32,10 @@ fn max_threads_is_enforced() {
 /// `max_executions` truncates and says so.
 #[test]
 fn truncation_is_reported() {
-    let config = Config { max_executions: 3, ..Config::default() };
+    let config = Config {
+        max_executions: 3,
+        ..Config::default()
+    };
     let stats = mc::explore(config, || {
         let x = Atomic::new(0i64);
         let t = mc::thread::spawn(move || x.store(1, Relaxed));
@@ -34,8 +43,10 @@ fn truncation_is_reported() {
         let _ = x.load(Relaxed);
         t.join();
     });
-    assert!(stats.truncated);
+    assert!(stats.truncated());
+    assert_eq!(stats.stop, mc::StopReason::ExecutionCap);
     assert_eq!(stats.executions, 3);
+    assert!(stats.frontier.is_some(), "a capped run must be resumable");
 }
 
 /// `yield_now` is a scheduling point with no memory effect.
@@ -90,7 +101,10 @@ fn unjoined_threads_complete() {
         let _ = x.load(Relaxed);
     });
     assert!(!stats.buggy());
-    assert!(stats.feasible >= 2, "store may land before or after the load");
+    assert!(
+        stats.feasible >= 2,
+        "store may land before or after the load"
+    );
 }
 
 /// The same process can run many explorations back-to-back (pool threads
@@ -111,7 +125,10 @@ fn repeated_explorations_are_independent() {
 /// execution without panicking.
 #[test]
 fn verbose_rendering_smoke() {
-    let config = Config { verbose: true, ..Config::default() };
+    let config = Config {
+        verbose: true,
+        ..Config::default()
+    };
     let stats = mc::explore(config, || {
         let x = Atomic::new(0i64);
         let t = mc::thread::spawn(move || {
@@ -142,6 +159,150 @@ fn parallel_explorations() {
     });
     h1.join().unwrap();
     h2.join().unwrap();
+}
+
+/// A branchy but tiny workload shared by the resilience tests: two
+/// storer threads racing two loads gives a choice tree of a few dozen
+/// leaves — big enough to interrupt, small enough to exhaust instantly.
+fn branchy_workload() {
+    let x = Atomic::new(0i64);
+    let y = Atomic::new(0i64);
+    let t1 = mc::thread::spawn(move || x.store(1, Relaxed));
+    let t2 = mc::thread::spawn(move || y.store(1, Relaxed));
+    let _ = x.load(Relaxed);
+    let _ = y.load(Relaxed);
+    t1.join();
+    t2.join();
+}
+
+/// A deliberately wedged modeled thread (never reaches another visible
+/// operation) no longer hangs exploration: the watchdog aborts the
+/// execution and reports `Bug::InternalHang`.
+#[test]
+fn watchdog_aborts_wedged_thread() {
+    let config = Config {
+        hang_timeout: Some(Duration::from_millis(200)),
+        ..Config::default()
+    };
+    let stats = mc::explore(config, || {
+        let x = Atomic::new(0i64);
+        let t = mc::thread::spawn(move || {
+            x.store(1, Relaxed);
+            // Wedge: user code that never returns and never performs
+            // another visible operation. (`park` rather than a spin so
+            // the leaked OS thread doesn't burn a core for the rest of
+            // the test process's life.)
+            loop {
+                std::thread::park();
+            }
+        });
+        let _ = x.load(Relaxed);
+        t.join();
+    });
+    assert!(
+        stats.buggy(),
+        "wedged thread must be reported: {}",
+        stats.summary()
+    );
+    let hang = stats
+        .bugs
+        .iter()
+        .find(|b| matches!(b.bug, mc::Bug::InternalHang { .. }));
+    let hang = hang.expect("expected an InternalHang bug");
+    assert_eq!(hang.bug.category(), mc::BugCategory::BuiltIn);
+    assert_eq!(stats.stop, mc::StopReason::FirstBug);
+}
+
+/// Deadline expiry stops between executions with a resumable frontier,
+/// and resuming reproduces the straight-through run's aggregate counts
+/// exactly — including through the text serialization round trip.
+#[test]
+fn deadline_expiry_reports_and_resumes() {
+    let full = mc::explore(Config::default(), branchy_workload);
+    assert_eq!(full.stop, mc::StopReason::Exhausted);
+    assert!(full.frontier.is_none());
+    assert!(
+        full.executions > 4,
+        "workload too small to interrupt: {}",
+        full.summary()
+    );
+
+    let config = Config {
+        time_budget: Some(Duration::ZERO),
+        ..Config::default()
+    };
+    let cut = mc::explore(config, branchy_workload);
+    assert_eq!(cut.stop, mc::StopReason::Deadline);
+    assert!(cut.executions < full.executions);
+    let ckpt = cut.checkpoint().expect("deadline leaves a frontier");
+
+    // Round-trip the checkpoint through its text form, as the bench
+    // binaries do across process restarts.
+    let ckpt = mc::Checkpoint::from_text(&ckpt.to_text()).expect("serializable");
+
+    let resumed = mc::explore_from(Config::default(), ckpt, branchy_workload);
+    assert_eq!(resumed.stop, mc::StopReason::Exhausted);
+    assert_eq!(resumed.executions, full.executions);
+    assert_eq!(resumed.feasible, full.feasible);
+    assert_eq!(resumed.diverged, full.diverged);
+    assert_eq!(resumed.sleep_pruned, full.sleep_pruned);
+}
+
+/// `Config::resume_script` threads resumption through APIs that only
+/// accept a `Config` (the benchmark registry's `check` fn pointers);
+/// executions partition exactly.
+#[test]
+fn resume_script_threads_through_config() {
+    let full = mc::explore(Config::default(), branchy_workload);
+    let cut = mc::explore(
+        Config {
+            max_executions: 2,
+            ..Config::default()
+        },
+        branchy_workload,
+    );
+    assert_eq!(cut.stop, mc::StopReason::ExecutionCap);
+    let frontier = cut.frontier.clone().expect("capped run leaves a frontier");
+    let resumed = mc::explore(
+        Config {
+            resume_script: Some(frontier),
+            ..Config::default()
+        },
+        branchy_workload,
+    );
+    assert_eq!(
+        cut.executions + resumed.executions,
+        full.executions,
+        "cut {} + resumed {} != full {}",
+        cut.summary(),
+        resumed.summary(),
+        full.summary()
+    );
+}
+
+/// With `deadline_samples`, a deadline-cut run degrades to seeded
+/// random-walk probes of the unexplored region — deterministically.
+#[test]
+fn deadline_degrades_to_sampling_deterministically() {
+    let config = Config {
+        time_budget: Some(Duration::ZERO),
+        deadline_samples: 5,
+        sample_seed: 42,
+        ..Config::default()
+    };
+    let a = mc::explore(config.clone(), branchy_workload);
+    let b = mc::explore(config, branchy_workload);
+    assert_eq!(a.stop, mc::StopReason::Deadline);
+    assert!(
+        a.sampled > 0,
+        "expected sampling to kick in: {}",
+        a.summary()
+    );
+    assert!(a.sampled <= 5);
+    assert_eq!(a.executions, b.executions, "sampling must be deterministic");
+    assert_eq!(a.sampled, b.sampled);
+    assert_eq!(a.feasible, b.feasible);
+    assert_eq!(a.diverged, b.diverged);
 }
 
 /// Stats bookkeeping: executions = feasible + diverged + sleep-pruned.

@@ -40,7 +40,10 @@ struct Node {
 
 impl Node {
     fn new(v: i64) -> Self {
-        Node { data: mc::Data::new(v), next: mc::Atomic::new(std::ptr::null_mut()) }
+        Node {
+            data: mc::Data::new(v),
+            next: mc::Atomic::new(std::ptr::null_mut()),
+        }
     }
 }
 
@@ -80,7 +83,12 @@ impl BlockingQueue {
             let t = self.tail.load(self.ords.get(ENQ_TAIL_LOAD));
             let next = unsafe { &(*t).next };
             if next
-                .compare_exchange(std::ptr::null_mut(), n, self.ords.get(ENQ_NEXT_CAS), Relaxed)
+                .compare_exchange(
+                    std::ptr::null_mut(),
+                    n,
+                    self.ords.get(ENQ_NEXT_CAS),
+                    Relaxed,
+                )
                 .is_ok()
             {
                 spec::op_define(); // @OPDefine: true (Figure 6 line 10)

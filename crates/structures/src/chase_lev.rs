@@ -64,11 +64,17 @@ struct Buffer {
 
 impl Buffer {
     fn new_init(size: usize) -> Self {
-        Buffer { size, cells: (0..size).map(|_| mc::Atomic::new(0)).collect() }
+        Buffer {
+            size,
+            cells: (0..size).map(|_| mc::Atomic::new(0)).collect(),
+        }
     }
 
     fn new_uninit(size: usize) -> Self {
-        Buffer { size, cells: (0..size).map(|_| mc::Atomic::uninit()).collect() }
+        Buffer {
+            size,
+            cells: (0..size).map(|_| mc::Atomic::uninit()).collect(),
+        }
     }
 
     fn store(&self, i: i64, v: i64) {
@@ -238,7 +244,9 @@ impl Default for ChaseLev {
 /// needs concurrent steals covering the remaining elements).
 pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
     spec::Spec::new("chase-lev", VecDeque::<i64>::new)
-        .method("push", |m| m.side_effect(|s, e| s.push_back(e.arg(0).as_i64())))
+        .method("push", |m| {
+            m.side_effect(|s, e| s.push_back(e.arg(0).as_i64()))
+        })
         .method("take", |m| {
             m.side_effect(|s, e| {
                 let s_ret = s.back().copied().unwrap_or(EMPTY);
@@ -332,14 +340,17 @@ pub fn unit_test_last_element(ords: Ords) -> impl Fn() + Send + Sync + 'static {
 }
 
 /// Explore the benchmark's unit-test suite (the paper's corner cases:
-/// resize, and the race for the last element) under `config`.
+/// resize, and the race for the last element) under `config`. Runs as a
+/// [`spec::check_suite`] so an interrupted exploration can resume in the
+/// right part of the suite.
 pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
-    let mut stats = spec::check(config.clone(), make_spec(), unit_test(ords.clone()));
-    if stats.buggy() {
-        return stats;
-    }
-    stats.merge(spec::check(config, make_spec(), unit_test_last_element(ords)));
-    stats
+    spec::check_suite(
+        config,
+        vec![
+            (make_spec(), Box::new(unit_test(ords.clone()))),
+            (make_spec(), Box::new(unit_test_last_element(ords))),
+        ],
+    )
 }
 
 #[cfg(test)]

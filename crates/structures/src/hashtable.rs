@@ -70,7 +70,10 @@ impl HashTable {
 
     /// Insert or update `key → val` (both positive).
     pub fn put(&self, key: i64, val: i64) {
-        assert!(key > 0 && val > 0, "keys and values are positive by convention");
+        assert!(
+            key > 0 && val > 0,
+            "keys and values are positive by convention"
+        );
         spec::method_begin(self.obj, "put");
         spec::arg(key);
         spec::arg(val);
@@ -81,12 +84,7 @@ impl HashTable {
                 break;
             }
             if k == 0 {
-                match self.keys[idx].compare_exchange(
-                    0,
-                    key,
-                    self.ords.get(PUT_KEY_CAS),
-                    Relaxed,
-                ) {
+                match self.keys[idx].compare_exchange(0, key, self.ords.get(PUT_KEY_CAS), Relaxed) {
                     Ok(_) => break,
                     Err(now) if now == key => break,
                     Err(_) => {}

@@ -9,16 +9,16 @@
 pub mod blocking_queue;
 pub mod chase_lev;
 pub mod hashtable;
-pub mod mpmc;
-pub mod rcu;
-pub mod spsc;
 pub mod mcs_lock;
+pub mod mpmc;
 pub mod ms_queue;
 pub mod ords;
+pub mod rcu;
 pub mod register;
 pub mod registry;
 pub mod rw_lock;
 pub mod seqlock;
+pub mod spsc;
 pub mod ticket_lock;
 
 pub use ords::{site, Ords, SiteKind, SiteSpec};

@@ -107,7 +107,12 @@ impl McsLock {
         if next.is_null() {
             if self
                 .tail
-                .compare_exchange(n, std::ptr::null_mut(), self.ords.get(UNLOCK_TAIL_CAS), Relaxed)
+                .compare_exchange(
+                    n,
+                    std::ptr::null_mut(),
+                    self.ords.get(UNLOCK_TAIL_CAS),
+                    Relaxed,
+                )
                 .is_ok()
             {
                 // No successor: the tail CAS is the release point.

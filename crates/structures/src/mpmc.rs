@@ -62,7 +62,10 @@ impl MpmcQueue {
     /// A queue with a custom ordering table.
     pub fn with_ords(ords: Ords) -> Self {
         let cells = (0..CAPACITY as u64)
-            .map(|i| Cell { stamp: mc::Atomic::new(i), value: mc::Data::new(0) })
+            .map(|i| Cell {
+                stamp: mc::Atomic::new(i),
+                value: mc::Data::new(0),
+            })
             .collect();
         MpmcQueue {
             obj: mc::new_object_id(),
@@ -118,7 +121,8 @@ impl MpmcQueue {
                     .is_ok()
                 {
                     let v = cell.value.read();
-                    cell.stamp.store(pos + CAPACITY as u64, self.ords.get(DEQ_STAMP_STORE));
+                    cell.stamp
+                        .store(pos + CAPACITY as u64, self.ords.get(DEQ_STAMP_STORE));
                     break v;
                 }
             } else if stamp <= pos {
@@ -223,14 +227,17 @@ pub fn unit_test_wrap(ords: Ords) -> impl Fn() + Send + Sync + 'static {
     }
 }
 
-/// Explore the benchmark's unit-test suite under `config`.
+/// Explore the benchmark's unit-test suite under `config`. Runs as a
+/// [`spec::check_suite`] so an interrupted exploration can resume in the
+/// right part of the suite.
 pub fn check(config: mc::Config, ords: Ords) -> mc::Stats {
-    let mut stats = spec::check(config.clone(), make_spec(), unit_test(ords.clone()));
-    if stats.buggy() {
-        return stats;
-    }
-    stats.merge(spec::check(config, make_spec(), unit_test_wrap(ords)));
-    stats
+    spec::check_suite(
+        config,
+        vec![
+            (make_spec(), Box::new(unit_test(ords.clone()))),
+            (make_spec(), Box::new(unit_test_wrap(ords))),
+        ],
+    )
 }
 
 #[cfg(test)]

@@ -58,7 +58,10 @@ struct Node {
 
 impl Node {
     fn new(v: i64) -> Self {
-        Node { data: mc::Data::new(v), next: mc::Atomic::new(std::ptr::null_mut()) }
+        Node {
+            data: mc::Data::new(v),
+            next: mc::Atomic::new(std::ptr::null_mut()),
+        }
     }
 }
 
@@ -125,18 +128,16 @@ impl MsQueue {
                     .is_ok()
                 {
                     spec::op_define(); // linearization/ordering point
-                    let _ = self.tail.compare_exchange(
-                        t,
-                        n,
-                        self.ords.get(ENQ_TAIL_SWING),
-                        Relaxed,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(t, n, self.ords.get(ENQ_TAIL_SWING), Relaxed);
                     break;
                 }
             } else {
                 // Help swing the lagging tail.
-                let _ =
-                    self.tail.compare_exchange(t, next, self.ords.get(ENQ_TAIL_HELP), Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(t, next, self.ords.get(ENQ_TAIL_HELP), Relaxed);
             }
             mc::spin_loop();
         }
@@ -156,8 +157,9 @@ impl MsQueue {
                     break -1;
                 }
                 // Mid-enqueue: help swing the tail.
-                let _ =
-                    self.tail.compare_exchange(t, next, self.ords.get(DEQ_TAIL_HELP), Relaxed);
+                let _ = self
+                    .tail
+                    .compare_exchange(t, next, self.ords.get(DEQ_TAIL_HELP), Relaxed);
             } else if !next.is_null() {
                 let v = unsafe { (*next).data.read() };
                 if self

@@ -33,7 +33,11 @@ pub struct SiteSpec {
 
 /// Convenience constructor used by the benchmark site tables.
 pub const fn site(name: &'static str, default: MemOrd, kind: SiteKind) -> SiteSpec {
-    SiteSpec { name, default, kind }
+    SiteSpec {
+        name,
+        default,
+        kind,
+    }
 }
 
 /// A per-instance ordering table.
@@ -46,7 +50,10 @@ pub struct Ords {
 impl Ords {
     /// The default (correct) table for a benchmark's sites.
     pub fn defaults(sites: &'static [SiteSpec]) -> Self {
-        Ords { sites, current: sites.iter().map(|s| s.default).collect() }
+        Ords {
+            sites,
+            current: sites.iter().map(|s| s.default).collect(),
+        }
     }
 
     /// The ordering at `site` (index into the benchmark's site table).
@@ -86,7 +93,9 @@ impl Ords {
 
     /// Indices of sites that are injectable (not already `Relaxed`).
     pub fn injectable_sites(&self) -> Vec<usize> {
-        (0..self.current.len()).filter(|&i| self.current[i] != MemOrd::Relaxed).collect()
+        (0..self.current.len())
+            .filter(|&i| self.current[i] != MemOrd::Relaxed)
+            .collect()
     }
 
     /// Number of sites.

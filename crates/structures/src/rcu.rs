@@ -56,8 +56,15 @@ impl Rcu {
 
     /// An RCU cell with a custom ordering table.
     pub fn with_ords(ords: Ords) -> Self {
-        let init = mc::alloc(Snapshot { a: mc::Data::new(0), b: mc::Data::new(0) });
-        Rcu { obj: mc::new_object_id(), ptr: mc::Atomic::new(init), ords }
+        let init = mc::alloc(Snapshot {
+            a: mc::Data::new(0),
+            b: mc::Data::new(0),
+        });
+        Rcu {
+            obj: mc::new_object_id(),
+            ptr: mc::Atomic::new(init),
+            ords,
+        }
     }
 
     /// Read the current snapshot. Torn snapshots are hard bugs.

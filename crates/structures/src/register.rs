@@ -41,7 +41,11 @@ impl Register {
 
     /// A register with a custom ordering table.
     pub fn with_ords(ords: Ords) -> Self {
-        Register { obj: mc::new_object_id(), cell: mc::Atomic::new(0), ords }
+        Register {
+            obj: mc::new_object_id(),
+            cell: mc::Atomic::new(0),
+            ords,
+        }
     }
 
     /// Relaxed write.
@@ -119,7 +123,10 @@ mod tests {
     fn relaxed_register_is_nondeterministic_linearizable() {
         let stats = check(mc::Config::default(), Ords::defaults(SITES));
         assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
-        assert!(stats.feasible > 1, "relaxed register must expose several behaviors");
+        assert!(
+            stats.feasible > 1,
+            "relaxed register must expose several behaviors"
+        );
     }
 
     #[test]

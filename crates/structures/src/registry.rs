@@ -192,10 +192,14 @@ mod tests {
                 .lines()
                 .filter(|l| !l.trim_start().starts_with("//"))
                 .map(|l| {
-                    ["spec::op_define()", "spec::op_clear_define()", "spec::potential_op("]
-                        .iter()
-                        .filter(|pat| l.contains(*pat))
-                        .count()
+                    [
+                        "spec::op_define()",
+                        "spec::op_clear_define()",
+                        "spec::potential_op(",
+                    ]
+                    .iter()
+                    .filter(|pat| l.contains(*pat))
+                    .count()
                 })
                 .sum::<usize>();
             assert_eq!(

@@ -60,7 +60,11 @@ impl RwLock {
 
     /// A lock with a custom ordering table.
     pub fn with_ords(ords: Ords) -> Self {
-        RwLock { obj: mc::new_object_id(), lock: mc::Atomic::new(RW_LOCK_BIAS), ords }
+        RwLock {
+            obj: mc::new_object_id(),
+            lock: mc::Atomic::new(RW_LOCK_BIAS),
+            ords,
+        }
     }
 
     /// Shared (reader) acquire.
@@ -95,17 +99,22 @@ impl RwLock {
     /// Exclusive (writer) acquire.
     pub fn write_lock(&self) {
         spec::method_begin(self.obj, "write_lock");
-        let mut prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
+        let mut prior = self
+            .lock
+            .fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
         spec::op_clear_define();
         while prior != RW_LOCK_BIAS {
-            self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
+            self.lock
+                .fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
             loop {
                 if self.lock.load(self.ords.get(SPIN_LOAD)) == RW_LOCK_BIAS {
                     break;
                 }
                 mc::spin_loop();
             }
-            prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
+            prior = self
+                .lock
+                .fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_LOCK_SUB));
             spec::op_clear_define();
             mc::spin_loop();
         }
@@ -115,7 +124,8 @@ impl RwLock {
     /// Exclusive (writer) release.
     pub fn write_unlock(&self) {
         spec::method_begin(self.obj, "write_unlock");
-        self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(WRITE_UNLOCK_ADD));
+        self.lock
+            .fetch_add(RW_LOCK_BIAS, self.ords.get(WRITE_UNLOCK_ADD));
         spec::op_define();
         spec::method_end(());
     }
@@ -138,11 +148,14 @@ impl RwLock {
     /// (the §6.1 transient-side-effect behavior).
     pub fn write_trylock(&self) -> bool {
         spec::method_begin(self.obj, "write_trylock");
-        let prior = self.lock.fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_TRYLOCK_SUB));
+        let prior = self
+            .lock
+            .fetch_sub(RW_LOCK_BIAS, self.ords.get(WRITE_TRYLOCK_SUB));
         spec::op_define();
         let ok = prior == RW_LOCK_BIAS;
         if !ok {
-            self.lock.fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
+            self.lock
+                .fetch_add(RW_LOCK_BIAS, self.ords.get(COMPENSATE_ADD));
         }
         spec::method_end(ok);
         ok
@@ -170,10 +183,12 @@ fn base_spec(name: &'static str, spurious_trylock: bool) -> spec::Spec<RwState> 
             m.pre(|s, _| !s.writer).side_effect(|s, _| s.readers += 1)
         })
         .method("read_unlock", |m| {
-            m.pre(|s, _| s.readers > 0).side_effect(|s, _| s.readers -= 1)
+            m.pre(|s, _| s.readers > 0)
+                .side_effect(|s, _| s.readers -= 1)
         })
         .method("write_lock", |m| {
-            m.pre(|s, _| !s.writer && s.readers == 0).side_effect(|s, _| s.writer = true)
+            m.pre(|s, _| !s.writer && s.readers == 0)
+                .side_effect(|s, _| s.writer = true)
         })
         .method("write_unlock", |m| {
             m.pre(|s, _| s.writer).side_effect(|s, _| s.writer = false)
@@ -284,7 +299,10 @@ mod tests {
             let _ = l.write_trylock();
             t.join();
         });
-        assert!(stats.buggy(), "strict spec must reject the transient failure");
+        assert!(
+            stats.buggy(),
+            "strict spec must reject the transient failure"
+        );
         // …and the refined spec accepts exactly the same test.
         let stats = spec::check(mc::Config::default(), make_spec(), || {
             let l = RwLock::new();

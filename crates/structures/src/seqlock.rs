@@ -129,13 +129,12 @@ pub fn make_spec() -> spec::Spec<i64> {
             // must make it the latest value, or a concurrent write must
             // have produced it. A per-history postcondition would wrongly
             // reject reads that linearize before r-concurrent writes.
-            m.side_effect(|s, e| e.set_s_ret(*s))
-                .justify_post(|_, e| {
-                    e.ret() == e.s_ret
-                        || e.concurrent
-                            .iter()
-                            .any(|c| c.name == "write" && c.arg(0) == e.ret())
-                })
+            m.side_effect(|s, e| e.set_s_ret(*s)).justify_post(|_, e| {
+                e.ret() == e.s_ret
+                    || e.concurrent
+                        .iter()
+                        .any(|c| c.name == "write" && c.arg(0) == e.ret())
+            })
         })
 }
 
@@ -201,6 +200,9 @@ mod tests {
         let mut ords = Ords::defaults(SITES);
         assert!(ords.weaken(WRITE_DATA_STORE));
         let stats = check(mc::Config::default(), ords);
-        assert!(stats.buggy(), "weakened seqlock data store must be detected");
+        assert!(
+            stats.buggy(),
+            "weakened seqlock data store must be detected"
+        );
     }
 }

@@ -79,7 +79,8 @@ impl TicketLock {
     pub fn unlock(&self) {
         spec::method_begin(self.obj, "unlock");
         let now = self.now_serving.load(self.ords.get(UNLOCK_SERVE_LOAD));
-        self.now_serving.store(now + 1, self.ords.get(UNLOCK_SERVE_STORE));
+        self.now_serving
+            .store(now + 1, self.ords.get(UNLOCK_SERVE_STORE));
         spec::op_define();
         spec::method_end(());
     }

@@ -40,12 +40,24 @@ fn hunt(name: &str, queue_factory: impl Fn() -> MsQueue + Send + Sync + Copy + '
 
 fn main() {
     hunt("correct M&S queue", MsQueue::new);
-    hunt("known bug 1: relaxed enqueue publication", MsQueue::known_bug_enq);
-    hunt("known bug 2: relaxed dequeue next-load", MsQueue::known_bug_deq);
+    hunt(
+        "known bug 1: relaxed enqueue publication",
+        MsQueue::known_bug_enq,
+    );
+    hunt(
+        "known bug 2: relaxed dequeue next-load",
+        MsQueue::known_bug_deq,
+    );
 
     println!("== full single-site injection sweep ==");
-    let bench = benchmarks().into_iter().find(|b| b.name == "M&S Queue").unwrap();
-    let config = Config { max_executions: 500_000, ..Config::default() };
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "M&S Queue")
+        .unwrap();
+    let config = Config {
+        max_executions: 500_000,
+        ..Config::default()
+    };
     let (row, trials) = inject::inject_benchmark(&bench, &config);
     for t in &trials {
         println!(

@@ -50,7 +50,11 @@ impl Stack {
         loop {
             let head = self.head.load(Acquire);
             unsafe { (*node).next.write(head) };
-            if self.head.compare_exchange(head, node, self.push_ord, Relaxed).is_ok() {
+            if self
+                .head
+                .compare_exchange(head, node, self.push_ord, Relaxed)
+                .is_ok()
+            {
                 spec::op_define(); // the successful CAS orders pushes
                 break;
             }
@@ -72,7 +76,11 @@ impl Stack {
             // with plain release, two pops could be r-concurrent (the head
             // pointer can *revisit* an old node, so a stale head load can
             // still CAS successfully) and LIFO would be unverifiable.
-            if self.head.compare_exchange(head, next, AcqRel, Relaxed).is_ok() {
+            if self
+                .head
+                .compare_exchange(head, next, AcqRel, Relaxed)
+                .is_ok()
+            {
                 spec::op_clear_define(); // the successful CAS orders pops
                 break unsafe { (*head).value.read() };
             }

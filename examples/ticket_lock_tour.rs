@@ -44,7 +44,10 @@ fn main() {
     assert!(!stats.buggy());
 
     // 3. Weakening either now_serving ordering breaks the handoff.
-    for (idx, label) in [(1usize, "lock's acquire load"), (3usize, "unlock's release store")] {
+    for (idx, label) in [
+        (1usize, "lock's acquire load"),
+        (3usize, "unlock's release store"),
+    ] {
         let mut ords = Ords::defaults(ticket_lock::SITES);
         assert!(ords.weaken(idx));
         let stats = ticket_lock::check(Config::default(), ords);

@@ -1,0 +1,163 @@
+//! Offline shim for the `parking_lot` crate.
+//!
+//! The build environment for this repository has no access to a crates
+//! registry, so the workspace `[patch.crates-io]`-redirects `parking_lot`
+//! here. The shim wraps `std::sync` primitives behind the (small) slice of
+//! the parking_lot API the workspace uses: non-poisoning `Mutex::lock`,
+//! and a `Condvar` whose `wait`/`wait_for` take `&mut MutexGuard`.
+//!
+//! Poisoning is deliberately swallowed (`PoisonError::into_inner`): the
+//! model-checker's worker threads unwind on purpose after every abandoned
+//! execution, and parking_lot's real mutexes do not poison either.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::PoisonError;
+use std::time::Duration;
+
+/// A mutual-exclusion primitive (std-backed, non-poisoning).
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the mutex, blocking until it is available. Never poisons.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// Internally holds an `Option` so [`Condvar::wait`] can move the std
+/// guard out and back while the caller keeps a `&mut MutexGuard` — the
+/// parking_lot calling convention.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Result of a timed wait: did it time out?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with the parking_lot `&mut guard` convention.
+#[derive(Default, Debug)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Block until notified. Spurious wakeups are possible.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_survives_poison() {
+        let m = Arc::new(Mutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while !*g {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+    }
+}

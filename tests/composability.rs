@@ -15,20 +15,24 @@ use std::sync::Arc;
 /// its own sequential FIFO.
 #[test]
 fn two_queues_compose() {
-    let stats = spec::check(Config::default(), cdsspec::structures::blocking_queue::make_spec(), || {
-        let x = BlockingQueue::new();
-        let y = BlockingQueue::new();
-        let (x1, y1) = (x.clone(), y.clone());
-        let t = mc::thread::spawn(move || {
-            x1.enq(1);
-            let got = y1.deq();
-            mc::mc_assert!(got == -1 || got == 2);
-        });
-        y.enq(2);
-        let got = x.deq();
-        mc::mc_assert!(got == -1 || got == 1);
-        t.join();
-    });
+    let stats = spec::check(
+        Config::default(),
+        cdsspec::structures::blocking_queue::make_spec(),
+        || {
+            let x = BlockingQueue::new();
+            let y = BlockingQueue::new();
+            let (x1, y1) = (x.clone(), y.clone());
+            let t = mc::thread::spawn(move || {
+                x1.enq(1);
+                let got = y1.deq();
+                mc::mc_assert!(got == -1 || got == 2);
+            });
+            y.enq(2);
+            let got = x.deq();
+            mc::mc_assert!(got == -1 || got == 1);
+            t.join();
+        },
+    );
     assert!(!stats.buggy(), "bug: {}", stats.bugs[0].bug);
 }
 
@@ -61,7 +65,10 @@ fn register_and_queue_compose_via_two_plugins() {
     // compositions need a combined spec (Definition 8) rather than two
     // independent ones.
     assert!(stats.buggy());
-    assert!(stats.bugs[0].bug.to_string().contains("no specification for method"));
+    assert!(stats.bugs[0]
+        .bug
+        .to_string()
+        .contains("no specification for method"));
 }
 
 /// The supported heterogeneous form: one spec whose method set covers both
@@ -78,14 +85,21 @@ fn combined_spec_composes_heterogeneous_objects() {
         q: std::collections::VecDeque<i64>,
     }
     let combined = Spec::new("register×queue", Product::default)
-        .method("write", |m| m.side_effect(|s: &mut Product, e| s.reg = e.arg(0).as_i64()))
-        .method("read", |m| {
-            m.side_effect(|s, e| e.set_s_ret(s.reg)).justify_post(|_, e| {
-                e.ret() == e.s_ret
-                    || e.concurrent.iter().any(|c| c.name == "write" && c.arg(0) == e.ret())
-            })
+        .method("write", |m| {
+            m.side_effect(|s: &mut Product, e| s.reg = e.arg(0).as_i64())
         })
-        .method("enq", |m| m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64())))
+        .method("read", |m| {
+            m.side_effect(|s, e| e.set_s_ret(s.reg))
+                .justify_post(|_, e| {
+                    e.ret() == e.s_ret
+                        || e.concurrent
+                            .iter()
+                            .any(|c| c.name == "write" && c.arg(0) == e.ret())
+                })
+        })
+        .method("enq", |m| {
+            m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64()))
+        })
         .method("deq", |m| {
             m.side_effect(|s, e| {
                 let s_ret = s.q.front().copied().unwrap_or(-1);
@@ -124,9 +138,17 @@ fn lock_protected_queue_composes() {
         q: std::collections::VecDeque<i64>,
     }
     let combined = Spec::new("lock×queue", Product::default)
-        .method("lock", |m| m.pre(|s: &Product, _| s.depth == 0).side_effect(|s, _| s.depth += 1))
-        .method("unlock", |m| m.pre(|s: &Product, _| s.depth == 1).side_effect(|s, _| s.depth -= 1))
-        .method("enq", |m| m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64())))
+        .method("lock", |m| {
+            m.pre(|s: &Product, _| s.depth == 0)
+                .side_effect(|s, _| s.depth += 1)
+        })
+        .method("unlock", |m| {
+            m.pre(|s: &Product, _| s.depth == 1)
+                .side_effect(|s, _| s.depth -= 1)
+        })
+        .method("enq", |m| {
+            m.side_effect(|s, e| s.q.push_back(e.arg(0).as_i64()))
+        })
         .method("deq", |m| {
             m.side_effect(|s, e| {
                 let s_ret = s.q.front().copied().unwrap_or(-1);

@@ -8,16 +8,24 @@ use cdsspec::prelude::*;
 use cdsspec::structures::registry::benchmarks;
 
 fn quick() -> Config {
-    Config { max_executions: 30_000, ..Config::default() }
+    Config {
+        max_executions: 30_000,
+        ..Config::default()
+    }
 }
 
 /// A Built-in detection: the seqlock's weakened data store races.
 #[test]
 fn builtin_category_detection() {
-    let bench = benchmarks().into_iter().find(|b| b.name == "Seqlock").unwrap();
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "Seqlock")
+        .unwrap();
     let (_, trials) = inject::inject_benchmark(&bench, &quick());
     assert!(
-        trials.iter().any(|t| t.detected == Some(mc::BugCategory::BuiltIn)),
+        trials
+            .iter()
+            .any(|t| t.detected == Some(mc::BugCategory::BuiltIn)),
         "seqlock injections should include a built-in detection: {trials:?}"
     );
 }
@@ -26,7 +34,10 @@ fn builtin_category_detection() {
 /// required-ordered calls concurrent.
 #[test]
 fn admissibility_category_detection() {
-    let bench = benchmarks().into_iter().find(|b| b.name == "MPMC Queue").unwrap();
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "MPMC Queue")
+        .unwrap();
     let (row, trials) = inject::inject_benchmark(&bench, &quick());
     assert!(
         row.admissibility > 0,
@@ -38,7 +49,10 @@ fn admissibility_category_detection() {
 /// per the sequential spec.
 #[test]
 fn assertion_category_detection() {
-    let bench = benchmarks().into_iter().find(|b| b.name == "M&S Queue").unwrap();
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "M&S Queue")
+        .unwrap();
     let (row, trials) = inject::inject_benchmark(&bench, &quick());
     assert!(
         row.assertion > 0,
@@ -52,7 +66,12 @@ fn assertion_category_detection() {
 fn baseline_is_clean_for_every_benchmark() {
     for bench in benchmarks() {
         let stats = bench.check_default(quick());
-        assert!(!stats.buggy(), "{} baseline dirty: {}", bench.name, stats.bugs[0].bug);
+        assert!(
+            !stats.buggy(),
+            "{} baseline dirty: {}",
+            bench.name,
+            stats.bugs[0].bug
+        );
     }
 }
 

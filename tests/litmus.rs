@@ -61,7 +61,11 @@ fn dekker_with_sc_fences() {
         t.join();
     });
     // If both ever entered, the Data race detector would fire.
-    assert!(!stats.buggy(), "Dekker violated: {:?}", stats.bugs.first().map(|b| &b.bug));
+    assert!(
+        !stats.buggy(),
+        "Dekker violated: {:?}",
+        stats.bugs.first().map(|b| &b.bug)
+    );
 }
 
 /// Transitive release/acquire chains across three threads.
@@ -117,13 +121,18 @@ fn weak_vs_strong_cas() {
     let stats = mc::explore(Config::validating(), move || {
         let x = Atomic::new(0i64);
         let weak = x.compare_exchange_weak(0, 1, AcqRel, Relaxed).is_ok();
-        let strong = x.compare_exchange(if weak { 1 } else { 0 }, 2, AcqRel, Relaxed).is_ok();
+        let strong = x
+            .compare_exchange(if weak { 1 } else { 0 }, 2, AcqRel, Relaxed)
+            .is_ok();
         oc.lock().unwrap().insert((weak, strong));
     });
     assert!(!stats.buggy());
     let outcomes = outcomes.lock().unwrap();
     assert!(outcomes.contains(&(true, true)));
-    assert!(outcomes.contains(&(false, true)), "weak CAS must fail spuriously sometimes");
+    assert!(
+        outcomes.contains(&(false, true)),
+        "weak CAS must fail spuriously sometimes"
+    );
     // A single-threaded strong CAS with the correct expected value never
     // fails: no (_, false) outcome.
     assert!(outcomes.iter().all(|&(_, s)| s), "{outcomes:?}");

@@ -51,13 +51,20 @@ fn figure3_outcome_exists_and_is_accepted() {
         t.join();
         oc.lock().unwrap().insert((r1.read(), r2));
     });
-    assert!(!stats.buggy(), "the spec must accept every behavior: {}", stats.bugs[0].bug);
+    assert!(
+        !stats.buggy(),
+        "the spec must accept every behavior: {}",
+        stats.bugs[0].bug
+    );
     let outcomes = outcomes.lock().unwrap();
     assert!(
         outcomes.contains(&(-1, -1)),
         "the non-linearizable r1=r2=-1 outcome must be observable: {outcomes:?}"
     );
-    assert!(outcomes.contains(&(1, 1)), "the SC outcome must also exist: {outcomes:?}");
+    assert!(
+        outcomes.contains(&(1, 1)),
+        "the SC outcome must also exist: {outcomes:?}"
+    );
 }
 
 /// Figure 4(b): with seq_cst everywhere the r1=r2=-1 outcome would be

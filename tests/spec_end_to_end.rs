@@ -17,7 +17,10 @@ fn all_benchmarks_pass_with_correct_orderings() {
     let exhaustive = !cfg!(debug_assertions);
     let cap = if exhaustive { 2_000_000 } else { 40_000 };
     for bench in benchmarks() {
-        let config = Config { max_executions: cap, ..Config::default() };
+        let config = Config {
+            max_executions: cap,
+            ..Config::default()
+        };
         let stats = bench.check_default(config);
         assert!(
             !stats.buggy(),
@@ -27,7 +30,7 @@ fn all_benchmarks_pass_with_correct_orderings() {
         );
         assert!(stats.feasible > 0, "{}: no feasible executions", bench.name);
         if exhaustive {
-            assert!(!stats.truncated, "{}: exploration truncated", bench.name);
+            assert!(!stats.truncated(), "{}: exploration truncated", bench.name);
         }
     }
 }
@@ -36,8 +39,15 @@ fn all_benchmarks_pass_with_correct_orderings() {
 /// vacuous for any structure.
 #[test]
 fn every_benchmark_has_a_detectable_injection() {
-    let cap = if cfg!(debug_assertions) { 20_000 } else { 50_000 };
-    let config = Config { max_executions: cap, ..Config::default() };
+    let cap = if cfg!(debug_assertions) {
+        20_000
+    } else {
+        50_000
+    };
+    let config = Config {
+        max_executions: cap,
+        ..Config::default()
+    };
     for bench in benchmarks() {
         let (row, trials) = cdsspec::inject::inject_benchmark(&bench, &config);
         assert!(row.injections > 0, "{}: nothing injectable", bench.name);
@@ -77,8 +87,15 @@ fn diagnostics_are_actionable() {
     let bug = &stats.bugs[0];
     let msg = bug.bug.to_string();
     assert!(msg.contains("deq"), "message names the method: {msg}");
-    assert!(msg.contains("history"), "message includes the history: {msg}");
-    assert!(bug.trace.contains("rmw"), "witness trace shows the atomic ops: {}", bug.trace);
+    assert!(
+        msg.contains("history"),
+        "message includes the history: {msg}"
+    );
+    assert!(
+        bug.trace.contains("rmw"),
+        "witness trace shows the atomic ops: {}",
+        bug.trace
+    );
 }
 
 /// Plugin errors for unknown methods are loud, not silent.
@@ -90,7 +107,10 @@ fn unknown_method_is_reported() {
         q.enq(1);
     });
     assert!(stats.buggy());
-    assert!(stats.bugs[0].bug.to_string().contains("no specification for method"));
+    assert!(stats.bugs[0]
+        .bug
+        .to_string()
+        .contains("no specification for method"));
 }
 
 /// The history cap + sampling policy keep the checker usable when the
@@ -98,8 +118,10 @@ fn unknown_method_is_reported() {
 #[test]
 fn history_sampling_policy_works() {
     use cdsspec::core::HistoryPolicy;
-    let sampled = cdsspec::structures::register::make_spec()
-        .with_policy(HistoryPolicy::Sample { count: 16, seed: 42 });
+    let sampled = cdsspec::structures::register::make_spec().with_policy(HistoryPolicy::Sample {
+        count: 16,
+        seed: 42,
+    });
     let stats = spec::check(Config::default(), sampled, || {
         let r = cdsspec::structures::register::Register::new();
         let r1 = r.clone();
