@@ -9,14 +9,22 @@
 //!
 //! ```text
 //! cargo run -p cdsspec-bench --release --bin figure7 -- \
-//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>]
+//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>] \
+//!     [--workers <n>] [--stable]
 //! ```
 //!
 //! With `--time-budget`, an expiring run writes a checkpoint (completed
 //! rows plus a mid-tree exploration checkpoint of the interrupted
 //! benchmark) and exits with status 3; `--resume` continues it. Resumed
 //! runs report exactly the execution/feasible counts of a
-//! straight-through run.
+//! straight-through run — including parallel runs, whose checkpoints
+//! carry one frontier shard per abandoned subtree.
+//!
+//! `--workers <n>` sets the explorer thread count (default: available
+//! parallelism). All benchmarks here explore exhaustively, so the
+//! execution/feasible counts are identical at every worker count;
+//! `--stable` masks the time column so the identity can be checked with
+//! `diff <(figure7 --stable --workers 1) <(figure7 --stable --workers 4)`.
 
 use std::process::exit;
 
@@ -41,18 +49,25 @@ const PAPER: &[(&str, u64, u64, f64)] = &[
     ("Ticket Lock", 1_790, 978, 0.17),
 ];
 
-fn print_row(row: &SavedRow7, resumed: bool) {
+fn print_row(row: &SavedRow7, resumed: bool, stable: bool) {
     let paper = PAPER.iter().find(|(n, ..)| *n == row.name);
     let (pe, pf, pt) = paper
         .map(|(_, e, f, t)| (*e, *f, *t))
         .unwrap_or((0, 0, 0.0));
     let truncated = !matches!(row.stop.as_str(), "exhausted" | "first-bug");
+    // `--stable` masks the wall-clock column — the only timing-dependent
+    // field — so worker counts can be compared with a plain `diff`.
+    let ours_t = if stable {
+        format!("{:>10}", "-")
+    } else {
+        format!("{:>10.2}", row.elapsed_ns as f64 / 1e9)
+    };
     println!(
-        "{:<20} {:>12} {:>12} {:>10.2}   {:>12} {:>12} {:>10.2}{}{}{}",
+        "{:<20} {:>12} {:>12} {}   {:>12} {:>12} {:>10.2}{}{}{}",
         row.name,
         row.executions,
         row.feasible,
-        row.elapsed_ns as f64 / 1e9,
+        ours_t,
         pe,
         pf,
         pt,
@@ -122,7 +137,7 @@ fn main() {
     for bench in benchmarks() {
         if let Some(saved) = state.done.iter().find(|r| r.name == bench.name) {
             total_ok &= !saved.buggy;
-            print_row(saved, true);
+            print_row(saved, true, args.stable);
             continue;
         }
 
@@ -133,13 +148,21 @@ fn main() {
         let mut config = mc::Config {
             max_executions: 3_000_000,
             time_budget: budget,
+            workers: args.mc_workers(),
             ..mc::Config::default()
         };
         // Pick up mid-tree if a previous run was interrupted inside this
-        // benchmark's exploration.
+        // benchmark's exploration. A parallel run leaves several frontier
+        // shards; resuming through `resume_shards` replays exactly the
+        // unexplored remainder, regardless of the worker count now.
         let prior = match state.current.take() {
             Some((name, ckpt)) if name == bench.name => {
-                config.resume_script = Some(ckpt.script.clone());
+                let shards = ckpt.stats.frontier_shards();
+                if shards.len() > 1 || shards.iter().any(|s| s.floor != 0) {
+                    config.resume_shards = Some(shards);
+                } else {
+                    config.resume_script = Some(ckpt.script.clone());
+                }
                 Some(ckpt.stats)
             }
             other => {
@@ -173,7 +196,7 @@ fn main() {
             buggy: stats.buggy(),
         };
         total_ok &= !row.buggy;
-        print_row(&row, false);
+        print_row(&row, false, args.stable);
         state.done.push(row);
     }
 

@@ -7,8 +7,13 @@
 //!
 //! ```text
 //! cargo run -p cdsspec-bench --release --bin figure8 -- [--verbose] \
-//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>]
+//!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>] \
+//!     [--workers <n>]
 //! ```
+//!
+//! `--workers <n>` sets the explorer thread count used by each trial's
+//! exploration (default: available parallelism). Trial campaigns
+//! themselves dispatch across the same pool (see `cdsspec-inject`).
 //!
 //! With `--time-budget`, the campaign stops *between benchmarks* when
 //! the budget expires, writes the completed rows to a checkpoint, and
@@ -99,6 +104,7 @@ fn main() {
     let deadline = args.deadline();
     let config = mc::Config {
         max_executions: 300_000,
+        workers: args.mc_workers(),
         ..mc::Config::default()
     };
     let benches = benchmarks();

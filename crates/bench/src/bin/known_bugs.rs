@@ -8,11 +8,15 @@
 //!   check (the paper's methodology for showing the spec's added value).
 //!
 //! ```text
-//! cargo run -p cdsspec-bench --release --bin known_bugs -- [--time-budget <secs>]
+//! cargo run -p cdsspec-bench --release --bin known_bugs -- \
+//!     [--time-budget <secs>] [--workers <n>]
 //! ```
 //!
 //! `--time-budget` bounds each reproduction's exploration wall-clock; a
 //! cut-short reproduction reports its stop reason in the summary line.
+//! `--workers <n>` sets the explorer thread count (default: available
+//! parallelism); each detected defect is attributed to the worker and
+//! frontier shard that found it.
 
 use cdsspec_bench::HarnessArgs;
 use cdsspec_core as spec;
@@ -29,7 +33,20 @@ fn report(name: &str, stats: &mc::Stats, expect_bug: bool) -> bool {
     };
     println!("{name:<55} {verdict}");
     if let Some(b) = stats.bugs.first() {
+        // Attribute the find: which explorer worker hit it, and which
+        // frontier shard it was draining (the script prefix the shard
+        // started from — empty means the root shard).
+        let shard = if b.shard.is_empty() {
+            "root".to_string()
+        } else {
+            b.shard
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        };
         println!("    first defect: {}", b.bug);
+        println!("    found by worker {} in shard [{shard}]", b.worker);
     }
     println!("    ({})", stats.summary());
     stats.buggy() == expect_bug
@@ -45,6 +62,7 @@ fn main() {
     };
     let config = mc::Config {
         time_budget: args.time_budget,
+        workers: args.mc_workers(),
         ..mc::Config::default()
     };
 

@@ -9,7 +9,12 @@
 //!   expires (exit status [`EXIT_INTERRUPTED`]);
 //! * `--resume <path>` — pick up a previous run's checkpoint (also the
 //!   default checkpoint destination, so repeated interruptions keep
-//!   updating one file).
+//!   updating one file);
+//! * `--workers <n>` — explorer threads per exploration (default:
+//!   auto-detect available parallelism; `--workers 1` forces the
+//!   sequential engine);
+//! * `--stable` — mask wall-clock columns so two runs at different
+//!   worker counts diff byte-for-byte.
 //!
 //! `figure7` checkpoints at *exploration* granularity — completed rows
 //! plus a mid-tree [`mc::Checkpoint`] for the interrupted benchmark — so
@@ -40,6 +45,12 @@ pub struct HarnessArgs {
     pub resume: Option<PathBuf>,
     /// Per-trial detail (figure8).
     pub verbose: bool,
+    /// Explorer workers (`--workers N`; `None` = auto-detect, `Some(1)` =
+    /// sequential engine). Threaded into [`mc::Config::workers`].
+    pub workers: Option<usize>,
+    /// Suppress wall-clock columns so output is byte-comparable across
+    /// runs (`diff <(figure7 --stable) <(figure7 --stable --workers 4)`).
+    pub stable: bool,
 }
 
 impl HarnessArgs {
@@ -69,10 +80,25 @@ impl HarnessArgs {
                     out.resume = Some(PathBuf::from(args.next().ok_or("--resume needs a path")?));
                 }
                 "--verbose" => out.verbose = true,
+                "--workers" => {
+                    let n = args
+                        .next()
+                        .ok_or("--workers needs a count")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--workers: {e}"))?;
+                    if n == 0 {
+                        return Err("--workers: must be at least 1 (omit the flag to \
+                                    auto-detect)"
+                            .into());
+                    }
+                    out.workers = Some(n);
+                }
+                "--stable" => out.stable = true,
                 other => {
                     return Err(format!(
                         "unknown flag {other} (expected --time-budget <secs>, \
-                         --resume <path>, --checkpoint <path>, --verbose)"
+                         --resume <path>, --checkpoint <path>, --workers <n>, \
+                         --stable, --verbose)"
                     ));
                 }
             }
@@ -90,6 +116,12 @@ impl HarnessArgs {
     /// time.
     pub fn deadline(&self) -> Option<Instant> {
         self.time_budget.map(|b| Instant::now() + b)
+    }
+
+    /// The value for [`mc::Config::workers`]: the `--workers` count, or
+    /// `0` (auto-detect available parallelism) when the flag is absent.
+    pub fn mc_workers(&self) -> usize {
+        self.workers.unwrap_or(0)
     }
 }
 
@@ -309,14 +341,30 @@ mod tests {
             "--resume",
             "ck.txt",
             "--verbose",
+            "--workers",
+            "4",
+            "--stable",
         ]))
         .unwrap();
         assert_eq!(a.time_budget, Some(Duration::from_millis(1500)));
         assert_eq!(a.checkpoint_path(), Some(Path::new("ck.txt")));
         assert!(a.verbose);
+        assert_eq!(a.workers, Some(4));
+        assert_eq!(a.mc_workers(), 4);
+        assert!(a.stable);
         assert!(HarnessArgs::parse(strings(&["--bogus"])).is_err());
         assert!(HarnessArgs::parse(strings(&["--time-budget", "-1"])).is_err());
         assert!(HarnessArgs::parse(strings(&["--time-budget"])).is_err());
+        assert!(HarnessArgs::parse(strings(&["--workers", "0"])).is_err());
+        assert!(HarnessArgs::parse(strings(&["--workers"])).is_err());
+    }
+
+    #[test]
+    fn workers_default_to_auto_detect() {
+        let a = HarnessArgs::parse(strings(&[])).unwrap();
+        assert_eq!(a.workers, None);
+        assert_eq!(a.mc_workers(), 0);
+        assert!(!a.stable);
     }
 
     #[test]

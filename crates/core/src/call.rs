@@ -55,18 +55,39 @@ impl MethodCall {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExtractError {
     /// `OpDefine`/`PotentialOp` with no preceding atomic operation.
-    OpWithoutOperation { tid: Tid, method: &'static str },
+    OpWithoutOperation {
+        /// Offending thread.
+        tid: Tid,
+        /// Method whose annotation misfired.
+        method: &'static str,
+    },
     /// `MethodEnd` without a matching `MethodBegin`.
-    EndWithoutBegin { tid: Tid },
+    EndWithoutBegin {
+        /// Offending thread.
+        tid: Tid,
+    },
     /// An annotation that only makes sense inside a method call appeared
     /// outside one.
-    NoteOutsideMethod { tid: Tid },
+    NoteOutsideMethod {
+        /// Offending thread.
+        tid: Tid,
+    },
     /// Thread finished with an open method call.
-    UnclosedMethod { tid: Tid, method: &'static str },
+    UnclosedMethod {
+        /// Offending thread.
+        tid: Tid,
+        /// The method left open.
+        method: &'static str,
+    },
     /// A method call ended with no ordering points at all — the `r`
     /// relation cannot order it, which almost always means a missing
     /// `OPDefine` (flagged to help spec debugging; see paper §6.2).
-    NoOrderingPoints { tid: Tid, method: &'static str },
+    NoOrderingPoints {
+        /// Offending thread.
+        tid: Tid,
+        /// The unordered method.
+        method: &'static str,
+    },
 }
 
 impl std::fmt::Display for ExtractError {

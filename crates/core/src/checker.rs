@@ -46,6 +46,18 @@ impl<S> SpecChecker<S> {
     {
         vec![Box::new(SpecChecker::new(spec))]
     }
+
+    /// A [`cdsspec_mc::PluginFactory`] minting one independent checker per
+    /// explorer worker. The spec itself is immutable and shared via `Arc`
+    /// (its closures are `Send + Sync` by construction), so per-shard
+    /// CDSSpec checking in the parallel engine is race-free without any
+    /// cross-worker locking.
+    pub fn factory(spec: Arc<Spec<S>>) -> cdsspec_mc::PluginFactory
+    where
+        S: Send + 'static,
+    {
+        Arc::new(move || SpecChecker::plugins(Arc::clone(&spec)))
+    }
 }
 
 /// Render a history as `name(args)=ret -> …` for diagnostics.
@@ -330,13 +342,18 @@ impl<S: Send + 'static> Plugin for SpecChecker<S> {
 
 /// Explore `test` under `config`, checking every feasible execution
 /// against `spec` — the main entry point users interact with.
+///
+/// Checking goes through [`SpecChecker::factory`], so with
+/// `Config::workers > 1` every parallel explorer worker gets its own
+/// checker instance over the shared immutable spec (race-free per-shard
+/// checking; see `ARCHITECTURE.md`).
 pub fn check<S, F>(config: cdsspec_mc::Config, spec: Spec<S>, test: F) -> cdsspec_mc::Stats
 where
     S: Send + 'static,
     F: Fn() + Send + Sync + 'static,
 {
     let spec = Arc::new(spec);
-    cdsspec_mc::explore_with_plugins(config, SpecChecker::plugins(spec), test)
+    cdsspec_mc::explore_factory(config, SpecChecker::factory(spec), test)
 }
 
 /// One part of a multi-test benchmark suite: a specification plus the
@@ -362,18 +379,37 @@ where
     S: Send + 'static,
 {
     let last = parts.len().saturating_sub(1);
-    let (start, inner_script) = match &config.resume_script {
-        Some(script) if !script.is_empty() => (script[0].min(last), Some(script[1..].to_vec())),
-        _ => (0, None),
+    // Three resume channels, in precedence order: a shard set from an
+    // interrupted parallel run (every shard carries the same part-index
+    // prefix — shards never span parts), a single prefixed script, or
+    // nothing. Peeling the part index off a shard also lowers its floor:
+    // the synthetic prefix element sits below every real choice point.
+    let (start, inner_script, inner_shards) = match (&config.resume_shards, &config.resume_script) {
+        (Some(shards), _) if !shards.is_empty() && !shards[0].script.is_empty() => {
+            let idx = shards[0].script[0].min(last);
+            let inner: Vec<cdsspec_mc::ShardSpec> = shards
+                .iter()
+                .filter(|s| !s.script.is_empty())
+                .map(|s| cdsspec_mc::ShardSpec {
+                    floor: s.floor.saturating_sub(1),
+                    script: s.script[1..].to_vec(),
+                })
+                .collect();
+            (idx, None, Some(inner))
+        }
+        (_, Some(script)) if !script.is_empty() => {
+            (script[0].min(last), Some(script[1..].to_vec()), None)
+        }
+        _ => (0, None, None),
     };
     let deadline = config.time_budget.map(|b| std::time::Instant::now() + b);
     let mut acc = cdsspec_mc::Stats::default();
     for (idx, (spec, test)) in parts.into_iter().enumerate().skip(start) {
         let mut part_config = config.clone();
-        part_config.resume_script = if idx == start {
-            inner_script.clone()
+        (part_config.resume_script, part_config.resume_shards) = if idx == start {
+            (inner_script.clone(), inner_shards.clone())
         } else {
-            None
+            (None, None)
         };
         part_config.time_budget =
             deadline.map(|d| d.saturating_duration_since(std::time::Instant::now()));
@@ -383,6 +419,21 @@ where
             prefixed.push(idx);
             prefixed.extend(frontier);
             fresh.frontier = Some(prefixed);
+        }
+        if !fresh.shard_frontiers.is_empty() {
+            let shards = std::mem::take(&mut fresh.shard_frontiers);
+            fresh.shard_frontiers = shards
+                .into_iter()
+                .map(|s| {
+                    let mut prefixed = Vec::with_capacity(s.script.len() + 1);
+                    prefixed.push(idx);
+                    prefixed.extend(s.script);
+                    cdsspec_mc::ShardSpec {
+                        floor: s.floor + 1,
+                        script: prefixed,
+                    }
+                })
+                .collect();
         }
         let stop_here = fresh.buggy() || fresh.truncated();
         acc.continue_with(fresh);

@@ -108,10 +108,18 @@ impl CallOrder {
 #[derive(Clone, Copy, Debug)]
 pub enum HistoryPolicy {
     /// Generate every topological sort, up to a hard safety cap.
-    Exhaustive { cap: usize },
+    Exhaustive {
+        /// Safety cap on generated histories.
+        cap: usize,
+    },
     /// Generate `count` uniformly random topological sorts (with a fixed
     /// seed for reproducibility).
-    Sample { count: usize, seed: u64 },
+    Sample {
+        /// Number of sampled histories.
+        count: usize,
+        /// PRNG seed (same seed, same samples).
+        seed: u64,
+    },
 }
 
 impl Default for HistoryPolicy {

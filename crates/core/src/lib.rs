@@ -73,6 +73,8 @@
 //! assert!(!stats.buggy());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod annotations;
 pub mod call;
 pub mod checker;

@@ -64,9 +64,12 @@ fn suite_partitions_across_any_cut() {
         .chain([1, part_a_total + 1])
         .collect::<Vec<_>>();
     for cap in caps {
+        // `workers: 1` on the cut: `resume_script` resumption needs the
+        // single-shard frontier only the sequential engine guarantees.
         let cut = check_suite(
             Config {
                 max_executions: cap,
+                workers: 1,
                 ..Config::default()
             },
             suite(),
@@ -111,6 +114,61 @@ fn suite_partitions_across_any_cut() {
     }
 }
 
+/// A *parallel* suite cut leaves part-prefixed frontier shards in
+/// `Stats::shard_frontiers`, and resuming through
+/// `Config::resume_shards` partitions the executions exactly — at any
+/// worker count on either side of the cut.
+#[test]
+fn suite_parallel_cut_resumes_through_shards() {
+    let full = check_suite(
+        Config {
+            workers: 1,
+            ..Config::default()
+        },
+        suite(),
+    );
+    let part_a_total = spec::check(Config::default(), Spec::new("noop", || ()), part_a).executions;
+    // One cap inside part A's tree, one inside part B's.
+    for cap in [2, part_a_total + 2] {
+        let cut = check_suite(
+            Config {
+                max_executions: cap,
+                workers: 2,
+                ..Config::default()
+            },
+            suite(),
+        );
+        if cut.stop == mc::StopReason::Exhausted {
+            assert_eq!(cut.executions, full.executions);
+            continue;
+        }
+        assert!(
+            !cut.shard_frontiers.is_empty(),
+            "cap {cap}: a truncated parallel suite leaves shards: {}",
+            cut.summary()
+        );
+        for resume_workers in [1, 3] {
+            let resumed = check_suite(
+                Config {
+                    resume_shards: Some(cut.shard_frontiers.clone()),
+                    workers: resume_workers,
+                    ..Config::default()
+                },
+                suite(),
+            );
+            assert_eq!(
+                cut.executions + resumed.executions,
+                full.executions,
+                "cap {cap}, resume at {resume_workers} workers: cut {} + resumed {} != full {}",
+                cut.summary(),
+                resumed.summary(),
+                full.summary()
+            );
+            assert_eq!(resumed.stop, mc::StopReason::Exhausted);
+        }
+    }
+}
+
 /// A wall-clock budget of zero stops the suite with a resumable frontier
 /// in its first part, and the resumed run completes the tree.
 #[test]
@@ -119,6 +177,7 @@ fn suite_deadline_resumes_exactly() {
     let cut = check_suite(
         Config {
             time_budget: Some(Duration::ZERO),
+            workers: 1,
             ..Config::default()
         },
         suite(),

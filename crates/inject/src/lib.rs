@@ -27,6 +27,15 @@
 //! specification plugin panicked and the checker contained it) are
 //! classified the same way — an errored trial is *no verdict*, not an
 //! assertion detection.
+//!
+//! ## Parallelism
+//!
+//! Campaigns dispatch their trials across [`mc::Config::workers`] OS
+//! threads; each trial's own exploration is forced to the sequential
+//! engine, so the parallelism budget is spent *across* trials (which are
+//! fully independent) rather than nested inside them. Results come back
+//! in site order at every worker count — a parallel campaign's rows are
+//! identical to a sequential one's.
 
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::Benchmark;
@@ -149,58 +158,116 @@ fn run_guarded(bench: &Benchmark, config: &mc::Config, ords: &Ords) -> (mc::Stat
     }
 }
 
-/// Run the full one-step-weakening campaign against one benchmark.
+/// Run one single-site trial: apply `weaken` to a fresh default ordering
+/// set, check under panic containment, and classify the first defect.
+/// Returns `None` when `weaken` declines the site (nothing to inject).
+fn run_trial(
+    bench: &Benchmark,
+    config: &mc::Config,
+    site_idx: usize,
+    weaken: impl Fn(&mut Ords, usize) -> bool,
+) -> Option<Trial> {
+    let mut ords = Ords::defaults(bench.sites);
+    let from = ords.get(site_idx);
+    if !weaken(&mut ords, site_idx) {
+        return None;
+    }
+    let to = ords.get(site_idx);
+    let (stats, note) = run_guarded(bench, config, &ords);
+    let errored = stats.stop == mc::StopReason::Errored;
+    let detected = if errored {
+        None
+    } else {
+        stats.bugs.first().map(|b| b.bug.category())
+    };
+    let bug_message = stats.bugs.first().map(|b| b.bug.to_string());
+    let message = if errored {
+        note.or(bug_message)
+    } else {
+        bug_message.or(note)
+    };
+    Some(Trial {
+        benchmark: bench.name,
+        site: bench.sites[site_idx].name,
+        from,
+        to,
+        detected,
+        message,
+        executions: stats.executions,
+        errored,
+    })
+}
+
+/// Dispatch one trial per injectable site across `Config::workers` OS
+/// threads and return the outcomes **in site order**, independent of
+/// thread timing. Each trial's own exploration is forced sequential
+/// (`workers: 1`) — the parallelism budget is spent across trials, not
+/// nested inside them, which keeps thread count bounded and keeps every
+/// individual trial's statistics identical to a sequential campaign's.
+fn dispatch_trials(
+    bench: &Benchmark,
+    config: &mc::Config,
+    weaken: impl Fn(&mut Ords, usize) -> bool + Sync,
+) -> Vec<Trial> {
+    let sites = bench.default_ords().injectable_sites();
+    let trial_config = mc::Config {
+        workers: 1,
+        ..config.clone()
+    };
+    let workers = config.effective_workers().min(sites.len().max(1));
+    if workers <= 1 {
+        return sites
+            .iter()
+            .filter_map(|&i| run_trial(bench, &trial_config, i, &weaken))
+            .collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let done: Vec<std::sync::Mutex<Option<Option<Trial>>>> =
+        sites.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (cursor, done, sites) = (&cursor, &done, &sites);
+            let (trial_config, weaken) = (&trial_config, &weaken);
+            std::thread::Builder::new()
+                .name(format!("cdsspec-inject-{w}"))
+                .spawn_scoped(scope, move || loop {
+                    let k = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(&site_idx) = sites.get(k) else { break };
+                    let t = run_trial(bench, trial_config, site_idx, weaken);
+                    *done[k].lock().unwrap() = Some(t);
+                })
+                .expect("spawn trial thread");
+        }
+    });
+    done.into_iter()
+        .filter_map(|slot| slot.into_inner().unwrap().flatten())
+        .collect()
+}
+
+/// Run the full one-step-weakening campaign against one benchmark,
+/// trials dispatched across [`mc::Config::workers`] threads.
 ///
 /// Never panics out of a trial: see the module-level *Resilience* notes.
-/// The returned row always covers every injectable site.
+/// The returned row always covers every injectable site, in site order,
+/// at every worker count.
 pub fn inject_benchmark(bench: &Benchmark, config: &mc::Config) -> (Row, Vec<Trial>) {
+    let trials = dispatch_trials(bench, config, |ords, i| ords.weaken(i));
     let mut row = Row {
         name: bench.name,
+        injections: trials.len(),
         ..Row::default()
     };
-    let mut trials = Vec::new();
-    let base = bench.default_ords();
-    for site_idx in base.injectable_sites() {
-        let mut ords = Ords::defaults(bench.sites);
-        let from = ords.get(site_idx);
-        if !ords.weaken(site_idx) {
-            continue;
-        }
-        let to = ords.get(site_idx);
-        row.injections += 1;
-        let (stats, note) = run_guarded(bench, config, &ords);
-        let errored = stats.stop == mc::StopReason::Errored;
-        let detected = if errored {
-            None
-        } else {
-            stats.bugs.first().map(|b| b.bug.category())
-        };
-        if errored {
+    for t in &trials {
+        if t.errored {
             row.errored += 1;
         } else {
-            match detected {
+            match t.detected {
                 Some(BugCategory::BuiltIn) | Some(BugCategory::Internal) => row.builtin += 1,
                 Some(BugCategory::Admissibility) => row.admissibility += 1,
                 Some(BugCategory::Assertion) => row.assertion += 1,
                 None => {}
             }
         }
-        let bug_message = stats.bugs.first().map(|b| b.bug.to_string());
-        let message = if errored {
-            note.or(bug_message)
-        } else {
-            bug_message.or(note)
-        };
-        trials.push(Trial {
-            benchmark: bench.name,
-            site: bench.sites[site_idx].name,
-            from,
-            to,
-            detected,
-            message,
-            executions: stats.executions,
-            errored,
-        });
     }
     (row, trials)
 }
@@ -218,32 +285,16 @@ pub fn run_campaign(benchmarks: &[Benchmark], config: &mc::Config) -> Vec<(Row, 
 /// candidates for overly strong memory-order parameters.
 ///
 /// Errored trials are **not** survivors: a crashed check is no evidence
-/// that the site tolerates `relaxed`.
+/// that the site tolerates `relaxed`. Trials run across
+/// [`mc::Config::workers`] threads like [`inject_benchmark`]'s.
 pub fn find_overly_strong(bench: &Benchmark, config: &mc::Config) -> Vec<Trial> {
-    let mut survivors = Vec::new();
-    let base = bench.default_ords();
-    for site_idx in base.injectable_sites() {
-        let mut ords = Ords::defaults(bench.sites);
-        let from = ords.get(site_idx);
-        ords.set(site_idx, MemOrd::Relaxed);
-        let (stats, note) = run_guarded(bench, config, &ords);
-        if stats.stop == mc::StopReason::Errored {
-            continue;
-        }
-        if !stats.buggy() {
-            survivors.push(Trial {
-                benchmark: bench.name,
-                site: bench.sites[site_idx].name,
-                from,
-                to: MemOrd::Relaxed,
-                detected: None,
-                message: note,
-                executions: stats.executions,
-                errored: false,
-            });
-        }
-    }
-    survivors
+    dispatch_trials(bench, config, |ords, i| {
+        ords.set(i, MemOrd::Relaxed);
+        true
+    })
+    .into_iter()
+    .filter(|t| !t.errored && t.detected.is_none())
+    .collect()
 }
 
 #[cfg(test)]
@@ -307,6 +358,31 @@ mod tests {
             row.detected(),
             "all RCU detections are built-in: {trials:?}"
         );
+    }
+
+    /// A campaign dispatched across threads reports exactly the rows and
+    /// trial order of a sequential one.
+    #[test]
+    fn parallel_campaign_matches_sequential() {
+        let bench = benchmarks()
+            .into_iter()
+            .find(|b| b.name == "Ticket Lock")
+            .unwrap();
+        let seq = inject_benchmark(&bench, &quick_config());
+        let par = inject_benchmark(
+            &bench,
+            &mc::Config {
+                workers: 2,
+                ..quick_config()
+            },
+        );
+        assert_eq!(seq.0.injections, par.0.injections);
+        assert_eq!(seq.0.builtin, par.0.builtin);
+        assert_eq!(seq.0.admissibility, par.0.admissibility);
+        assert_eq!(seq.0.assertion, par.0.assertion);
+        assert_eq!(seq.0.errored, par.0.errored);
+        let sites = |trials: &[Trial]| trials.iter().map(|t| t.site).collect::<Vec<_>>();
+        assert_eq!(sites(&seq.1), sites(&par.1), "trial order is site order");
     }
 
     /// The Chase-Lev top CAS survives full weakening (the §6.4.3 finding).

@@ -1,8 +1,9 @@
 //! Exploration configuration.
 
+use crate::report::ShardSpec;
 use std::time::Duration;
 
-/// Tuning knobs for [`crate::explore`].
+/// Tuning knobs for [`crate::explore()`].
 #[derive(Clone, Debug)]
 pub struct Config {
     /// Hard bound on visible operations per modeled thread. Executions that
@@ -48,6 +49,20 @@ pub struct Config {
     /// through APIs that only accept a `Config` (e.g. the benchmark
     /// registry's `check` function pointers). `None`/empty = the root.
     pub resume_script: Option<Vec<usize>>,
+    /// Resume exploration from a *set* of frontier shards instead of a
+    /// single script — the `Stats::shard_frontiers` of an interrupted
+    /// parallel run. Takes precedence over `resume_script` when set.
+    /// `None` = start from the root (or from `resume_script`).
+    pub resume_shards: Option<Vec<ShardSpec>>,
+    /// Number of parallel explorer workers. `1` = the classic sequential
+    /// engine; `0` = auto-detect (`std::thread::available_parallelism`).
+    /// The default is `1`, overridable process-wide by setting the
+    /// `CDSSPEC_WORKERS` environment variable (used by CI to run the
+    /// whole tier-1 suite through the parallel engine).
+    pub workers: usize,
+    /// How many frontier shards an idle worker tries to steal per request
+    /// (it receives fewer when the donor has less to give). Must be ≥ 1.
+    pub steal_batch: usize,
     /// Maximum modeled threads per execution.
     pub max_threads: u32,
     /// Enable sleep-set partial-order reduction (on by default; the
@@ -74,6 +89,12 @@ impl Default for Config {
             deadline_samples: 0,
             sample_seed: 0xCD55_9EC5,
             resume_script: None,
+            resume_shards: None,
+            workers: std::env::var("CDSSPEC_WORKERS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
+            steal_batch: 1,
             max_threads: 32,
             sleep_sets: true,
             stop_on_first_bug: true,
@@ -90,6 +111,17 @@ impl Config {
         Config {
             validate_axioms: true,
             ..Config::default()
+        }
+    }
+
+    /// The concrete worker count this config resolves to: `workers`
+    /// itself, or the machine's available parallelism when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 }
@@ -109,5 +141,8 @@ mod tests {
         assert!(c.hang_timeout.is_some(), "watchdog on by default");
         assert_eq!(c.deadline_samples, 0, "sampling degradation is opt-in");
         assert!(c.resume_script.is_none());
+        assert!(c.resume_shards.is_none());
+        assert!(c.steal_batch >= 1);
+        assert!(c.effective_workers() >= 1, "0 resolves to >= 1");
     }
 }

@@ -47,6 +47,8 @@
 //! });
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod api;
 pub mod atomic;
 pub mod config;
@@ -54,6 +56,7 @@ pub mod data;
 pub mod explore;
 pub mod memstate;
 pub mod msg;
+pub(crate) mod parallel;
 pub mod plugin;
 pub mod report;
 pub(crate) mod runtime;
@@ -63,9 +66,12 @@ pub use api::{alloc, annotate, fence, new_object_id, progress_hint, spin_loop, t
 pub use atomic::{Atomic, AtomicPtr};
 pub use config::Config;
 pub use data::Data;
-pub use explore::{explore, explore_from, explore_from_with_plugins, explore_with_plugins, model};
-pub use plugin::{FnPlugin, Plugin};
-pub use report::{Bug, BugCategory, Checkpoint, FoundBug, Stats, StopReason};
+pub use explore::{
+    explore, explore_factory, explore_from, explore_from_factory, explore_from_with_plugins,
+    explore_with_plugins, model,
+};
+pub use plugin::{FnPlugin, Plugin, PluginFactory};
+pub use report::{Bug, BugCategory, Checkpoint, FoundBug, ShardSpec, Stats, StopReason};
 pub use worker::in_model;
 
 // Re-export the vocabulary crate so downstream users need one import.

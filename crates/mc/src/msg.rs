@@ -54,19 +54,40 @@ impl RmwKind {
 #[derive(Clone, Debug)]
 pub enum Op {
     /// Atomic load.
-    Load { loc: LocId, ord: MemOrd },
+    Load {
+        /// Location read.
+        loc: LocId,
+        /// Load ordering.
+        ord: MemOrd,
+    },
     /// Atomic store.
-    Store { loc: LocId, ord: MemOrd, val: Val },
+    Store {
+        /// Location written.
+        loc: LocId,
+        /// Store ordering.
+        ord: MemOrd,
+        /// Value written.
+        val: Val,
+    },
     /// Atomic read-modify-write.
     Rmw {
+        /// Location updated.
         loc: LocId,
+        /// Success ordering.
         ord: MemOrd,
+        /// The update to apply.
         kind: RmwKind,
     },
     /// Memory fence.
-    Fence { ord: MemOrd },
+    Fence {
+        /// Fence ordering.
+        ord: MemOrd,
+    },
     /// Block until `target` finishes, then synchronize with its last state.
-    Join { target: Tid },
+    Join {
+        /// The joined thread.
+        target: Tid,
+    },
     /// A futile-spin hint; bounded by `Config::max_spins`.
     Spin,
     /// Voluntary scheduling point with no memory effect.
@@ -177,7 +198,12 @@ pub enum Reply {
     /// Result of a load (the value read).
     Val(Val),
     /// Result of an RMW: the value read and whether the write happened.
-    Rmw { old: Val, success: bool },
+    Rmw {
+        /// Value the RMW read.
+        old: Val,
+        /// Whether the write part happened (CAS success).
+        success: bool,
+    },
     /// The spawned thread's id.
     Spawned(Tid),
     /// Plain acknowledgement (stores, fences, joins, spins).

@@ -11,6 +11,12 @@ use cdsspec_c11::Trace;
 
 use crate::report::Bug;
 
+/// Builds a fresh plugin list on demand — one list per explorer worker,
+/// so parallel exploration (`Config::workers > 1`) checks each frontier
+/// shard with plugins it owns exclusively and no cross-worker locking.
+/// See [`crate::explore_factory`].
+pub type PluginFactory = std::sync::Arc<dyn Fn() -> Vec<Box<dyn Plugin>> + Send + Sync>;
+
 /// A checker invoked on every feasible execution.
 pub trait Plugin: Send {
     /// Display name used in bug reports.

@@ -10,34 +10,61 @@ pub enum Bug {
     /// Two unordered accesses to a non-atomic location, at least one a
     /// write (CDSChecker built-in check).
     DataRace {
+        /// The racy non-atomic cell.
         loc: DataId,
+        /// Thread of the earlier access.
         first: Tid,
+        /// Thread of the unordered later access.
         second: Tid,
+        /// Whether the later access was a write.
         second_is_write: bool,
     },
     /// An atomic load could observe the location before any initialization
     /// (CDSChecker built-in check).
-    UninitLoad { loc: LocId, tid: Tid },
+    UninitLoad {
+        /// The atomic location read.
+        loc: LocId,
+        /// The reading thread.
+        tid: Tid,
+    },
     /// No thread can make progress but some have not finished.
-    Deadlock { blocked: Vec<Tid> },
+    Deadlock {
+        /// The threads still blocked when progress stopped.
+        blocked: Vec<Tid>,
+    },
     /// A modeled thread panicked (includes `mc_assert!` failures).
-    UserPanic { tid: Tid, message: String },
+    UserPanic {
+        /// The panicking thread.
+        tid: Tid,
+        /// Rendered panic payload.
+        message: String,
+    },
     /// A plugin (e.g. the CDSSpec checker) rejected the execution.
     Plugin {
+        /// The rejecting plugin's display name.
         plugin: &'static str,
+        /// The plugin's diagnostic.
         message: String,
     },
     /// The offline axiom validator rejected a trace the online checker
     /// produced — an internal consistency failure, never expected.
-    AxiomViolation { message: String },
+    AxiomViolation {
+        /// The validator's diagnostic.
+        message: String,
+    },
     /// An execution made no scheduling progress for `stalled_ms`
     /// milliseconds and was aborted by the watchdog — the modeled code
     /// wedged an OS worker (e.g. an unannotated infinite non-atomic loop).
-    InternalHang { stalled_ms: u64 },
+    InternalHang {
+        /// How long the scheduler was stalled before the abort.
+        stalled_ms: u64,
+    },
     /// A bug deserialized from a [`Checkpoint`]: only its category and
     /// rendered message survive the round trip.
     Restored {
+        /// The original bug's category.
         category: BugCategory,
+        /// The original bug's rendered message.
         message: String,
     },
 }
@@ -135,10 +162,18 @@ impl BugCategory {
 pub struct FoundBug {
     /// What went wrong.
     pub bug: Bug,
-    /// 0-based index of the execution that exhibited it.
+    /// 0-based index of the execution that exhibited it. Sequential runs
+    /// count globally; parallel runs count per worker (the index is only
+    /// meaningful together with [`FoundBug::worker`]).
     pub execution: u64,
     /// Rendered trace for diagnostics.
     pub trace: String,
+    /// Index of the explorer worker that found the bug (0 in sequential
+    /// runs) — printed by `known_bugs` so parallel repros stay debuggable.
+    pub worker: usize,
+    /// Replay script of the frontier shard the finding worker was
+    /// exploring when it hit the bug (empty = the root shard).
+    pub shard: Vec<usize>,
 }
 
 /// Why an exploration run returned.
@@ -209,7 +244,41 @@ impl std::fmt::Display for StopReason {
     }
 }
 
-/// Aggregate result of a [`crate::explore`] run.
+/// One shard of the DFS frontier: a subtree of the choice tree owned by
+/// exactly one explorer.
+///
+/// `script` is the replay script of the shard's next unexplored leaf
+/// (PR 1's checkpoint representation, reused verbatim). `floor` is the
+/// *depth floor*: the shard owns only the backtrack points at depths
+/// `>= floor`, so its DFS never climbs above the subtree it was handed.
+/// A plain (unsharded) exploration is the single shard
+/// `{ floor: 0, script: [] }` — the whole tree.
+///
+/// Work-stealing splits a shard in two: the donor keeps its current
+/// branch with a raised floor, the thief gets the sibling alternatives at
+/// the split depth (see `ARCHITECTURE.md` for the partition argument).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Lowest depth at which this shard may backtrack.
+    pub floor: usize,
+    /// Replay script of the shard's next unexplored leaf.
+    pub script: Vec<usize>,
+}
+
+impl ShardSpec {
+    /// The root shard: the whole choice tree.
+    pub fn root() -> Self {
+        ShardSpec::default()
+    }
+
+    /// A floor-0 shard starting at `script` (the shape of every PR 1
+    /// checkpoint, which always owned the whole remaining tree).
+    pub fn from_script(script: Vec<usize>) -> Self {
+        ShardSpec { floor: 0, script }
+    }
+}
+
+/// Aggregate result of a [`crate::explore()`] run.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Total executions attempted (feasible + pruned), the analog of the
@@ -234,7 +303,18 @@ pub struct Stats {
     pub stop: StopReason,
     /// Replay script of the first unexplored DFS leaf, when the run
     /// stopped before exhausting the tree — the seed of a [`Checkpoint`].
+    /// Equal to the script of the first entry of
+    /// [`Stats::shard_frontiers`] whenever that list is non-empty.
     pub frontier: Option<Vec<usize>>,
+    /// The complete unexplored frontier as a list of disjoint shards.
+    ///
+    /// A sequential run that stops early leaves exactly one floor-0 shard
+    /// here (mirroring [`Stats::frontier`]); an interrupted *parallel*
+    /// run leaves one shard per in-flight worker plus any shards still
+    /// queued for stealing. Resuming every listed shard visits exactly
+    /// the leaves the interrupted run had left — the partition invariant
+    /// extended to shard sets.
+    pub shard_frontiers: Vec<ShardSpec>,
 }
 
 impl Stats {
@@ -257,6 +337,28 @@ impl Stats {
             self.stop,
             StopReason::ExecutionCap | StopReason::Deadline | StopReason::Errored
         )
+    }
+
+    /// Set the unexplored frontier from a shard list, keeping
+    /// [`Stats::frontier`] (the first shard's script) in sync. An empty
+    /// list clears both — the tree is exhausted.
+    pub fn set_frontier_shards(&mut self, shards: Vec<ShardSpec>) {
+        self.frontier = shards.first().map(|s| s.script.clone());
+        self.shard_frontiers = shards;
+    }
+
+    /// The complete frontier as shards: [`Stats::shard_frontiers`] when
+    /// populated, else the single floor-0 shard implied by
+    /// [`Stats::frontier`] (the PR 1 representation).
+    pub fn frontier_shards(&self) -> Vec<ShardSpec> {
+        if !self.shard_frontiers.is_empty() {
+            self.shard_frontiers.clone()
+        } else {
+            self.frontier
+                .as_ref()
+                .map(|s| vec![ShardSpec::from_script(s.clone())])
+                .unwrap_or_default()
+        }
     }
 
     /// A checkpoint from which [`crate::explore_from`] can resume, when
@@ -282,6 +384,7 @@ impl Stats {
         self.stop = self.stop.worst(other.stop);
         if other.frontier.is_some() {
             self.frontier = other.frontier;
+            self.shard_frontiers = other.shard_frontiers;
         }
         self.bugs.extend(other.bugs);
     }
@@ -294,9 +397,11 @@ impl Stats {
     pub fn continue_with(&mut self, continuation: Stats) {
         let stop = continuation.stop;
         let frontier = continuation.frontier.clone();
+        let shards = continuation.shard_frontiers.clone();
         self.merge(continuation);
         self.stop = stop;
         self.frontier = frontier;
+        self.shard_frontiers = shards;
     }
 
     /// One-line summary (used by the evaluation harness).
@@ -321,6 +426,30 @@ impl Stats {
 /// from `script` visits exactly the leaves a straight-through run would
 /// have visited after the interruption point, so
 /// `executions(full) == executions(to checkpoint) + executions(resumed)`.
+/// A *parallel* run's checkpoint additionally carries one
+/// [`ShardSpec`] per abandoned subtree in its statistics; together the
+/// shards partition the unexplored remainder, so the same identity holds
+/// at any worker count.
+///
+/// Checkpoints survive process restarts through a line-oriented text
+/// form:
+///
+/// ```
+/// use cdsspec_mc::{Checkpoint, ShardSpec};
+///
+/// let mut ckpt = Checkpoint::root();
+/// ckpt.script = vec![0, 2, 1];
+/// ckpt.stats.executions = 7;
+/// let back = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+/// assert_eq!(back.script, vec![0, 2, 1]);
+/// assert_eq!(back.stats.executions, 7);
+/// // A single-script checkpoint parses back as one floor-0 shard — the
+/// // degenerate partition a sequential cut leaves behind.
+/// assert_eq!(
+///     back.stats.frontier_shards(),
+///     vec![ShardSpec { floor: 0, script: vec![0, 2, 1] }],
+/// );
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct Checkpoint {
     /// Replay script of the next unexplored leaf.
@@ -337,18 +466,36 @@ impl Checkpoint {
     }
 
     /// Serialize to a line-oriented text format (see [`Checkpoint::from_text`]).
+    ///
+    /// Single-shard, floor-0 checkpoints (everything PR 1 could produce)
+    /// keep the `v1` format byte-for-byte; a multi-shard frontier — the
+    /// fingerprint of an interrupted *parallel* run — upgrades to `v2`,
+    /// which adds one `shard <floor> <script>` line per frontier shard.
     pub fn to_text(&self) -> String {
-        let mut out = String::from("cdsspec-checkpoint v1\n");
-        let script = if self.script.is_empty() {
-            "-".to_string()
+        let shards = self.stats.frontier_shards();
+        let v2 = shards.len() > 1 || shards.iter().any(|s| s.floor != 0);
+        let mut out = if v2 {
+            String::from("cdsspec-checkpoint v2\n")
         } else {
-            self.script
-                .iter()
-                .map(|c| c.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
+            String::from("cdsspec-checkpoint v1\n")
         };
-        out.push_str(&format!("script {script}\n"));
+        let render = |script: &[usize]| {
+            if script.is_empty() {
+                "-".to_string()
+            } else {
+                script
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        };
+        out.push_str(&format!("script {}\n", render(&self.script)));
+        if v2 {
+            for s in &shards {
+                out.push_str(&format!("shard {} {}\n", s.floor, render(&s.script)));
+            }
+        }
         out.push_str(&format!(
             "counts {} {} {} {} {}\n",
             self.stats.executions,
@@ -377,24 +524,39 @@ impl Checkpoint {
     pub fn from_text(text: &str) -> Result<Self, String> {
         let mut lines = text.lines();
         let header = lines.next().ok_or("empty checkpoint")?;
-        if header != "cdsspec-checkpoint v1" {
+        if header != "cdsspec-checkpoint v1" && header != "cdsspec-checkpoint v2" {
             return Err(format!("unrecognized checkpoint header: {header:?}"));
         }
+        let parse_script = |s: &str| -> Result<Vec<usize>, String> {
+            if s == "-" {
+                return Ok(Vec::new());
+            }
+            s.split(',')
+                .map(|c| {
+                    c.parse()
+                        .map_err(|e| format!("bad script entry {c:?}: {e}"))
+                })
+                .collect()
+        };
         let mut ck = Checkpoint::root();
         let mut saw_end = false;
         for line in lines {
             let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
             match key {
                 "script" => {
-                    if rest != "-" {
-                        ck.script = rest
-                            .split(',')
-                            .map(|c| {
-                                c.parse()
-                                    .map_err(|e| format!("bad script entry {c:?}: {e}"))
-                            })
-                            .collect::<Result<_, _>>()?;
-                    }
+                    ck.script = parse_script(rest)?;
+                }
+                "shard" => {
+                    let (floor, script) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("malformed shard line {rest:?}"))?;
+                    let floor: usize = floor
+                        .parse()
+                        .map_err(|e| format!("bad shard floor {floor:?}: {e}"))?;
+                    ck.stats.shard_frontiers.push(ShardSpec {
+                        floor,
+                        script: parse_script(script)?,
+                    });
                 }
                 "counts" => {
                     let nums: Vec<u64> = rest
@@ -438,6 +600,8 @@ impl Checkpoint {
                         },
                         execution,
                         trace: String::new(),
+                        worker: 0,
+                        shard: Vec::new(),
                     });
                 }
                 "end" => {
@@ -451,8 +615,12 @@ impl Checkpoint {
             return Err("truncated checkpoint (missing end line)".into());
         }
         // A checkpointed run by definition has unexplored work, so the
-        // frontier is the script itself.
+        // frontier is the script itself. v1 checkpoints (no `shard`
+        // lines) describe the single floor-0 shard rooted at that script.
         ck.stats.frontier = Some(ck.script.clone());
+        if ck.stats.shard_frontiers.is_empty() {
+            ck.stats.shard_frontiers = vec![ShardSpec::from_script(ck.script.clone())];
+        }
         Ok(ck)
     }
 }
@@ -525,6 +693,8 @@ mod tests {
             },
             execution: 0,
             trace: String::new(),
+            worker: 0,
+            shard: Vec::new(),
         });
         assert!(s.buggy());
         assert!(s.first_of(BugCategory::BuiltIn).is_some());
@@ -628,7 +798,10 @@ mod tests {
                 },
                 execution: 17,
                 trace: "irrelevant".into(),
+                worker: 0,
+                shard: Vec::new(),
             }],
+            ..Stats::default()
         };
         let ck = stats.checkpoint().expect("has frontier");
         let text = ck.to_text();
@@ -663,5 +836,64 @@ mod tests {
         let ck = Checkpoint::root();
         let back = Checkpoint::from_text(&ck.to_text()).unwrap();
         assert!(back.script.is_empty());
+    }
+
+    #[test]
+    fn single_floor0_shard_stays_v1() {
+        // PR 1 consumers parse v1 only; anything they could have written
+        // must keep serializing exactly as before.
+        let mut stats = Stats {
+            executions: 3,
+            frontier: Some(vec![1, 0]),
+            ..Stats::default()
+        };
+        stats.set_frontier_shards(vec![ShardSpec::from_script(vec![1, 0])]);
+        let text = stats.checkpoint().unwrap().to_text();
+        assert!(text.starts_with("cdsspec-checkpoint v1\n"), "{text}");
+        assert!(!text.contains("\nshard "), "{text}");
+    }
+
+    #[test]
+    fn multi_shard_checkpoint_round_trips_as_v2() {
+        let mut stats = Stats {
+            executions: 9,
+            stop: StopReason::Deadline,
+            ..Stats::default()
+        };
+        let shards = vec![
+            ShardSpec {
+                floor: 2,
+                script: vec![0, 1, 3],
+            },
+            ShardSpec {
+                floor: 1,
+                script: vec![2],
+            },
+            ShardSpec {
+                floor: 0,
+                script: vec![],
+            },
+        ];
+        stats.set_frontier_shards(shards.clone());
+        let ck = stats.checkpoint().expect("has frontier");
+        let text = ck.to_text();
+        assert!(text.starts_with("cdsspec-checkpoint v2\n"), "{text}");
+        let back = Checkpoint::from_text(&text).expect("parses");
+        assert_eq!(back.stats.shard_frontiers, shards);
+        assert_eq!(back.script, vec![0, 1, 3]);
+        assert_eq!(back.stats.frontier, Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn raised_floor_forces_v2() {
+        let mut stats = Stats::default();
+        stats.set_frontier_shards(vec![ShardSpec {
+            floor: 1,
+            script: vec![0, 2],
+        }]);
+        let text = stats.checkpoint().unwrap().to_text();
+        assert!(text.starts_with("cdsspec-checkpoint v2\n"), "{text}");
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(back.stats.shard_frontiers[0].floor, 1);
     }
 }

@@ -107,6 +107,34 @@ impl Pool {
     }
 }
 
+/// Run `n` shard-explorer bodies on dedicated OS threads and collect their
+/// results in worker-index order — the spawn half of the parallel engine
+/// (`crate::parallel`), kept here with the rest of the thread plumbing.
+///
+/// Shard threads are named `cdsspec-shard-N`, deliberately NOT matched by
+/// the quiet panic hook below: a crashing shard explorer is an engine bug
+/// worth printing, unlike the routine unwinds of the modeled-thread pool.
+/// A `Err` join result is surfaced to the caller rather than propagated,
+/// so one dead shard cannot take down its siblings' results.
+pub(crate) fn run_shard_threads<R, F>(n: usize, body: F) -> Vec<std::thread::Result<R>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    std::thread::scope(|s| {
+        let body = &body;
+        let handles: Vec<_> = (0..n)
+            .map(|w| {
+                std::thread::Builder::new()
+                    .name(format!("cdsspec-shard-{w}"))
+                    .spawn_scoped(s, move || body(w))
+                    .expect("failed to spawn shard explorer")
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    })
+}
+
 /// Worker threads unwind constantly (every abandoned execution panics with
 /// [`DieMarker`], and `mc_assert!` failures are caught and reported through
 /// the bug machinery), so the default panic hook's stderr output — possibly

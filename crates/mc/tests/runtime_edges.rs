@@ -29,11 +29,14 @@ fn max_threads_is_enforced() {
     assert!(stats.bugs[0].bug.to_string().contains("max_threads"));
 }
 
-/// `max_executions` truncates and says so.
+/// `max_executions` truncates and says so. (`workers: 1`: the parallel
+/// engine may overshoot the cap by in-flight executions, so the exact
+/// count here is a sequential-engine guarantee.)
 #[test]
 fn truncation_is_reported() {
     let config = Config {
         max_executions: 3,
+        workers: 1,
         ..Config::default()
     };
     let stats = mc::explore(config, || {
@@ -254,9 +257,12 @@ fn deadline_expiry_reports_and_resumes() {
 #[test]
 fn resume_script_threads_through_config() {
     let full = mc::explore(Config::default(), branchy_workload);
+    // `workers: 1` on the cut: `Config::resume_script` is a single
+    // script, so the cut must leave a single-shard frontier.
     let cut = mc::explore(
         Config {
             max_executions: 2,
+            workers: 1,
             ..Config::default()
         },
         branchy_workload,
@@ -284,10 +290,13 @@ fn resume_script_threads_through_config() {
 /// random-walk probes of the unexplored region — deterministically.
 #[test]
 fn deadline_degrades_to_sampling_deterministically() {
+    // Sampling degradation is a sequential-engine feature (the parallel
+    // engine reports its shard frontiers instead), so pin `workers: 1`.
     let config = Config {
         time_budget: Some(Duration::ZERO),
         deadline_samples: 5,
         sample_seed: 42,
+        workers: 1,
         ..Config::default()
     };
     let a = mc::explore(config.clone(), branchy_workload);

@@ -154,7 +154,7 @@ impl Default for MpmcQueue {
 /// claimed-but-unpublished cell, which no sequential state can express.
 /// The paper accepts the same looseness: its MPMC row detects injections
 /// through admissibility alone (§6.4.2: "without proper synchronization
-/// [it] works correctly when only used in a single thread, but this is by
+/// \[it\] works correctly when only used in a single thread, but this is by
 /// no means what such a data structure is designed for").
 pub fn make_spec() -> spec::Spec<VecDeque<i64>> {
     spec::Spec::new("mpmc-queue", VecDeque::<i64>::new)

@@ -8,7 +8,8 @@
 //!
 //! §6.4.1: AutoMO found two real bugs in the CDSChecker version of this
 //! queue — too-weak memory orders that let a dequeue spuriously miss an
-//! enqueued node or violate FIFO. [`known_bug_enq`] and [`known_bug_deq`]
+//! enqueued node or violate FIFO. [`MsQueue::known_bug_enq`] and
+//! [`MsQueue::known_bug_deq`]
 //! reproduce that shape: each weakens the corresponding publication /
 //! acquisition edge, and the CDSSpec specification catches both.
 

@@ -9,7 +9,7 @@
 //!
 //! * [`mc`] — the stateless model checker for modeled C11 atomics (the
 //!   CDSChecker substrate): [`mc::Atomic`], [`mc::Data`], [`mc::fence`],
-//!   [`mc::thread`], [`mc::explore`];
+//!   [`mc::thread`], [`mc::explore()`];
 //! * [`core`] — CDSSpec itself: the [`core::Spec`] DSL, ordering-point
 //!   annotations, and the non-deterministic-linearizability checker;
 //! * [`structures`] — the paper's ten benchmark data structures plus the
