@@ -29,8 +29,8 @@
 use std::process::exit;
 
 use cdsspec_bench::{
-    load_checkpoint, remaining, store_checkpoint, Figure7Checkpoint, HarnessArgs, SavedRow7,
-    EXIT_INTERRUPTED,
+    exec_per_sec, load_checkpoint, remaining, store_checkpoint, Figure7Checkpoint, HarnessArgs,
+    SavedRow7, EXIT_INTERRUPTED,
 };
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::benchmarks;
@@ -192,6 +192,7 @@ fn main() {
             executions: stats.executions,
             feasible: stats.feasible,
             elapsed_ns: stats.elapsed.as_nanos(),
+            peak_depth: stats.peak_depth,
             stop: stats.stop.to_string(),
             buggy: stats.buggy(),
         };
@@ -204,6 +205,20 @@ fn main() {
     if let Some(path) = args.checkpoint_path() {
         let _ = std::fs::remove_file(path);
     }
+    // Throughput summary. Executions and peak depth are deterministic
+    // across worker counts; only the rate is timing-dependent, so only
+    // the rate is masked under `--stable`.
+    let total_exec: u64 = state.done.iter().map(|r| r.executions).sum();
+    let total_ns: u128 = state.done.iter().map(|r| r.elapsed_ns).sum();
+    let depth = state.done.iter().map(|r| r.peak_depth).max().unwrap_or(0);
+    let rate = if args.stable {
+        "-".to_string()
+    } else {
+        format!("{:.0}", exec_per_sec(total_exec, total_ns))
+    };
+    println!(
+        "\nThroughput: {total_exec} executions at {rate} exec/s, peak frontier depth {depth}."
+    );
     println!(
         "\nAll benchmarks clean: {}. Shape claim preserved: every benchmark finishes \
          at unit-test scale (the paper's slowest row took 13.71 s; ours stays within \

@@ -25,8 +25,8 @@
 use std::process::exit;
 
 use cdsspec_bench::{
-    load_checkpoint, remaining, store_checkpoint, Figure8Checkpoint, HarnessArgs, SavedRow8,
-    EXIT_INTERRUPTED,
+    exec_per_sec, load_checkpoint, remaining, store_checkpoint, Figure8Checkpoint, HarnessArgs,
+    SavedRow8, EXIT_INTERRUPTED,
 };
 use cdsspec_inject::inject_benchmark;
 use cdsspec_mc as mc;
@@ -181,6 +181,9 @@ fn main() {
                     admissibility: row.admissibility,
                     assertion: row.assertion,
                     errored: row.errored,
+                    executions: trials.iter().map(|t| t.executions).sum(),
+                    elapsed_ns: trials.iter().map(|t| t.elapsed_ns).sum(),
+                    peak_depth: trials.iter().map(|t| t.peak_depth).max().unwrap_or(0),
                 };
                 state.done.push(saved.clone());
                 (saved, false)
@@ -206,6 +209,20 @@ fn main() {
     if let Some(path) = args.checkpoint_path() {
         let _ = std::fs::remove_file(path);
     }
+    // Throughput summary across every trial exploration. Executions and
+    // peak depth are deterministic per trial; the rate is
+    // timing-dependent, so it is masked under `--stable`.
+    let total_exec: u64 = state.done.iter().map(|r| r.executions).sum();
+    let total_ns: u128 = state.done.iter().map(|r| r.elapsed_ns).sum();
+    let depth = state.done.iter().map(|r| r.peak_depth).max().unwrap_or(0);
+    let rate = if args.stable {
+        "-".to_string()
+    } else {
+        format!("{:.0}", exec_per_sec(total_exec, total_ns))
+    };
+    println!(
+        "\nThroughput: {total_exec} trial executions at {rate} exec/s, peak frontier depth {depth}."
+    );
     println!(
         "\nShape claims preserved: the overwhelming majority of injections are detected;\n\
          spec checking (admissibility + assertions) detects substantially more than the\n\

@@ -1,0 +1,342 @@
+//! Hot-path performance probe: records executions/sec and
+//! allocations/execution for a fixed probe set into a machine-readable
+//! `BENCH_hotpath.json`, so successive optimization PRs regress against a
+//! recorded trajectory instead of folklore.
+//!
+//! ```text
+//! cargo run -p cdsspec-bench --release --bin hotpath -- \
+//!     [--variant <name>] [--out <path>] [--baseline <path>] [--smoke]
+//! ```
+//!
+//! Two probe families share one row schema ([`BenchRow`]):
+//!
+//! * `figure7:<benchmark>` — a full exhaustive exploration of one
+//!   Figure 7 benchmark at a fixed worker count; `executions`,
+//!   `feasible`, and `peak_depth` come from the explorer's [`mc::Stats`].
+//! * `micro:<op>` — a tight loop over one hot operation (clock join,
+//!   clock includes, rf-candidate enumeration, event append);
+//!   `executions` counts loop iterations.
+//!
+//! Allocations are counted by a `#[global_allocator]` wrapper around the
+//! system allocator (`alloc` + `realloc` calls, process-wide), so the
+//! figure7 numbers include the explorer's worker threads — exactly the
+//! allocation pressure a user's run pays.
+//!
+//! `--baseline <path>` carries rows of a previous file forward: rows
+//! whose `(probe, variant, workers)` key is not re-measured by this run
+//! are copied into the new output. That is how seed-variant rows survive
+//! into the post-optimization file without a JSON parser dependency.
+//!
+//! `--smoke` shrinks the probe set for CI: the cheapest figure7 probe at
+//! one worker plus shortened micro loops. Smoke rows are written with
+//! the same schema; CI treats the run as pass/fail on panic, never on
+//! variance.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use cdsspec_bench::{exec_per_sec, extract_bench_rows, render_bench_json, BenchRow};
+use cdsspec_c11::clock::Clock;
+use cdsspec_c11::{LocId, MemOrd, Tid};
+use cdsspec_mc as mc;
+use cdsspec_mc::memstate::MemState;
+use cdsspec_structures::registry::benchmarks;
+
+/// System allocator wrapper counting every `alloc`/`realloc` call.
+struct CountingAlloc;
+
+/// Process-wide allocation counter (all threads, including explorer
+/// workers).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Figure 7 benchmarks probed end-to-end. Chosen to cover the weight
+/// range without the one monster row (Chase-Lev, ~50 s alone at one
+/// worker on the reference box): together these run in roughly a second
+/// per repetition at one worker.
+const PROBE_BENCHES: &[&str] = &[
+    "MPMC Queue",
+    "Linux RW Lock",
+    "Seqlock",
+    "M&S Queue",
+    "MCS Lock",
+];
+
+/// Smoke-mode subset: the cheapest probes only.
+const SMOKE_BENCHES: &[&str] = &["Seqlock", "M&S Queue"];
+
+/// Measure `f`, returning its result plus (elapsed_ns, allocations).
+fn measured<T>(f: impl FnOnce() -> T) -> (T, u128, u64) {
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let out = f();
+    let dt = t0.elapsed().as_nanos();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    (out, dt, da)
+}
+
+/// Ratio helper for the per-execution allocation column.
+fn per(n: u64, d: u64) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        n as f64 / d as f64
+    }
+}
+
+/// Explore one registered benchmark exhaustively and record the row.
+fn figure7_probe(name: &str, workers: usize, variant: &str) -> BenchRow {
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown probe benchmark {name:?}"));
+    let config = mc::Config {
+        max_executions: 3_000_000,
+        workers,
+        ..mc::Config::default()
+    };
+    let (stats, elapsed_ns, allocations) = measured(|| bench.check_default(config));
+    assert!(
+        !stats.buggy(),
+        "probe {name:?} reported a bug under correct orderings"
+    );
+    assert_eq!(
+        stats.stop,
+        mc::StopReason::Exhausted,
+        "probe {name:?} did not explore exhaustively"
+    );
+    BenchRow {
+        probe: format!("figure7:{name}"),
+        variant: variant.to_string(),
+        workers,
+        executions: stats.executions,
+        feasible: stats.feasible,
+        elapsed_ns,
+        exec_per_sec: exec_per_sec(stats.executions, elapsed_ns),
+        peak_depth: stats.peak_depth,
+        allocations,
+        allocs_per_exec: per(allocations, stats.executions),
+    }
+}
+
+/// Build a clock pair shaped like real exploration state: a handful of
+/// threads and locations with staggered knowledge.
+fn sample_clocks() -> (Clock, Clock) {
+    let mut a = Clock::new();
+    let mut b = Clock::new();
+    for t in 0..4u32 {
+        a.vc.set(Tid(t), 10 + t);
+        b.vc.set(Tid(t), 13 - t);
+    }
+    for l in 0..6u32 {
+        a.wmax.raise(LocId(l), l);
+        a.rmax.raise(LocId(l), l / 2);
+        b.wmax.raise(LocId(l), 5 - l.min(5));
+        b.rmax.raise(LocId(l), l);
+    }
+    (a, b)
+}
+
+/// A memory state mid-execution: two threads, one contended location
+/// with a short store history — the shape `load_candidates` sees on
+/// every load of the figure-7 suite.
+fn sample_memstate() -> (MemState, Tid, LocId) {
+    let mut st = MemState::new();
+    let main = Tid::MAIN;
+    let child = st.spawn_thread(main);
+    let loc = st.alloc_atomic(main, Some(0));
+    for i in 0..4u64 {
+        st.apply_store(main, loc, MemOrd::Release, i);
+        st.apply_store(child, loc, MemOrd::Relaxed, 100 + i);
+    }
+    let rf = st.load_candidates(child, loc, MemOrd::Acquire)[0];
+    st.apply_load(child, loc, MemOrd::Acquire, rf);
+    (st, child, loc)
+}
+
+/// Run every micro probe at `iters` iterations.
+fn micro_probes(variant: &str, iters: u64) -> Vec<BenchRow> {
+    let mut rows = Vec::new();
+    let mut push = |op: &str, iters: u64, elapsed_ns: u128, allocations: u64| {
+        rows.push(BenchRow {
+            probe: format!("micro:{op}"),
+            variant: variant.to_string(),
+            workers: 1,
+            executions: iters,
+            feasible: 0,
+            elapsed_ns,
+            exec_per_sec: exec_per_sec(iters, elapsed_ns),
+            peak_depth: 0,
+            allocations,
+            allocs_per_exec: per(allocations, iters),
+        });
+    };
+
+    // clock_join: snapshot-and-merge, the per-event pattern of
+    // `push_event` (clone) and `absorb_read` (join).
+    let (a, b) = sample_clocks();
+    let (_, dt, da) = measured(|| {
+        let mut sink = 0u64;
+        for _ in 0..iters {
+            let mut c = a.clone();
+            c.join(&b);
+            sink = sink.wrapping_add(u64::from(c.vc.get(Tid(0))));
+        }
+        sink
+    });
+    push("clock_join", iters, dt, da);
+
+    // clock_includes: the dominance test guarding the join fast path.
+    let (a, b) = sample_clocks();
+    let mut joined = a.clone();
+    joined.join(&b);
+    let (_, dt, da) = measured(|| {
+        let mut sink = 0u64;
+        for _ in 0..iters {
+            sink = sink.wrapping_add(u64::from(joined.vc.includes(&a.vc)));
+            sink = sink.wrapping_add(u64::from(a.vc.includes(&joined.vc)));
+        }
+        sink
+    });
+    push("clock_includes", iters, dt, da);
+
+    // load_candidates: rf-candidate enumeration against a fixed history.
+    let (st, tid, loc) = sample_memstate();
+    let (_, dt, da) = measured(|| {
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            sink = sink.wrapping_add(st.load_candidates(tid, loc, MemOrd::Acquire).len());
+        }
+        sink
+    });
+    push("load_candidates", iters, dt, da);
+
+    // push_event: event append incl. the per-event clock snapshot
+    // (exercised through the public store path).
+    let (_, dt, da) = measured(|| {
+        let mut st = MemState::new();
+        let loc = st.alloc_atomic(Tid::MAIN, Some(0));
+        for i in 0..iters {
+            st.apply_store(Tid::MAIN, loc, MemOrd::Relaxed, i);
+        }
+        st.trace.events.len()
+    });
+    push("push_event", iters, dt, da);
+
+    rows
+}
+
+struct Args {
+    variant: String,
+    out: PathBuf,
+    baseline: Option<PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        variant: "dev".into(),
+        out: PathBuf::from("BENCH_hotpath.json"),
+        baseline: None,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--variant" => args.variant = val("--variant")?,
+            "--out" => args.out = PathBuf::from(val("--out")?),
+            "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline")?)),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("hotpath: {e}");
+            exit(2);
+        }
+    };
+
+    let (benches, worker_counts, iters) = if args.smoke {
+        (SMOKE_BENCHES, &[1usize][..], 20_000u64)
+    } else {
+        (PROBE_BENCHES, &[1usize, 2][..], 200_000u64)
+    };
+
+    let mut rows = Vec::new();
+    for &w in worker_counts {
+        for name in benches {
+            let row = figure7_probe(name, w, &args.variant);
+            eprintln!(
+                "{:<28} workers={} {:>9} exec {:>10.0} exec/s {:>8.1} allocs/exec",
+                row.probe, row.workers, row.executions, row.exec_per_sec, row.allocs_per_exec
+            );
+            rows.push(row);
+        }
+    }
+    for row in micro_probes(&args.variant, iters) {
+        eprintln!(
+            "{:<28} workers={} {:>9} iter {:>10.0} iter/s {:>8.1} allocs/iter",
+            row.probe, row.workers, row.executions, row.exec_per_sec, row.allocs_per_exec
+        );
+        rows.push(row);
+    }
+
+    // Carry forward baseline rows this run did not re-measure.
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("hotpath: cannot read baseline {}: {e}", path.display());
+                exit(1);
+            }
+        };
+        let fresh: Vec<(String, String, usize)> = rows
+            .iter()
+            .map(|r| (r.probe.clone(), r.variant.clone(), r.workers))
+            .collect();
+        let mut kept = 0;
+        let mut merged = Vec::new();
+        for old in extract_bench_rows(&text) {
+            let key = (old.probe.clone(), old.variant.clone(), old.workers);
+            if !fresh.contains(&key) {
+                merged.push(old);
+                kept += 1;
+            }
+        }
+        eprintln!("carried {kept} baseline row(s) from {}", path.display());
+        merged.extend(rows);
+        rows = merged;
+    }
+
+    if let Err(e) = std::fs::write(&args.out, render_bench_json(&rows)) {
+        eprintln!("hotpath: cannot write {}: {e}", args.out.display());
+        exit(1);
+    }
+    eprintln!("wrote {} row(s) to {}", rows.len(), args.out.display());
+}

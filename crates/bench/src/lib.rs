@@ -146,6 +146,25 @@ pub struct SavedRow7 {
     pub stop: String,
     /// Whether the run found a bug.
     pub buggy: bool,
+    /// Deepest DFS frontier reached (see [`mc::Stats::peak_depth`]).
+    pub peak_depth: u64,
+}
+
+impl SavedRow7 {
+    /// Executions per second implied by the stored counters (`0.0` when
+    /// no time was recorded).
+    pub fn exec_per_sec(&self) -> f64 {
+        exec_per_sec(self.executions, self.elapsed_ns)
+    }
+}
+
+/// `executions / elapsed` in Hz, `0.0` on a zero denominator.
+pub fn exec_per_sec(executions: u64, elapsed_ns: u128) -> f64 {
+    if elapsed_ns == 0 {
+        0.0
+    } else {
+        executions as f64 / (elapsed_ns as f64 / 1e9)
+    }
 }
 
 /// Figure 7 checkpoint: completed rows plus the interrupted benchmark's
@@ -166,8 +185,8 @@ impl Figure7Checkpoint {
         let mut out = String::from("figure7-checkpoint v1\n");
         for r in &self.done {
             out.push_str(&format!(
-                "row {}|{}|{}|{}|{}|{}\n",
-                r.name, r.executions, r.feasible, r.elapsed_ns, r.stop, r.buggy as u8
+                "row {}|{}|{}|{}|{}|{}|{}\n",
+                r.name, r.executions, r.feasible, r.elapsed_ns, r.stop, r.buggy as u8, r.peak_depth
             ));
         }
         if let Some((name, ckpt)) = &self.current {
@@ -192,7 +211,9 @@ impl Figure7Checkpoint {
                 break;
             } else if let Some(rest) = line.strip_prefix("row ") {
                 let f: Vec<&str> = rest.split('|').collect();
-                if f.len() != 6 {
+                // 6 fields = pre-peak-depth checkpoints (still accepted,
+                // the depth reads back as 0); 7 = current format.
+                if f.len() != 6 && f.len() != 7 {
                     return Err(format!("bad row line: {line}"));
                 }
                 let num = |s: &str| s.parse::<u64>().map_err(|e| format!("bad row field: {e}"));
@@ -203,6 +224,10 @@ impl Figure7Checkpoint {
                     elapsed_ns: f[3].parse().map_err(|e| format!("bad row field: {e}"))?,
                     stop: f[4].to_string(),
                     buggy: f[5] == "1",
+                    peak_depth: match f.get(6) {
+                        Some(d) => num(d)?,
+                        None => 0,
+                    },
                 });
             } else if let Some(name) = line.strip_prefix("current ") {
                 // The embedded exploration checkpoint runs to its own
@@ -243,6 +268,12 @@ pub struct SavedRow8 {
     pub assertion: usize,
     /// Errored trials.
     pub errored: usize,
+    /// Executions explored across all of the benchmark's trials.
+    pub executions: u64,
+    /// Exploration wall-clock summed across trials, in nanoseconds.
+    pub elapsed_ns: u128,
+    /// Deepest DFS frontier reached by any trial.
+    pub peak_depth: u64,
 }
 
 /// Figure 8 checkpoint: benchmark-granularity — completed rows only.
@@ -258,8 +289,16 @@ impl Figure8Checkpoint {
         let mut out = String::from("figure8-checkpoint v1\n");
         for r in &self.done {
             out.push_str(&format!(
-                "row {}|{}|{}|{}|{}|{}\n",
-                r.name, r.injections, r.builtin, r.admissibility, r.assertion, r.errored
+                "row {}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+                r.name,
+                r.injections,
+                r.builtin,
+                r.admissibility,
+                r.assertion,
+                r.errored,
+                r.executions,
+                r.elapsed_ns,
+                r.peak_depth
             ));
         }
         out.push_str("end\n");
@@ -283,7 +322,9 @@ impl Figure8Checkpoint {
                 .strip_prefix("row ")
                 .ok_or_else(|| format!("bad line: {line}"))?;
             let f: Vec<&str> = rest.split('|').collect();
-            if f.len() != 6 {
+            // 6 fields = pre-throughput checkpoints (still accepted, the
+            // extra counters read back as 0); 9 = current format.
+            if f.len() != 6 && f.len() != 9 {
                 return Err(format!("bad row line: {line}"));
             }
             let num = |s: &str| {
@@ -297,6 +338,18 @@ impl Figure8Checkpoint {
                 admissibility: num(f[3])?,
                 assertion: num(f[4])?,
                 errored: num(f[5])?,
+                executions: match f.get(6) {
+                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
+                    None => 0,
+                },
+                elapsed_ns: match f.get(7) {
+                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
+                    None => 0,
+                },
+                peak_depth: match f.get(8) {
+                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
+                    None => 0,
+                },
             });
         }
         if !closed {
@@ -320,6 +373,134 @@ pub fn load_checkpoint<T>(
 /// unwritable checkpoint is a hard error, the run's work would be lost).
 pub fn store_checkpoint(path: &Path, text: &str) -> Result<(), String> {
     std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Machine-readable performance rows (`BENCH_hotpath.json`).
+// ---------------------------------------------------------------------
+
+/// Schema tag written into every hotpath benchmark file.
+pub const BENCH_SCHEMA: &str = "cdsspec-bench-hotpath-v1";
+
+/// One machine-readable performance measurement — a row of
+/// `BENCH_hotpath.json`, written by the `hotpath` binary so successive
+/// PRs can regress against a recorded trajectory.
+///
+/// The same schema covers end-to-end probes (`probe` =
+/// `"figure7:<benchmark>"`, where `executions`/`feasible`/`peak_depth`
+/// come from [`mc::Stats`]) and microbenches (`probe` = `"micro:<op>"`,
+/// where `executions` counts iterations and the exploration-only fields
+/// are zero).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    /// Probe name: `figure7:<benchmark>` or `micro:<op>`.
+    pub probe: String,
+    /// Build variant the row was measured on (`"seed"` or `"optimized"`).
+    pub variant: String,
+    /// Explorer worker count (1 for microbenches).
+    pub workers: usize,
+    /// Executions explored (microbenches: iterations run).
+    pub executions: u64,
+    /// Feasible executions (microbenches: 0).
+    pub feasible: u64,
+    /// Wall-clock of the probe, in nanoseconds.
+    pub elapsed_ns: u128,
+    /// Executions (iterations) per second.
+    pub exec_per_sec: f64,
+    /// Peak frontier depth (microbenches: 0).
+    pub peak_depth: u64,
+    /// Heap allocations performed during the probe (counting allocator).
+    pub allocations: u64,
+    /// Allocations per execution (iteration).
+    pub allocs_per_exec: f64,
+}
+
+impl BenchRow {
+    /// Render as a single JSON object line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"probe\":{},\"variant\":{},\"workers\":{},\"executions\":{},\
+             \"feasible\":{},\"elapsed_ns\":{},\"exec_per_sec\":{:.1},\
+             \"peak_depth\":{},\"allocations\":{},\"allocs_per_exec\":{:.2}}}",
+            json_string(&self.probe),
+            json_string(&self.variant),
+            self.workers,
+            self.executions,
+            self.feasible,
+            self.elapsed_ns,
+            self.exec_per_sec,
+            self.peak_depth,
+            self.allocations,
+            self.allocs_per_exec,
+        )
+    }
+
+    /// Parse a line written by [`BenchRow::to_json_line`]. Returns `None`
+    /// for lines that are not row objects (or miss a required field).
+    /// This is a scanner for the fixed schema above, not a general JSON
+    /// parser — exactly what merging a baseline file needs.
+    pub fn from_json_line(line: &str) -> Option<BenchRow> {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            return None;
+        }
+        Some(BenchRow {
+            probe: json_field(line, "probe")?.trim_matches('"').to_string(),
+            variant: json_field(line, "variant")?.trim_matches('"').to_string(),
+            workers: json_field(line, "workers")?.parse().ok()?,
+            executions: json_field(line, "executions")?.parse().ok()?,
+            feasible: json_field(line, "feasible")?.parse().ok()?,
+            elapsed_ns: json_field(line, "elapsed_ns")?.parse().ok()?,
+            exec_per_sec: json_field(line, "exec_per_sec")?.parse().ok()?,
+            peak_depth: json_field(line, "peak_depth")?.parse().ok()?,
+            allocations: json_field(line, "allocations")?.parse().ok()?,
+            allocs_per_exec: json_field(line, "allocs_per_exec")?.parse().ok()?,
+        })
+    }
+}
+
+/// Escape a string for embedding in JSON. Probe and variant names are
+/// ASCII identifiers-with-spaces; only quotes and backslashes need care.
+fn json_string(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+/// Extract the raw value of `"key":` from a single-line JSON object.
+fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        stripped.find('"')? + 2
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(&rest[..end])
+}
+
+/// Render the full `BENCH_hotpath.json` document: a schema tag plus one
+/// row object per line (line-oriented on purpose, so a baseline file's
+/// rows can be carried over by line filtering — see
+/// [`extract_bench_rows`]).
+pub fn render_bench_json(rows: &[BenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("\"schema\": \"{BENCH_SCHEMA}\",\n"));
+    out.push_str("\"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&r.to_json_line());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Recover every [`BenchRow`] from a rendered `BENCH_hotpath.json`.
+pub fn extract_bench_rows(text: &str) -> Vec<BenchRow> {
+    text.lines().filter_map(BenchRow::from_json_line).collect()
 }
 
 #[cfg(test)]
@@ -387,6 +568,7 @@ mod tests {
                 elapsed_ns: 1_000_000,
                 stop: "exhausted".into(),
                 buggy: false,
+                peak_depth: 7,
             }],
             current: Some(("RCU".into(), inner)),
         };
@@ -408,11 +590,66 @@ mod tests {
                 admissibility: 0,
                 assertion: 2,
                 errored: 0,
+                executions: 61_000,
+                elapsed_ns: 2_500_000,
+                peak_depth: 11,
             }],
         };
         assert_eq!(Figure8Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
         assert!(Figure8Checkpoint::from_text("garbage").is_err());
         assert!(Figure8Checkpoint::from_text("figure8-checkpoint v1\nrow x|1\nend").is_err());
         assert!(Figure8Checkpoint::from_text("figure8-checkpoint v1\n").is_err());
+    }
+
+    #[test]
+    fn bench_rows_round_trip_through_json() {
+        let rows = vec![
+            BenchRow {
+                probe: "figure7:MPMC Queue".into(),
+                variant: "seed".into(),
+                workers: 1,
+                executions: 10_992,
+                feasible: 4_540,
+                elapsed_ns: 900_000_000,
+                exec_per_sec: 12_213.3,
+                peak_depth: 23,
+                allocations: 4_000_000,
+                allocs_per_exec: 363.93,
+            },
+            BenchRow {
+                probe: "micro:clock_join".into(),
+                variant: "optimized".into(),
+                workers: 1,
+                executions: 100_000,
+                feasible: 0,
+                elapsed_ns: 5_000_000,
+                exec_per_sec: 20_000_000.0,
+                peak_depth: 0,
+                allocations: 12,
+                allocs_per_exec: 0.0,
+            },
+        ];
+        let doc = render_bench_json(&rows);
+        assert!(doc.contains(BENCH_SCHEMA));
+        let back = extract_bench_rows(&doc);
+        assert_eq!(back, rows);
+        // Non-row lines (schema header, brackets) parse to nothing.
+        assert!(BenchRow::from_json_line("\"rows\": [").is_none());
+        assert!(BenchRow::from_json_line("{\"probe\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn legacy_six_field_rows_still_parse() {
+        // Pre-throughput checkpoints lack the appended fields; they must
+        // load with zero defaults, not fail.
+        let f7 = "figure7-checkpoint v1\nrow SPSC Queue|42|30|1000000|exhausted|0\nend\n";
+        let ck7 = Figure7Checkpoint::from_text(f7).unwrap();
+        assert_eq!(ck7.done[0].executions, 42);
+        assert_eq!(ck7.done[0].peak_depth, 0);
+        let f8 = "figure8-checkpoint v1\nrow Ticket Lock|2|0|0|2|0\nend\n";
+        let ck8 = Figure8Checkpoint::from_text(f8).unwrap();
+        assert_eq!(ck8.done[0].assertion, 2);
+        assert_eq!(ck8.done[0].executions, 0);
+        assert_eq!(ck8.done[0].peak_depth, 0);
     }
 }

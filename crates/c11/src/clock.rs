@@ -15,50 +15,152 @@
 //! Both tables are joined pointwise whenever clocks join (program order,
 //! synchronizes-with, thread create/join), so the bounds flow along exactly
 //! the happens-before edges.
+//!
+//! # Copy-on-write representation
+//!
+//! Clocks are the allocation hot spot of the checker: every event snapshots
+//! its thread's clock, every acquire joins a store's release payload, and a
+//! figure-7 exploration takes millions of both. Both [`VecClock`] and
+//! [`CoherenceMap`] therefore store their table as `Option<Arc<Vec<_>>>`:
+//!
+//! * `None` encodes the empty table, so fresh clocks never allocate;
+//! * `clone()` is an `Arc` refcount bump — event snapshots and release
+//!   payloads share one buffer until someone writes;
+//! * mutation goes through [`std::sync::Arc::make_mut`], which copies only
+//!   when the buffer is shared (and is a plain in-place write when not);
+//! * `join` short-circuits without touching memory when one side already
+//!   covers the other: joining with an empty/identical/dominated clock is a
+//!   no-op, and joining *into* a dominated clock is a pointer copy.
+//!
+//! **Invariants.** The representation is observational: a trailing run of
+//! default entries (`0` counts, absent bounds) is indistinguishable from a
+//! shorter buffer, and `PartialEq` is defined accordingly. No operation may
+//! branch on buffer length or capacity, and no caller can observe whether a
+//! fast path or the slow pointwise walk produced a result — the
+//! `cow_equivalence` proptest suite checks exactly this against the
+//! [`naive`] reference implementation. Observational no-ops ([`VecClock::set`]
+//! to the current value, [`CoherenceMap::raise`] to a not-higher bound) must
+//! not unshare the buffer.
+
+use std::sync::Arc;
 
 use crate::event::Tid;
 use crate::loc::LocId;
 
+/// `b ⊑ a` on raw slices, absent entries reading as `default`.
+fn dominates<T: Copy + Ord>(a: &[T], b: &[T], default: T) -> bool {
+    b.iter()
+        .enumerate()
+        .all(|(i, &x)| x <= a.get(i).copied().unwrap_or(default))
+}
+
+/// Observational equality on raw slices, absent entries reading as
+/// `default` (so `[3]` equals `[3, 0, 0]` for clocks).
+fn slices_eq<T: Copy + PartialEq>(a: &[T], b: &[T], default: T) -> bool {
+    let n = a.len().max(b.len());
+    (0..n).all(|i| a.get(i).copied().unwrap_or(default) == b.get(i).copied().unwrap_or(default))
+}
+
 /// A plain vector clock: `vc[t]` = number of events of thread `t` known to
 /// happen-before (or equal) the current point.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Copy-on-write: see the module docs. Cloning is O(1); mutation copies
+/// the underlying buffer only while it is shared.
+#[derive(Clone, Debug, Default)]
 pub struct VecClock {
-    counts: Vec<u32>,
+    /// Shared counts buffer; `None` is the empty clock.
+    counts: Option<Arc<Vec<u32>>>,
 }
 
 impl VecClock {
-    /// The empty clock (knows nothing).
+    /// The empty clock (knows nothing). Does not allocate.
     pub fn new() -> Self {
-        VecClock { counts: Vec::new() }
+        VecClock { counts: None }
+    }
+
+    /// The raw counts, absent entries implicit.
+    #[inline]
+    fn slice(&self) -> &[u32] {
+        self.counts.as_deref().map_or(&[], Vec::as_slice)
     }
 
     /// Number of events of `tid` known at this clock.
     #[inline]
     pub fn get(&self, tid: Tid) -> u32 {
-        self.counts.get(tid.idx()).copied().unwrap_or(0)
+        self.slice().get(tid.idx()).copied().unwrap_or(0)
     }
 
-    /// Record that `tid` has performed `count` events.
+    /// Record that `tid` has performed `count` events. A `set` to the
+    /// value already held is a no-op and keeps the buffer shared.
     pub fn set(&mut self, tid: Tid, count: u32) {
-        if self.counts.len() <= tid.idx() {
-            self.counts.resize(tid.idx() + 1, 0);
+        if self.get(tid) == count {
+            return;
         }
-        self.counts[tid.idx()] = count;
+        let v = Arc::make_mut(self.counts.get_or_insert_with(Default::default));
+        if v.len() <= tid.idx() {
+            v.resize(tid.idx() + 1, 0);
+        }
+        v[tid.idx()] = count;
     }
 
-    /// Pointwise maximum with `other`.
-    pub fn join(&mut self, other: &VecClock) {
-        if self.counts.len() < other.counts.len() {
-            self.counts.resize(other.counts.len(), 0);
+    /// Raise `tid`'s count to at least `seq`. A raise at or below the
+    /// current count is a no-op and keeps the buffer shared. This is the
+    /// stamping primitive for release payloads and thread-lifecycle
+    /// clocks, where the thread's own (implicit) component must be made
+    /// explicit before the clock is handed to another thread.
+    pub fn raise(&mut self, tid: Tid, seq: u32) {
+        if self.get(tid) >= seq {
+            return;
         }
-        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
-            *mine = (*mine).max(*theirs);
+        let v = Arc::make_mut(self.counts.get_or_insert_with(Default::default));
+        if v.len() <= tid.idx() {
+            v.resize(tid.idx() + 1, 0);
+        }
+        v[tid.idx()] = seq;
+    }
+
+    /// Pointwise maximum with `other`. Joins where one side already covers
+    /// the other do not copy: they are a no-op or an `Arc` pointer copy.
+    pub fn join(&mut self, other: &VecClock) {
+        let Some(theirs_arc) = &other.counts else {
+            return;
+        };
+        let take_theirs = match &mut self.counts {
+            None => true,
+            Some(mine) => {
+                if Arc::ptr_eq(mine, theirs_arc) {
+                    return;
+                }
+                let theirs = theirs_arc.as_slice();
+                if dominates(mine, theirs, 0) {
+                    return;
+                }
+                if dominates(theirs, mine, 0) {
+                    true
+                } else {
+                    let v = Arc::make_mut(mine);
+                    if v.len() < theirs.len() {
+                        v.resize(theirs.len(), 0);
+                    }
+                    for (m, &t) in v.iter_mut().zip(theirs) {
+                        *m = (*m).max(t);
+                    }
+                    false
+                }
+            }
+        };
+        if take_theirs {
+            self.counts = Some(Arc::clone(theirs_arc));
         }
     }
 
     /// Does this clock dominate `other` pointwise (`other ⊑ self`)?
     pub fn includes(&self, other: &VecClock) -> bool {
-        (0..other.counts.len()).all(|i| other.counts[i] <= self.counts.get(i).copied().unwrap_or(0))
+        match (&self.counts, &other.counts) {
+            (_, None) => true,
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
+            _ => dominates(self.slice(), other.slice(), 0),
+        }
     }
 
     /// Does this clock know about event number `seq` (1-based) of `tid`?
@@ -68,49 +170,112 @@ impl VecClock {
     }
 }
 
+impl PartialEq for VecClock {
+    fn eq(&self, other: &Self) -> bool {
+        slices_eq(self.slice(), other.slice(), 0)
+    }
+}
+impl Eq for VecClock {}
+
 /// A per-location table of mo-index lower bounds. Index `loc.idx()`;
 /// `None` is encoded as `i64::MIN` so joins are a plain `max`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Copy-on-write: see the module docs. Cloning is O(1); mutation copies
+/// the underlying buffer only while it is shared.
+#[derive(Clone, Debug, Default)]
 pub struct CoherenceMap {
-    bounds: Vec<i64>,
+    /// Shared bounds buffer; `None` is the unconstrained table.
+    bounds: Option<Arc<Vec<i64>>>,
 }
 
 const NO_BOUND: i64 = i64::MIN;
 
 impl CoherenceMap {
-    /// Empty table: no location constrained.
+    /// Empty table: no location constrained. Does not allocate.
     pub fn new() -> Self {
-        CoherenceMap { bounds: Vec::new() }
+        CoherenceMap { bounds: None }
+    }
+
+    /// The raw bounds, absent entries implicit.
+    #[inline]
+    fn slice(&self) -> &[i64] {
+        self.bounds.as_deref().map_or(&[], Vec::as_slice)
     }
 
     /// Current bound for `loc`, or `None` if unconstrained.
     #[inline]
     pub fn get(&self, loc: LocId) -> Option<u32> {
-        match self.bounds.get(loc.idx()).copied().unwrap_or(NO_BOUND) {
+        match self.slice().get(loc.idx()).copied().unwrap_or(NO_BOUND) {
             NO_BOUND => None,
             b => Some(b as u32),
         }
     }
 
-    /// Raise the bound for `loc` to at least `idx`.
+    /// Raise the bound for `loc` to at least `idx`. A raise at or below
+    /// the current bound is a no-op and keeps the buffer shared.
     pub fn raise(&mut self, loc: LocId, idx: u32) {
-        if self.bounds.len() <= loc.idx() {
-            self.bounds.resize(loc.idx() + 1, NO_BOUND);
+        let current = self.slice().get(loc.idx()).copied().unwrap_or(NO_BOUND);
+        if current >= idx as i64 {
+            return;
         }
-        let slot = &mut self.bounds[loc.idx()];
-        *slot = (*slot).max(idx as i64);
+        let v = Arc::make_mut(self.bounds.get_or_insert_with(Default::default));
+        if v.len() <= loc.idx() {
+            v.resize(loc.idx() + 1, NO_BOUND);
+        }
+        v[loc.idx()] = idx as i64;
     }
 
-    /// Pointwise maximum with `other`.
+    /// Pointwise maximum with `other`. Joins where one side already covers
+    /// the other do not copy: they are a no-op or an `Arc` pointer copy.
     pub fn join(&mut self, other: &CoherenceMap) {
-        if self.bounds.len() < other.bounds.len() {
-            self.bounds.resize(other.bounds.len(), NO_BOUND);
+        let Some(theirs_arc) = &other.bounds else {
+            return;
+        };
+        let take_theirs = match &mut self.bounds {
+            None => true,
+            Some(mine) => {
+                if Arc::ptr_eq(mine, theirs_arc) {
+                    return;
+                }
+                let theirs = theirs_arc.as_slice();
+                if dominates(mine, theirs, NO_BOUND) {
+                    return;
+                }
+                if dominates(theirs, mine, NO_BOUND) {
+                    true
+                } else {
+                    let v = Arc::make_mut(mine);
+                    if v.len() < theirs.len() {
+                        v.resize(theirs.len(), NO_BOUND);
+                    }
+                    for (m, &t) in v.iter_mut().zip(theirs) {
+                        *m = (*m).max(t);
+                    }
+                    false
+                }
+            }
+        };
+        if take_theirs {
+            self.bounds = Some(Arc::clone(theirs_arc));
         }
-        for (mine, theirs) in self.bounds.iter_mut().zip(&other.bounds) {
-            *mine = (*mine).max(*theirs);
+    }
+
+    /// Does this table bound at least as tightly as `other` everywhere?
+    pub fn includes(&self, other: &CoherenceMap) -> bool {
+        match (&self.bounds, &other.bounds) {
+            (_, None) => true,
+            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
+            _ => dominates(self.slice(), other.slice(), NO_BOUND),
         }
     }
 }
+
+impl PartialEq for CoherenceMap {
+    fn eq(&self, other: &Self) -> bool {
+        slices_eq(self.slice(), other.slice(), NO_BOUND)
+    }
+}
+impl Eq for CoherenceMap {}
 
 /// The full clock carried by threads and attached to synchronizing stores:
 /// a vector clock plus the two coherence tables described in the module
@@ -127,16 +292,26 @@ pub struct Clock {
 }
 
 impl Clock {
-    /// The empty clock.
+    /// The empty clock. Does not allocate.
     pub fn new() -> Self {
         Clock::default()
     }
 
-    /// Join every component pointwise.
+    /// Join every component pointwise. Each component short-circuits
+    /// independently (an acquire that learns nothing new touches no
+    /// memory).
     pub fn join(&mut self, other: &Clock) {
         self.vc.join(&other.vc);
         self.wmax.join(&other.wmax);
         self.rmax.join(&other.rmax);
+    }
+
+    /// Does this clock dominate `other` in every component? When true,
+    /// `self.join(other)` is a guaranteed no-op.
+    pub fn includes(&self, other: &Clock) -> bool {
+        self.vc.includes(&other.vc)
+            && self.wmax.includes(&other.wmax)
+            && self.rmax.includes(&other.rmax)
     }
 
     /// The least mo index a load of `loc` holding this clock may read from
@@ -145,6 +320,107 @@ impl Clock {
         match (self.wmax.get(loc), self.rmax.get(loc)) {
             (None, None) => None,
             (a, b) => Some(a.unwrap_or(0).max(b.unwrap_or(0))),
+        }
+    }
+}
+
+/// The pre-copy-on-write reference implementation: plain `Vec`-backed
+/// tables with the textbook pointwise loops and no sharing, no fast
+/// paths, no observational no-ops.
+///
+/// Retained **only** as the oracle for the `cow_equivalence` proptest
+/// suite, which drives random operation sequences through both
+/// implementations and requires observationally identical answers. Not
+/// used by the checker.
+pub mod naive {
+    use super::{Tid, NO_BOUND};
+    use crate::loc::LocId;
+
+    /// Reference [`super::VecClock`]: an owned, eagerly-resized `Vec`.
+    #[derive(Clone, Debug, Default)]
+    pub struct VecClock {
+        /// Owned counts, one per thread index.
+        pub counts: Vec<u32>,
+    }
+
+    impl VecClock {
+        /// See [`super::VecClock::get`].
+        pub fn get(&self, tid: Tid) -> u32 {
+            self.counts.get(tid.idx()).copied().unwrap_or(0)
+        }
+
+        /// See [`super::VecClock::set`].
+        pub fn set(&mut self, tid: Tid, count: u32) {
+            if self.counts.len() <= tid.idx() {
+                self.counts.resize(tid.idx() + 1, 0);
+            }
+            self.counts[tid.idx()] = count;
+        }
+
+        /// See [`super::VecClock::raise`].
+        pub fn raise(&mut self, tid: Tid, seq: u32) {
+            if self.counts.len() <= tid.idx() {
+                self.counts.resize(tid.idx() + 1, 0);
+            }
+            let slot = &mut self.counts[tid.idx()];
+            *slot = (*slot).max(seq);
+        }
+
+        /// See [`super::VecClock::join`].
+        pub fn join(&mut self, other: &VecClock) {
+            if self.counts.len() < other.counts.len() {
+                self.counts.resize(other.counts.len(), 0);
+            }
+            for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+                *mine = (*mine).max(*theirs);
+            }
+        }
+
+        /// See [`super::VecClock::includes`].
+        pub fn includes(&self, other: &VecClock) -> bool {
+            (0..other.counts.len())
+                .all(|i| other.counts[i] <= self.counts.get(i).copied().unwrap_or(0))
+        }
+
+        /// See [`super::VecClock::knows`].
+        pub fn knows(&self, tid: Tid, seq: u32) -> bool {
+            self.get(tid) >= seq
+        }
+    }
+
+    /// Reference [`super::CoherenceMap`]: an owned, eagerly-resized `Vec`.
+    #[derive(Clone, Debug, Default)]
+    pub struct CoherenceMap {
+        /// Owned bounds, `NO_BOUND` = unconstrained.
+        pub bounds: Vec<i64>,
+    }
+
+    impl CoherenceMap {
+        /// See [`super::CoherenceMap::get`].
+        pub fn get(&self, loc: LocId) -> Option<u32> {
+            match self.bounds.get(loc.idx()).copied().unwrap_or(NO_BOUND) {
+                NO_BOUND => None,
+                b => Some(b as u32),
+            }
+        }
+
+        /// See [`super::CoherenceMap::raise`].
+        pub fn raise(&mut self, loc: LocId, idx: u32) {
+            if self.bounds.len() <= loc.idx() {
+                self.bounds.resize(loc.idx() + 1, NO_BOUND);
+            }
+            let slot = &mut self.bounds[loc.idx()];
+            *slot = (*slot).max(idx as i64);
+        }
+
+        /// See [`super::CoherenceMap::join`].
+        pub fn join(&mut self, other: &CoherenceMap) {
+            if self.bounds.len() < other.bounds.len() {
+                self.bounds.resize(other.bounds.len(), NO_BOUND);
+            }
+            for (mine, theirs) in self.bounds.iter_mut().zip(&other.bounds) {
+                *mine = (*mine).max(*theirs);
+            }
         }
     }
 }
@@ -239,5 +515,56 @@ mod tests {
         a.join(&b);
         assert_eq!(a.vc.get(t(1)), 7);
         assert_eq!(a.read_floor(l), Some(5));
+    }
+
+    #[test]
+    fn clock_includes_guards_the_join_fast_path() {
+        let l = LocId(1);
+        let mut a = Clock::new();
+        a.vc.set(t(0), 5);
+        a.wmax.raise(l, 3);
+        let mut b = Clock::new();
+        b.vc.set(t(0), 2);
+        assert!(a.includes(&b));
+        assert!(!b.includes(&a));
+        // wmax ahead but rmax behind: neither side dominates.
+        b.rmax.raise(l, 1);
+        assert!(!a.includes(&b));
+        let before = a.clone();
+        let mut joined = a.clone();
+        joined.join(&b);
+        assert!(joined.includes(&before));
+        assert!(joined.includes(&b));
+    }
+
+    #[test]
+    fn equality_is_observational() {
+        // A clock that grew and a clock that never saw the high tids
+        // compare equal once the tail is all defaults.
+        let mut grown = VecClock::new();
+        grown.set(t(5), 1);
+        grown.set(t(5), 0); // back to default — buffer still sized 6
+        assert_eq!(grown, VecClock::new());
+        let mut m = CoherenceMap::new();
+        m.join(&CoherenceMap::new());
+        assert_eq!(m, CoherenceMap::new());
+    }
+
+    #[test]
+    fn shared_buffers_survive_observational_noops() {
+        // set-to-same and low raises must not unshare (the whole point of
+        // the copy-on-write representation).
+        let mut a = VecClock::new();
+        a.set(t(0), 4);
+        let b = a.clone();
+        let mut c = a.clone();
+        c.set(t(0), 4); // no-op
+        c.join(&b); // identical: no-op
+        assert_eq!(a, c);
+        let mut m = CoherenceMap::new();
+        m.raise(LocId(0), 9);
+        let mut n = m.clone();
+        n.raise(LocId(0), 3); // below current bound: no-op
+        assert_eq!(m, n);
     }
 }

@@ -1,6 +1,6 @@
 //! Execution-trace events.
 
-use crate::clock::Clock;
+use crate::clock::VecClock;
 use crate::loc::{DataId, LocId};
 use crate::ordering::MemOrd;
 use crate::value::Val;
@@ -53,44 +53,72 @@ pub enum EventKind {
     /// was uninitialized — always reported as a built-in bug). `val` is the
     /// value observed.
     AtomicLoad {
+        /// Location read.
         loc: LocId,
+        /// Memory ordering of the load.
         ord: MemOrd,
+        /// The store read from (`None` = uninitialized).
         rf: Option<EventId>,
+        /// Value observed.
         val: Val,
     },
     /// An atomic store. `mo_index` is its position in the location's
     /// modification order.
     AtomicStore {
+        /// Location written.
         loc: LocId,
+        /// Memory ordering of the store.
         ord: MemOrd,
+        /// Value written.
         val: Val,
+        /// Position in the location's modification order.
         mo_index: u32,
     },
     /// An atomic read-modify-write (fetch_add/fetch_sub/swap/CAS…).
     /// `written = None` means a failed compare-exchange (pure load).
     Rmw {
+        /// Location read and (on success) written.
         loc: LocId,
+        /// Memory ordering of the RMW.
         ord: MemOrd,
+        /// The store read from (`None` = uninitialized).
         rf: Option<EventId>,
+        /// Value read.
         read_val: Val,
+        /// Value written (`None` = failed compare-exchange).
         written: Option<Val>,
         /// mo position of the written store (meaningless when `written`
         /// is `None`).
         mo_index: u32,
     },
     /// A memory fence.
-    Fence { ord: MemOrd },
+    Fence {
+        /// Memory ordering of the fence.
+        ord: MemOrd,
+    },
     /// Creation of a child thread (the `sw` edge to its first event is
     /// implicit in the clocks).
-    ThreadCreate { child: Tid },
+    ThreadCreate {
+        /// The spawned thread.
+        child: Tid,
+    },
     /// Join on `target` (synchronizes with its finish).
-    ThreadJoin { target: Tid },
+    ThreadJoin {
+        /// The joined thread.
+        target: Tid,
+    },
     /// Thread ran to completion.
     ThreadFinish,
     /// A non-atomic write (participates in race detection only).
-    DataWrite { loc: DataId },
+    DataWrite {
+        /// Non-atomic location written.
+        loc: DataId,
+    },
     /// A non-atomic read.
-    DataRead { loc: DataId },
+    DataRead {
+        /// Non-atomic location read.
+        loc: DataId,
+    },
 }
 
 impl EventKind {
@@ -170,13 +198,19 @@ pub struct Event {
     pub id: EventId,
     /// Executing thread.
     pub tid: Tid,
-    /// 1-based per-thread sequence number (`clock.vc[tid] == seq` right
-    /// after this event).
+    /// 1-based per-thread sequence number.
     pub seq: u32,
     /// The operation.
     pub kind: EventKind,
-    /// Happens-before clock *after* this event (includes the event itself).
-    pub clock: Clock,
+    /// Happens-before knowledge of *other* threads' events at this point.
+    /// The executing thread's own component is implicit — `tid`'s first
+    /// `seq` events happen-before (or are) this event — which lets the
+    /// buffer stay shared with the thread's live clock instead of being
+    /// copied per event (see the copy-on-write notes in [`crate::clock`]).
+    /// Query through [`Event::happens_before`], which accounts for the
+    /// implicit component; the per-event coherence tables that used to
+    /// ride along here were never read back and are not stored.
+    pub clock: VecClock,
     /// Position in the SC total order *S*, when `ord` is `seq_cst`.
     pub sc_index: Option<u32>,
 }
@@ -188,18 +222,19 @@ impl Event {
         if self.id == other.id {
             return false;
         }
-        other.clock.vc.knows(self.tid, self.seq)
+        if self.tid == other.tid {
+            // Program order; `other.clock` does not carry its own thread.
+            return self.seq < other.seq;
+        }
+        other.clock.knows(self.tid, self.seq)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::Clock;
 
     fn ev(id: u32, tid: u32, seq: u32) -> Event {
-        let mut clock = Clock::new();
-        clock.vc.set(Tid(tid), seq);
         Event {
             id: EventId(id),
             tid: Tid(tid),
@@ -207,7 +242,7 @@ mod tests {
             kind: EventKind::Fence {
                 ord: MemOrd::SeqCst,
             },
-            clock,
+            clock: VecClock::new(),
             sc_index: None,
         }
     }
@@ -223,7 +258,16 @@ mod tests {
         let e1 = ev(0, 0, 1);
         let mut e2 = ev(1, 1, 1);
         assert!(!e1.happens_before(&e2));
-        e2.clock.vc.set(Tid(0), 1);
+        e2.clock.set(Tid(0), 1);
+        assert!(e1.happens_before(&e2));
+        assert!(!e2.happens_before(&e1));
+    }
+
+    #[test]
+    fn happens_before_same_thread_is_program_order() {
+        let e1 = ev(0, 2, 1);
+        let e2 = ev(5, 2, 2);
+        // Neither clock mentions thread 2 — the own component is implicit.
         assert!(e1.happens_before(&e2));
         assert!(!e2.happens_before(&e1));
     }

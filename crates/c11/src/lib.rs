@@ -20,6 +20,8 @@
 //! * [`relations`] — derived relations (`hb`, SC order, `mo`) plus an
 //!   *independent* axiom validator used to property-test the model checker.
 
+#![warn(missing_docs)]
+
 pub mod clock;
 pub mod event;
 pub mod loc;

@@ -22,35 +22,82 @@ use crate::trace::Trace;
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AxiomError {
     /// `hb` contradicts execution order (would imply a cycle).
-    HbCycle { a: EventId, b: EventId },
+    HbCycle {
+        /// Earlier event (in execution order).
+        a: EventId,
+        /// Later event claimed to happen-before `a`.
+        b: EventId,
+    },
     /// The stored vector clocks disagree with the recomputed `hb`.
     ClockMismatch {
+        /// First event of the disagreeing pair.
         a: EventId,
+        /// Second event of the disagreeing pair.
         b: EventId,
+        /// `hb(a, b)` according to the online clocks.
         online: bool,
+        /// `hb(a, b)` according to the offline recomputation.
         offline: bool,
     },
     /// A read's `rf` edge is malformed (wrong location, wrong value, or
     /// points forward in execution order).
-    BadRf { read: EventId, detail: String },
+    BadRf {
+        /// The offending read.
+        read: EventId,
+        /// Human-readable description of the malformation.
+        detail: String,
+    },
     /// Write-read coherence: a newer store to the location happens-before
     /// the read, hiding the store it read from.
-    CoWr { read: EventId, hidden_by: EventId },
+    CoWr {
+        /// The offending read.
+        read: EventId,
+        /// The newer store that hides the read's `rf` target.
+        hidden_by: EventId,
+    },
     /// Read-read coherence: an hb-earlier read observed a newer store.
-    CoRr { first: EventId, second: EventId },
+    CoRr {
+        /// The hb-earlier read.
+        first: EventId,
+        /// The hb-later read that observed an older store.
+        second: EventId,
+    },
     /// Write-write coherence: hb contradicts mo.
-    CoWw { first: EventId, second: EventId },
+    CoWw {
+        /// The mo-earlier store.
+        first: EventId,
+        /// The mo-later store that happens-before `first`.
+        second: EventId,
+    },
     /// Read-write coherence: a read observed a store mo-after a write it
     /// happens-before.
-    CoRw { read: EventId, write: EventId },
+    CoRw {
+        /// The offending read.
+        read: EventId,
+        /// The write the read happens-before.
+        write: EventId,
+    },
     /// A successful RMW did not read its immediate mo predecessor.
-    RmwAtomicity { rmw: EventId },
+    RmwAtomicity {
+        /// The offending RMW.
+        rmw: EventId,
+    },
     /// An SC read violated C++11 29.3p3 (read an SC store other than the
     /// last preceding one in *S*, or a store hidden behind it).
-    ScRead { read: EventId, detail: String },
+    ScRead {
+        /// The offending SC read.
+        read: EventId,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
     /// A read violated one of the SC-fence rules (C++11 29.3 p4–p6): it
     /// observed a store older than the fence-published floor.
-    ScFence { read: EventId, rule: &'static str },
+    ScFence {
+        /// The offending read.
+        read: EventId,
+        /// Which of p4/p5/p6 fired.
+        rule: &'static str,
+    },
 }
 
 impl std::fmt::Display for AxiomError {
@@ -558,7 +605,7 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::Clock;
+    use crate::clock::VecClock;
     use crate::event::Event;
     use crate::loc::LocId;
     use crate::value::Val;
@@ -606,7 +653,7 @@ mod tests {
                 tid: Tid(tid),
                 seq: self.seqs[tid as usize],
                 kind,
-                clock: Clock::new(),
+                clock: VecClock::new(),
                 sc_index,
             });
             id
@@ -657,15 +704,10 @@ mod tests {
             };
             let hb = compute_hb(&t);
             for i in 0..n {
-                let (tid, seq) = (self.events[i].tid, self.events[i].seq);
-                self.events[i].clock.vc.set(tid, seq);
                 for j in 0..n {
                     if hb.get(j, i) {
                         let je = &t.events[j];
-                        let have = self.events[i].clock.vc.get(je.tid);
-                        if je.seq > have {
-                            self.events[i].clock.vc.set(je.tid, je.seq);
-                        }
+                        self.events[i].clock.raise(je.tid, je.seq);
                     }
                 }
             }

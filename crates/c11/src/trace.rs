@@ -96,11 +96,22 @@ pub enum SpecNote {
     /// `obj` identifies the data-structure instance, enabling the
     /// composition of specifications (paper §3.2): each object is checked
     /// against its own sequential state.
-    MethodBegin { obj: u64, name: &'static str },
+    MethodBegin {
+        /// Data-structure instance identity.
+        obj: u64,
+        /// Method name (e.g. `"enq"`).
+        name: &'static str,
+    },
     /// An argument value of the current method call.
-    MethodArg { val: SpecVal },
+    MethodArg {
+        /// The argument.
+        val: SpecVal,
+    },
     /// End of an API method call with its return value (paper: *response*).
-    MethodEnd { ret: SpecVal },
+    MethodEnd {
+        /// The return value (`SpecVal::Unit` for `void`).
+        ret: SpecVal,
+    },
     /// `@OPDefine`: the thread's immediately-preceding atomic operation is
     /// an ordering point of the current method call.
     OpDefine,
@@ -109,10 +120,16 @@ pub enum SpecNote {
     OpClear,
     /// `@PotentialOP(label)`: the preceding atomic operation *may* be an
     /// ordering point; a later `OpCheck` with the same label confirms it.
-    PotentialOp { label: &'static str },
+    PotentialOp {
+        /// Label matched by a later `OpCheck`.
+        label: &'static str,
+    },
     /// `@OPCheck(label)`: confirm all pending potential ordering points
     /// with `label`.
-    OpCheck { label: &'static str },
+    OpCheck {
+        /// Label of the potential ordering points to confirm.
+        label: &'static str,
+    },
 }
 
 /// An annotation bound to its position in the execution: the recording
@@ -271,18 +288,16 @@ impl Trace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::clock::Clock;
+    use crate::clock::VecClock;
     use crate::ordering::MemOrd;
 
     fn mk_event(id: u32, tid: u32, seq: u32, kind: EventKind, sc: Option<u32>) -> Event {
-        let mut clock = Clock::new();
-        clock.vc.set(Tid(tid), seq);
         Event {
             id: EventId(id),
             tid: Tid(tid),
             seq,
             kind,
-            clock,
+            clock: VecClock::new(),
             sc_index: sc,
         }
     }
@@ -312,7 +327,7 @@ mod tests {
             },
             Some(1),
         );
-        load.clock.vc.set(Tid(0), 1);
+        load.clock.set(Tid(0), 1);
         Trace {
             events: vec![store, load],
             mo: vec![vec![EventId(0)]],

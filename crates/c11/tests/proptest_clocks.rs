@@ -143,3 +143,204 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// COW vs. naive reference: random operation sequences.
+//
+// The copy-on-write `VecClock`/`CoherenceMap` must be observationally
+// identical to the retained eager implementations in
+// `cdsspec_c11::clock::naive` under *every* interleaving of mutations —
+// including the aliasing the COW representation introduces (clones that
+// share buffers, later diverging on write). Each case drives both
+// implementations, plus a shared-ancestor clone of the COW value, through
+// the same operation sequence and compares all observations after every
+// step.
+// ---------------------------------------------------------------------
+
+use cdsspec_c11::clock::naive;
+
+/// One mutation of a vector-clock pair (applied to COW and naive alike).
+#[derive(Clone, Debug)]
+enum VcOp {
+    Set {
+        tid: u32,
+        count: u32,
+    },
+    Raise {
+        tid: u32,
+        seq: u32,
+    },
+    /// Join with a clock built from these counts.
+    Join {
+        counts: Vec<u32>,
+    },
+    /// Clone the COW value (sharing its buffers), then keep mutating the
+    /// original — exercises make-mut unsharing.
+    CloneAndContinue,
+}
+
+fn vc_op_strategy() -> impl Strategy<Value = VcOp> {
+    prop_oneof![
+        (0u32..6, 0u32..20).prop_map(|(tid, count)| VcOp::Set { tid, count }),
+        (0u32..6, 0u32..20).prop_map(|(tid, seq)| VcOp::Raise { tid, seq }),
+        prop::collection::vec(0u32..20, 0..6).prop_map(|counts| VcOp::Join { counts }),
+        Just(VcOp::CloneAndContinue),
+    ]
+}
+
+/// One mutation of a coherence-map pair.
+#[derive(Clone, Debug)]
+enum CmOp {
+    Raise { loc: u32, idx: u32 },
+    Join { bounds: Vec<Option<u32>> },
+    CloneAndContinue,
+}
+
+fn cm_op_strategy() -> impl Strategy<Value = CmOp> {
+    prop_oneof![
+        (0u32..6, 0u32..10).prop_map(|(loc, idx)| CmOp::Raise { loc, idx }),
+        prop::collection::vec(prop::option::of(0u32..10), 0..5)
+            .prop_map(|bounds| CmOp::Join { bounds }),
+        Just(CmOp::CloneAndContinue),
+    ]
+}
+
+fn naive_vc(counts: &[u32]) -> naive::VecClock {
+    let mut c = naive::VecClock::default();
+    for (i, &v) in counts.iter().enumerate() {
+        c.set(Tid(i as u32), v);
+    }
+    c
+}
+
+fn cow_vc(counts: &[u32]) -> VecClock {
+    let mut c = VecClock::new();
+    for (i, &v) in counts.iter().enumerate() {
+        c.set(Tid(i as u32), v);
+    }
+    c
+}
+
+proptest! {
+    /// COW `VecClock` vs. the naive reference over random op sequences:
+    /// `get`, `includes`, and `knows` must agree after every mutation, and
+    /// clones sharing buffers mid-sequence must not be disturbed by later
+    /// writes to the original.
+    #[test]
+    fn cow_vecclock_matches_naive_on_op_sequences(
+        ops in prop::collection::vec(vc_op_strategy(), 0..24)
+    ) {
+        let mut cow = VecClock::new();
+        let mut reference = naive::VecClock::default();
+        // (frozen COW clone, naive snapshot at freeze time)
+        let mut frozen: Vec<(VecClock, naive::VecClock)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                VcOp::Set { tid, count } => {
+                    cow.set(Tid(*tid), *count);
+                    reference.set(Tid(*tid), *count);
+                }
+                VcOp::Raise { tid, seq } => {
+                    cow.raise(Tid(*tid), *seq);
+                    reference.raise(Tid(*tid), *seq);
+                }
+                VcOp::Join { counts } => {
+                    cow.join(&cow_vc(counts));
+                    reference.join(&naive_vc(counts));
+                }
+                VcOp::CloneAndContinue => {
+                    frozen.push((cow.clone(), reference.clone()));
+                }
+            }
+            for i in 0..8u32 {
+                prop_assert_eq!(cow.get(Tid(i)), reference.get(Tid(i)));
+                prop_assert_eq!(
+                    cow.knows(Tid(i), 3),
+                    reference.knows(Tid(i), 3)
+                );
+            }
+            prop_assert_eq!(
+                cow.includes(&cow_vc(&[2, 2, 2])),
+                reference.includes(&naive_vc(&[2, 2, 2]))
+            );
+        }
+        // Writes to the original must never leak into earlier clones.
+        for (cow_snap, ref_snap) in &frozen {
+            for i in 0..8u32 {
+                prop_assert_eq!(cow_snap.get(Tid(i)), ref_snap.get(Tid(i)));
+            }
+        }
+    }
+
+    /// COW `CoherenceMap` vs. the naive reference over random op
+    /// sequences, with the same shared-clone discipline.
+    #[test]
+    fn cow_cohmap_matches_naive_on_op_sequences(
+        ops in prop::collection::vec(cm_op_strategy(), 0..24)
+    ) {
+        let mut cow = CoherenceMap::new();
+        let mut reference = naive::CoherenceMap::default();
+        let mut frozen: Vec<(CoherenceMap, naive::CoherenceMap)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                CmOp::Raise { loc, idx } => {
+                    cow.raise(LocId(*loc), *idx);
+                    reference.raise(LocId(*loc), *idx);
+                }
+                CmOp::Join { bounds } => {
+                    let mut cj = CoherenceMap::new();
+                    let mut nj = naive::CoherenceMap::default();
+                    for (i, b) in bounds.iter().enumerate() {
+                        if let Some(b) = b {
+                            cj.raise(LocId(i as u32), *b);
+                            nj.raise(LocId(i as u32), *b);
+                        }
+                    }
+                    cow.join(&cj);
+                    reference.join(&nj);
+                }
+                CmOp::CloneAndContinue => {
+                    frozen.push((cow.clone(), reference.clone()));
+                }
+            }
+            for i in 0..7u32 {
+                prop_assert_eq!(cow.get(LocId(i)), reference.get(LocId(i)));
+            }
+        }
+        for (cow_snap, ref_snap) in &frozen {
+            for i in 0..7u32 {
+                prop_assert_eq!(cow_snap.get(LocId(i)), ref_snap.get(LocId(i)));
+            }
+        }
+    }
+
+    /// `Clock::read_floor` must agree with recomputing the floor from the
+    /// naive tables (pointwise max of the write and read coherence maps).
+    #[test]
+    fn read_floor_matches_naive_tables(
+        w_ops in prop::collection::vec((0u32..6, 0u32..10), 0..12),
+        r_ops in prop::collection::vec((0u32..6, 0u32..10), 0..12)
+    ) {
+        let mut clock = Clock::new();
+        let mut w_ref = naive::CoherenceMap::default();
+        let mut r_ref = naive::CoherenceMap::default();
+        for &(loc, idx) in &w_ops {
+            clock.wmax.raise(LocId(loc), idx);
+            w_ref.raise(LocId(loc), idx);
+        }
+        for &(loc, idx) in &r_ops {
+            clock.rmax.raise(LocId(loc), idx);
+            r_ref.raise(LocId(loc), idx);
+        }
+        for i in 0..7u32 {
+            let loc = LocId(i);
+            let expect = match (w_ref.get(loc), r_ref.get(loc)) {
+                (None, None) => None,
+                (w, r) => Some(w.unwrap_or(0).max(r.unwrap_or(0))),
+            };
+            prop_assert_eq!(clock.read_floor(loc), expect);
+        }
+    }
+}

@@ -62,6 +62,10 @@ pub struct Trial {
     pub message: Option<String>,
     /// Executions explored in the trial.
     pub executions: u64,
+    /// Wall-clock of the trial's exploration, in nanoseconds.
+    pub elapsed_ns: u128,
+    /// Deepest DFS frontier the trial's exploration reached.
+    pub peak_depth: u64,
     /// The trial produced no usable verdict: the benchmark's `check`
     /// panicked twice (initial attempt plus the reduced-budget retry) or
     /// the exploration stopped with [`mc::StopReason::Errored`].
@@ -194,6 +198,8 @@ fn run_trial(
         detected,
         message,
         executions: stats.executions,
+        elapsed_ns: stats.elapsed.as_nanos(),
+        peak_depth: stats.peak_depth,
         errored,
     })
 }

@@ -49,7 +49,7 @@ impl<T: PrimVal> Data<T> {
             let (val, bug) = st.mem.apply_data_read(ctx.tid, self.id);
             drop(st);
             if let Some(bug) = bug {
-                *ctx.shared.pending_bug.lock() = Some(bug);
+                ctx.shared.post_bug(bug);
             }
             T::from_bits(val)
         })
@@ -62,7 +62,7 @@ impl<T: PrimVal> Data<T> {
             let bug = st.mem.apply_data_write(ctx.tid, self.id, v.to_bits());
             drop(st);
             if let Some(bug) = bug {
-                *ctx.shared.pending_bug.lock() = Some(bug);
+                ctx.shared.post_bug(bug);
             }
         })
     }

@@ -46,7 +46,7 @@ use std::time::Instant;
 use crate::config::Config;
 use crate::plugin::{Plugin, PluginFactory};
 use crate::report::{Bug, Checkpoint, FoundBug, ShardSpec, Stats, StopReason};
-use crate::runtime::{run_once, ChoiceRec, RunOutcome, RunResult};
+use crate::runtime::{run_once, ChoiceRec, Reuse, RunOutcome, RunResult};
 use crate::worker::{panic_message, Pool};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -111,6 +111,9 @@ pub(crate) struct Explorer {
     /// Start script of the shard currently being explored, stamped onto
     /// found bugs so parallel repros stay debuggable.
     pub(crate) shard_start: Vec<usize>,
+    /// Execution harness carried between runs: `run_once` rewinds it in
+    /// place instead of rebuilding the shared state per execution.
+    reuse: Reuse,
 }
 
 impl Explorer {
@@ -127,6 +130,7 @@ impl Explorer {
             deadline,
             worker: 0,
             shard_start: Vec::new(),
+            reuse: Reuse::default(),
         }
     }
 
@@ -170,15 +174,17 @@ impl Explorer {
         script: &[usize],
         sampler: Option<StdRng>,
     ) -> (RunResult, Option<StopReason>) {
-        let result = run_once(
+        let mut result = run_once(
             &self.config,
             &self.pool,
             script,
             Arc::clone(&self.test),
             sampler,
+            &mut self.reuse,
         );
         self.stats.executions += 1;
         self.local_executions += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(result.choices.len() as u64);
 
         if self.config.verbose {
             eprintln!(
@@ -256,6 +262,11 @@ impl Explorer {
             RunOutcome::Diverged => self.stats.diverged += 1,
             RunOutcome::SleepPruned => self.stats.sleep_pruned += 1,
         }
+        // The plugins are done with the trace: hand the buffer back to the
+        // harness so the next execution's event/mo/sc vectors start at
+        // their high-water capacity. Callers of `step` only consume the
+        // outcome and the choice record.
+        self.reuse.trace = Some(std::mem::take(&mut result.trace));
         (result, stop)
     }
 

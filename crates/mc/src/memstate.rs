@@ -92,6 +92,11 @@ pub struct MemState {
     last_event: Vec<Option<EventId>>,
     /// Deterministic per-execution object-identity counter.
     obj_counter: u64,
+    /// Recycled per-location store lists: [`Self::reset`] parks the inner
+    /// `trace.mo` vectors here (cleared, capacity kept) and
+    /// [`Self::alloc_atomic`] hands them back out, so location churn stops
+    /// allocating once the harness is warm.
+    mo_pool: Vec<Vec<EventId>>,
 }
 
 impl MemState {
@@ -104,13 +109,43 @@ impl MemState {
         s
     }
 
+    /// Rewind to the initial state (main thread registered, nothing else),
+    /// recycling `recycle` as the new trace buffer so the event/mo/sc
+    /// vectors keep the capacity earlier executions grew. Equivalent to
+    /// `*self = MemState::new()` up to observable behavior.
+    pub fn reset(&mut self, mut recycle: Trace) {
+        recycle.events.clear();
+        self.mo_pool.extend(recycle.mo.drain(..).map(|mut v| {
+            v.clear();
+            v
+        }));
+        recycle.sc_order.clear();
+        recycle.annotations.clear();
+        recycle.num_threads = 1;
+        self.trace = recycle;
+        self.threads.clear();
+        self.threads.push(ThreadState::default());
+        self.data.clear();
+        self.sync_of.clear();
+        self.sc_last_store = CoherenceMap::new();
+        self.sc_fence_published = CoherenceMap::new();
+        self.last_event.clear();
+        self.last_event.push(None);
+        self.obj_counter = 0;
+    }
+
     /// Register a child thread spawned by `parent`; records the
     /// `ThreadCreate` event and seeds the child clock (create ⊆ sw).
     pub fn spawn_thread(&mut self, parent: Tid) -> Tid {
         let child = Tid(self.threads.len() as u32);
         self.push_event(parent, EventKind::ThreadCreate { child }, None);
+        let pth = &self.threads[parent.idx()];
+        // Thread clocks leave their own component implicit; crossing to
+        // another thread makes it explicit (the create event included).
+        let mut clock = pth.clock.clone();
+        clock.vc.raise(parent, pth.seq);
         let st = ThreadState {
-            clock: self.threads[parent.idx()].clock.clone(),
+            clock,
             ..ThreadState::default()
         };
         self.threads.push(st);
@@ -124,7 +159,7 @@ impl MemState {
     /// shared before its constructor returns).
     pub fn alloc_atomic(&mut self, tid: Tid, init: Option<Val>) -> LocId {
         let loc = LocId(self.trace.mo.len() as u32);
-        self.trace.mo.push(Vec::new());
+        self.trace.mo.push(self.mo_pool.pop().unwrap_or_default());
         if let Some(v) = init {
             self.apply_store(tid, loc, MemOrd::Relaxed, v);
         }
@@ -150,14 +185,18 @@ impl MemState {
             .expect("rf target must be a write")
     }
 
-    /// Append an event for `tid`, bumping its clock, and return its id.
-    /// `sc` selects membership in the SC total order.
+    /// Append an event for `tid` and return its id. `sc` selects
+    /// membership in the SC total order.
+    ///
+    /// Allocation note: the thread's vector clock does *not* carry the
+    /// thread's own component (it is implicit in `seq`), so the per-event
+    /// snapshot below is a pure copy-on-write share — the clock buffers
+    /// are only copied when a later *join* actually learns something new.
     fn push_event(&mut self, tid: Tid, kind: EventKind, ord: Option<MemOrd>) -> EventId {
         let id = EventId(self.trace.events.len() as u32);
         let th = &mut self.threads[tid.idx()];
         th.seq += 1;
         th.steps += 1;
-        th.clock.vc.set(tid, th.seq);
         let sc_index = match ord {
             Some(o) if o.is_seq_cst() => {
                 self.trace.sc_order.push(id);
@@ -165,7 +204,7 @@ impl MemState {
             }
             _ => None,
         };
-        let clock = th.clock.clone();
+        let clock = th.clock.vc.clone();
         let seq = th.seq;
         self.trace.events.push(Event {
             id,
@@ -203,11 +242,33 @@ impl MemState {
 
     /// Enumerate the reads-from candidates for a plain load, newest first;
     /// a trailing `None` means the uninitialized pseudo-store is readable.
+    ///
+    /// Allocating wrapper around [`MemState::load_candidates_into`] —
+    /// kept for tests and one-shot callers; the exploration hot path
+    /// reuses a buffer instead.
     pub fn load_candidates(&self, tid: Tid, loc: LocId, ord: MemOrd) -> Vec<Option<EventId>> {
+        let mut out = Vec::new();
+        self.load_candidates_into(tid, loc, ord, &mut out);
+        out
+    }
+
+    /// Fill `out` with the reads-from candidates for a plain load, newest
+    /// first (see [`MemState::load_candidates`]). `out` is cleared first;
+    /// its capacity is the point — the scheduler passes the same buffer
+    /// for every load of an exploration. Candidates are enumerated over
+    /// the per-location window `[read_floor, len)` of the store list:
+    /// everything below the floor is coherence-hidden and never scanned.
+    pub fn load_candidates_into(
+        &self,
+        tid: Tid,
+        loc: LocId,
+        ord: MemOrd,
+        out: &mut Vec<Option<EventId>>,
+    ) {
+        out.clear();
         let stores = self.loc_stores(loc);
         let floor = self.read_floor(tid, loc, ord);
         let lo = floor.map(|f| f as usize).unwrap_or(0);
-        let mut out = Vec::with_capacity(stores.len() - lo + 1);
 
         // C++11 29.3p3: an SC read must see the last preceding SC store in
         // S (== the mo-max SC store, since S is commit order) or a non-SC
@@ -229,7 +290,7 @@ impl MemState {
                         continue; // older SC store: hidden by B in S
                     }
                     // hidden if it happens-before B
-                    if self.trace.event(be).clock.vc.knows(we.tid, we.seq) {
+                    if we.happens_before(self.trace.event(be)) {
                         continue;
                     }
                 }
@@ -239,7 +300,6 @@ impl MemState {
         if floor.is_none() {
             out.push(None);
         }
-        out
     }
 
     /// Enumerate RMW outcomes. Successful RMWs must read the mo-maximal
@@ -247,21 +307,45 @@ impl MemState {
     /// CASes are plain loads of any coherent store whose value differs from
     /// `expected`; weak CASes may additionally fail while reading
     /// `expected`.
+    ///
+    /// Allocating wrapper around [`MemState::rmw_candidates_into`] —
+    /// kept for tests and one-shot callers; the exploration hot path
+    /// reuses buffers instead.
     pub fn rmw_candidates(
+        &self,
+        tid: Tid,
+        loc: LocId,
+        ord: MemOrd,
+        kind: RmwKind,
+    ) -> Vec<RfChoice> {
+        let mut out = Vec::new();
+        self.rmw_candidates_into(tid, loc, ord, kind, &mut out, &mut Vec::new());
+        out
+    }
+
+    /// Fill `out` with the RMW outcomes (see [`MemState::rmw_candidates`]).
+    /// `out` is cleared first; `scratch` backs the failing-CAS candidate
+    /// scan. Both keep their capacity across calls — the scheduler passes
+    /// the same two buffers for every RMW of an exploration.
+    pub fn rmw_candidates_into(
         &self,
         tid: Tid,
         loc: LocId,
         _ord: MemOrd,
         kind: RmwKind,
-    ) -> Vec<RfChoice> {
+        out: &mut Vec<RfChoice>,
+        scratch: &mut Vec<Option<EventId>>,
+    ) {
+        out.clear();
         let stores = self.loc_stores(loc);
         if stores.is_empty() {
             // Uninitialized RMW: surfaces as a built-in bug; the update is
             // applied to 0 so the trace stays well-formed until reported.
-            return vec![RfChoice {
+            out.push(RfChoice {
                 rf: None,
                 success: !matches!(kind, RmwKind::Cas { .. }),
-            }];
+            });
+            return;
         }
         let last = *stores.last().expect("nonempty");
         match kind {
@@ -270,7 +354,6 @@ impl MemState {
                     RmwKind::Cas { fail_ord, .. } => fail_ord,
                     _ => unreachable!(),
                 };
-                let mut out = Vec::new();
                 let last_val = self.store_val(last);
                 if kind.apply(last_val).is_some() {
                     out.push(RfChoice {
@@ -290,7 +373,8 @@ impl MemState {
                     });
                 }
                 // Stale reads use the *failure* ordering.
-                for cand in self.load_candidates(tid, loc, fail_ord) {
+                self.load_candidates_into(tid, loc, fail_ord, scratch);
+                for &cand in scratch.iter() {
                     let Some(w) = cand else {
                         out.push(RfChoice {
                             rf: None,
@@ -312,12 +396,11 @@ impl MemState {
                     // store is inconsistent (its write could not be mo-adjacent),
                     // so that rf choice simply does not exist.
                 }
-                out
             }
-            _ => vec![RfChoice {
+            _ => out.push(RfChoice {
                 rf: Some(last),
                 success: true,
-            }],
+            }),
         }
     }
 
@@ -338,14 +421,19 @@ impl MemState {
             .kind
             .mo_index()
             .expect("rf target writes");
-        let sync = self.sync_of[w.idx()].clone();
-        let th = &mut self.threads[tid.idx()];
+        // Split borrow: join straight from the stored payload instead of
+        // cloning it (a deep copy in the pre-COW layout, and still an Arc
+        // bump worth skipping on every synchronizing read).
+        let MemState {
+            threads, sync_of, ..
+        } = self;
+        let th = &mut threads[tid.idx()];
         th.clock.rmax.raise(loc, mo_idx);
-        if let Some(sync) = sync {
+        if let Some(sync) = &sync_of[w.idx()] {
             if ord.is_acquire() {
-                th.clock.join(&sync);
+                th.clock.join(sync);
             } else {
-                th.acq_pending.join(&sync);
+                th.acq_pending.join(sync);
             }
         }
     }
@@ -387,9 +475,10 @@ impl MemState {
         let th = &self.threads[tid.idx()];
         let mut payload: Option<Clock> = inherited;
         if ord.is_release() {
-            // The event clock (thread clock incl. this write) is the
-            // strongest correct payload.
-            let c = self.trace.event(id).clock.clone();
+            // The thread clock plus this write's own (implicit) component
+            // is the event clock — the strongest correct payload.
+            let mut c = th.clock.clone();
+            c.vc.raise(tid, th.seq);
             match &mut payload {
                 Some(p) => p.join(&c),
                 None => payload = Some(c),
@@ -489,8 +578,11 @@ impl MemState {
         }
         self.push_event(tid, EventKind::Fence { ord }, Some(ord));
         if ord.is_release() {
-            let clock = self.threads[tid.idx()].clock.clone();
-            self.threads[tid.idx()].rel_fence = Some(clock);
+            let th = &mut self.threads[tid.idx()];
+            // Stamp the fence's own component: the payload crosses threads.
+            let mut clock = th.clock.clone();
+            clock.vc.raise(tid, th.seq);
+            th.rel_fence = Some(clock);
         }
     }
 
@@ -499,7 +591,9 @@ impl MemState {
         self.push_event(tid, EventKind::ThreadFinish, None);
         let th = &mut self.threads[tid.idx()];
         th.finished = true;
+        // Stamp the finish event's own component: joiners are other threads.
         th.finish_clock = th.clock.clone();
+        th.finish_clock.vc.raise(tid, th.seq);
     }
 
     /// Apply a join on a finished `target` (the controller guarantees
@@ -864,5 +958,139 @@ mod tests {
         assert_eq!(notes.len(), 2);
         assert_eq!(notes[1].after, Some(w));
         assert!(notes[0].after.is_some()); // the init store of x
+    }
+
+    // -----------------------------------------------------------------
+    // Differential check of the candidate-window optimization.
+    // -----------------------------------------------------------------
+
+    /// Pre-window reference enumeration: walk the *whole* store list
+    /// newest→oldest and filter coherence-hidden stores one by one — the
+    /// behavior `load_candidates` had before the `[read_floor, len)`
+    /// window skipped the scan. The proptest below requires the optimized
+    /// enumeration to match this, order included.
+    fn load_candidates_full_scan(
+        m: &MemState,
+        tid: Tid,
+        loc: LocId,
+        ord: MemOrd,
+    ) -> Vec<Option<EventId>> {
+        let stores = &m.trace.mo[loc.idx()];
+        let floor = m.read_floor(tid, loc, ord);
+        let b_idx: Option<u32> = if ord.is_seq_cst() {
+            m.sc_last_store.get(loc)
+        } else {
+            None
+        };
+        let b_event = b_idx.map(|i| stores[i as usize]);
+        let mut out = Vec::new();
+        for idx in (0..stores.len()).rev() {
+            if let Some(f) = floor {
+                if (idx as u32) < f {
+                    continue; // coherence-hidden
+                }
+            }
+            let w = stores[idx];
+            if let (Some(bi), Some(be)) = (b_idx, b_event) {
+                if (idx as u32) < bi {
+                    let we = m.trace.event(w);
+                    let w_is_sc = we.kind.ord().map(|o| o.is_seq_cst()).unwrap_or(false);
+                    if w_is_sc || we.happens_before(m.trace.event(be)) {
+                        continue; // hidden by the last SC store (29.3p3)
+                    }
+                }
+            }
+            out.push(Some(w));
+        }
+        if floor.is_none() {
+            out.push(None);
+        }
+        out
+    }
+
+    use proptest::prelude::*;
+
+    /// One step of a random three-thread, two-location history.
+    #[derive(Clone, Debug)]
+    enum Act {
+        Store { t: u8, l: u8, ord: u8, val: u8 },
+        Load { t: u8, l: u8, ord: u8, pick: u8 },
+        Fence { t: u8, ord: u8 },
+    }
+
+    fn act_strategy() -> impl Strategy<Value = Act> {
+        prop_oneof![
+            (0u8..3, 0u8..2, 0u8..3, 0u8..4).prop_map(|(t, l, ord, val)| Act::Store {
+                t,
+                l,
+                ord,
+                val
+            }),
+            (0u8..3, 0u8..2, 0u8..3, 0u8..8).prop_map(|(t, l, ord, pick)| Act::Load {
+                t,
+                l,
+                ord,
+                pick
+            }),
+            (0u8..3, 0u8..3).prop_map(|(t, ord)| Act::Fence { t, ord }),
+        ]
+    }
+
+    proptest! {
+        /// Drive a `MemState` through random histories (stores, loads
+        /// reading an arbitrary candidate, fences, all orderings) and
+        /// after every step require the windowed `load_candidates` to
+        /// equal the pre-window full scan for every (thread, location,
+        /// ordering) combination — order included.
+        #[test]
+        fn windowed_candidates_match_full_scan(
+            acts in prop::collection::vec(act_strategy(), 0..32)
+        ) {
+            let store_ords = [Relaxed, Release, SeqCst];
+            let load_ords = [Relaxed, Acquire, SeqCst];
+            let fence_ords = [Acquire, Release, SeqCst];
+            let mut m = MemState::new();
+            let l0 = m.alloc_atomic(t(0), Some(0));
+            let l1 = m.alloc_atomic(t(0), None); // uninitialized path
+            let t1 = m.spawn_thread(t(0));
+            let t2 = m.spawn_thread(t(0));
+            let locs = [l0, l1];
+            let tids = [t(0), t1, t2];
+            for act in &acts {
+                match *act {
+                    Act::Store { t, l, ord, val } => {
+                        m.apply_store(
+                            tids[t as usize],
+                            locs[l as usize],
+                            store_ords[ord as usize],
+                            val as Val,
+                        );
+                    }
+                    Act::Load { t, l, ord, pick } => {
+                        let tid = tids[t as usize];
+                        let loc = locs[l as usize];
+                        let o = load_ords[ord as usize];
+                        let cands = m.load_candidates(tid, loc, o);
+                        let rf = cands[pick as usize % cands.len()];
+                        m.apply_load(tid, loc, o, rf);
+                    }
+                    Act::Fence { t, ord } => {
+                        m.apply_fence(tids[t as usize], fence_ords[ord as usize]);
+                    }
+                }
+                for &tid in &tids {
+                    for &loc in &locs {
+                        for &o in &load_ords {
+                            let want = load_candidates_full_scan(&m, tid, loc, o);
+                            prop_assert_eq!(
+                                m.load_candidates(tid, loc, o),
+                                want,
+                                "tid={:?} loc={:?} ord={:?}", tid, loc, o
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -273,6 +273,7 @@ fn merge_results(
                 merged.diverged += stats.diverged;
                 merged.sleep_pruned += stats.sleep_pruned;
                 merged.sampled += stats.sampled;
+                merged.peak_depth = merged.peak_depth.max(stats.peak_depth);
                 merged.stop = merged.stop.worst(stats.stop);
                 for b in stats.bugs {
                     if seen.insert(b.bug.to_string()) {

@@ -295,6 +295,11 @@ pub struct Stats {
     /// Executions contributed by deadline-degraded random-walk sampling
     /// (a subset of `executions`; see `Config::deadline_samples`).
     pub sampled: u64,
+    /// Deepest DFS frontier reached: the maximum number of recorded
+    /// choice points in any single execution. Deterministic across worker
+    /// counts (the set of explored executions is identical), so it can be
+    /// diffed like the execution counters.
+    pub peak_depth: u64,
     /// Bugs found (deduplicated per (category, message) pair).
     pub bugs: Vec<FoundBug>,
     /// Wall-clock time of the whole exploration.
@@ -380,6 +385,7 @@ impl Stats {
         self.diverged += other.diverged;
         self.sleep_pruned += other.sleep_pruned;
         self.sampled += other.sampled;
+        self.peak_depth = self.peak_depth.max(other.peak_depth);
         self.elapsed += other.elapsed;
         self.stop = self.stop.worst(other.stop);
         if other.frontier.is_some() {
@@ -404,16 +410,30 @@ impl Stats {
         self.shard_frontiers = shards;
     }
 
+    /// Executions per wall-clock second (`0.0` when no time was recorded,
+    /// e.g. on a hand-built `Stats`).
+    pub fn exec_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.executions as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// One-line summary (used by the evaluation harness).
     pub fn summary(&self) -> String {
         format!(
-            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), {:.2?}, stop: {}",
+            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), \
+             {:.2?} ({:.0} exec/s), peak depth {}, stop: {}",
             self.executions,
             self.feasible,
             self.diverged,
             self.sleep_pruned,
             self.bugs.len(),
             self.elapsed,
+            self.exec_per_sec(),
+            self.peak_depth,
             self.stop
         )
     }
@@ -505,6 +525,9 @@ impl Checkpoint {
             self.stats.sampled
         ));
         out.push_str(&format!("elapsed_ns {}\n", self.stats.elapsed.as_nanos()));
+        if self.stats.peak_depth != 0 {
+            out.push_str(&format!("peak_depth {}\n", self.stats.peak_depth));
+        }
         out.push_str(&format!("stop {}\n", self.stats.stop));
         for b in &self.stats.bugs {
             out.push_str(&format!(
@@ -577,6 +600,11 @@ impl Checkpoint {
                         .parse()
                         .map_err(|e| format!("bad elapsed_ns {rest:?}: {e}"))?;
                     ck.stats.elapsed = Duration::from_nanos(ns.min(u64::MAX as u128) as u64);
+                }
+                "peak_depth" => {
+                    ck.stats.peak_depth = rest
+                        .parse()
+                        .map_err(|e| format!("bad peak_depth {rest:?}: {e}"))?;
                 }
                 "stop" => {
                     ck.stats.stop = StopReason::from_label(rest)
@@ -788,6 +816,7 @@ mod tests {
             diverged: 7,
             sleep_pruned: 5,
             sampled: 3,
+            peak_depth: 9,
             elapsed: Duration::from_millis(1234),
             stop: StopReason::Deadline,
             frontier: Some(vec![0, 2, 1]),
@@ -812,6 +841,7 @@ mod tests {
         assert_eq!(back.stats.diverged, 7);
         assert_eq!(back.stats.sleep_pruned, 5);
         assert_eq!(back.stats.sampled, 3);
+        assert_eq!(back.stats.peak_depth, 9);
         assert_eq!(back.stats.stop, StopReason::Deadline);
         assert_eq!(back.stats.bugs.len(), 1);
         // The restored bug renders identically, so dedup on resume works.

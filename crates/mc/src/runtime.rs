@@ -66,6 +66,10 @@ pub(crate) struct RunResult {
     pub hung: bool,
 }
 
+/// Futile-read state for one `(thread, location)` pair: the rf observed by
+/// the last load and how many consecutive loads have observed it.
+type FutileSlot = Option<(Option<EventId>, u32)>;
+
 /// The mutable heart of one execution, guarded by [`Shared::inner`].
 pub(crate) struct ExecState {
     pub mem: MemState,
@@ -88,8 +92,11 @@ pub(crate) struct ExecState {
     sleep: Vec<bool>,
     /// Total spin hints per thread.
     spins: Vec<u32>,
-    /// Futile-read tracking per (thread, location).
-    futile: Vec<std::collections::HashMap<LocId, (Option<EventId>, u32)>>,
+    /// Futile-read tracking per (thread, location). Indexed by `loc.idx()`
+    /// — location ids are dense per execution and few, so a flat `Vec`
+    /// beats hashing on every load (this lookup is on the per-event hot
+    /// path).
+    futile: Vec<Vec<FutileSlot>>,
     /// Thread scheduled most recently (preferred by the default schedule).
     last_sched: Tid,
     /// Execution verdict; set exactly once.
@@ -103,6 +110,19 @@ pub(crate) struct ExecState {
     /// When set, choice points past the replay script are resolved by
     /// this PRNG instead of depth-first (deadline-degraded sampling).
     sampler: Option<StdRng>,
+    /// Reusable rf-candidate buffer: refilled by every load decision, so
+    /// candidate enumeration allocates only while the high-water mark
+    /// still grows.
+    cand_buf: Vec<Option<EventId>>,
+    /// Reusable RMW-outcome buffer (same discipline as `cand_buf`).
+    rmw_buf: Vec<crate::memstate::RfChoice>,
+    /// Scratch backing the failing-CAS candidate scan inside
+    /// [`MemState::rmw_candidates_into`].
+    cand_scratch: Vec<Option<EventId>>,
+    /// Reusable runnable-thread buffer for [`schedule`]: two `Vec<Tid>`
+    /// collects per scheduling decision was the single largest remaining
+    /// allocation source after the rf-candidate buffers moved here.
+    sched_buf: Vec<Tid>,
 }
 
 /// Shared handle between the explorer, the workers, and the user-facing
@@ -115,6 +135,12 @@ pub(crate) struct Shared {
     done: Condvar,
     /// Worker-side detected bug (data race), honored at the next decision.
     pub pending_bug: Mutex<Option<Bug>>,
+    /// Fast-path guard for `pending_bug`: the scheduler checks this atomic
+    /// on every decision and only touches the mutex when a bug was
+    /// actually posted (set with `Release` by [`Shared::post_bug`], read
+    /// with `Acquire`). The posting thread holds the running token, so the
+    /// next scheduling decision is always ordered after the store.
+    pending_bug_flag: std::sync::atomic::AtomicBool,
     /// Per-execution allocations (freed by the explorer after `done`).
     pub arena: Mutex<Vec<Box<dyn std::any::Any + Send>>>,
     /// The worker pool (needed by spawn).
@@ -124,6 +150,24 @@ pub(crate) struct Shared {
 impl Shared {
     fn cv(&self, tid: Tid) -> Arc<Condvar> {
         self.cvs.lock()[tid.idx()].clone()
+    }
+
+    /// Make sure a condvar exists for `tid`, reusing one left over from an
+    /// earlier execution of this `Shared` (condvars are stateless between
+    /// executions).
+    fn ensure_cv(&self, tid: Tid) {
+        let mut cvs = self.cvs.lock();
+        if cvs.len() <= tid.idx() {
+            cvs.push(Arc::new(Condvar::new()));
+        }
+    }
+
+    /// Post a worker-side detected bug; honored at the next scheduling
+    /// decision.
+    pub(crate) fn post_bug(&self, bug: Bug) {
+        *self.pending_bug.lock() = Some(bug);
+        self.pending_bug_flag
+            .store(true, std::sync::atomic::Ordering::Release);
     }
 }
 
@@ -159,26 +203,71 @@ impl ExecState {
     }
 
     fn register_thread(&mut self) -> Tid {
-        let tid = Tid(self.pending.len() as u32);
+        let idx = self.pending.len();
         self.pending.push(None);
         self.replies.push(None);
         self.alive.push(true);
         self.sleep.push(false);
         self.spins.push(0);
-        self.futile.push(Default::default());
-        tid
+        // `futile` is not truncated by `reset`, so slot reuse here keeps
+        // the per-thread inner buffers across executions.
+        if self.futile.len() <= idx {
+            self.futile.push(Default::default());
+        } else {
+            self.futile[idx].clear();
+        }
+        Tid(idx as u32)
+    }
+
+    /// Rewind to a pristine pre-execution state, retaining every buffer
+    /// capacity earlier executions grew — the point of handing the whole
+    /// `Shared` back through [`Reuse`]. The `config` is deliberately kept:
+    /// a `Reuse` never crosses explorers, and an explorer's config is
+    /// fixed for its lifetime.
+    fn reset(&mut self, script: &[usize], sampler: Option<StdRng>, recycle: Trace) {
+        self.mem.reset(recycle);
+        self.script.clear();
+        self.script.extend_from_slice(script);
+        self.cursor = 0;
+        self.choices.clear();
+        self.pending.clear();
+        self.replies.clear();
+        self.alive.clear();
+        self.running = 0;
+        self.active_jobs = 0;
+        self.sleep.clear();
+        self.spins.clear();
+        self.last_sched = Tid::MAIN;
+        self.outcome = None;
+        self.dying = false;
+        self.progress = 0;
+        self.sampler = sampler;
     }
 
     /// Record a read for futile-read tracking; `true` = prune.
     fn track_read(&mut self, t: Tid, loc: LocId, rf: Option<EventId>) -> bool {
         let cap = self.config.max_futile_reads;
-        let entry = self.futile[t.idx()].entry(loc).or_insert((rf, 0));
-        if entry.0 == rf {
-            entry.1 += 1;
-            entry.1 > cap
-        } else {
-            *entry = (rf, 1);
-            false
+        let f = &mut self.futile[t.idx()];
+        if f.len() <= loc.idx() {
+            f.resize(loc.idx() + 1, None);
+        }
+        match &mut f[loc.idx()] {
+            Some((prev, n)) if *prev == rf => {
+                *n += 1;
+                *n > cap
+            }
+            slot => {
+                *slot = Some((rf, 1));
+                false
+            }
+        }
+    }
+
+    /// Forget futile-read state for `(t, loc)` — a store to `loc` resets
+    /// the streak.
+    fn clear_futile(&mut self, t: Tid, loc: LocId) {
+        if let Some(slot) = self.futile[t.idx()].get_mut(loc.idx()) {
+            *slot = None;
         }
     }
 
@@ -186,9 +275,10 @@ impl ExecState {
     fn process(&mut self, t: Tid, op: &Op) -> Result<Reply, RunOutcome> {
         match *op {
             Op::Load { loc, ord } => {
-                let cands = self.mem.load_candidates(t, loc, ord);
-                let idx = self.choose(cands.len());
-                let rf = cands[idx];
+                self.mem
+                    .load_candidates_into(t, loc, ord, &mut self.cand_buf);
+                let idx = self.choose(self.cand_buf.len());
+                let rf = self.cand_buf[idx];
                 let val = self.mem.apply_load(t, loc, ord, rf);
                 if rf.is_none() {
                     return Err(RunOutcome::BugFound(Bug::UninitLoad { loc, tid: t }));
@@ -200,19 +290,26 @@ impl ExecState {
             }
             Op::Store { loc, ord, val } => {
                 self.mem.apply_store(t, loc, ord, val);
-                self.futile[t.idx()].remove(&loc);
+                self.clear_futile(t, loc);
                 Ok(Reply::Ok)
             }
             Op::Rmw { loc, ord, kind } => {
-                let cands = self.mem.rmw_candidates(t, loc, ord, kind);
-                let idx = self.choose(cands.len());
-                let choice = cands[idx];
+                self.mem.rmw_candidates_into(
+                    t,
+                    loc,
+                    ord,
+                    kind,
+                    &mut self.rmw_buf,
+                    &mut self.cand_scratch,
+                );
+                let idx = self.choose(self.rmw_buf.len());
+                let choice = self.rmw_buf[idx];
                 let (old, success) = self.mem.apply_rmw(t, loc, ord, kind, choice);
                 if choice.rf.is_none() {
                     return Err(RunOutcome::BugFound(Bug::UninitLoad { loc, tid: t }));
                 }
                 if success {
-                    self.futile[t.idx()].remove(&loc);
+                    self.clear_futile(t, loc);
                 } else if self.track_read(t, loc, choice.rf) {
                     return Err(RunOutcome::Diverged);
                 }
@@ -240,18 +337,29 @@ impl ExecState {
 
 /// Run the scheduler: called under the lock whenever `running` drops to 0
 /// and the execution has not ended. Deposits exactly one reply (possibly
-/// `Die` for everyone on abort).
-fn schedule(shared: &Shared, st: &mut ExecState) {
+/// `Die` for everyone on abort). `caller` is the thread running this call
+/// inline — when it schedules itself (the common case under the
+/// continue-last-thread default), the wakeup notify is skipped: the caller
+/// finds its reply on the way out of `visible_op` without ever parking.
+fn schedule(shared: &Shared, st: &mut ExecState, caller: Tid) {
     debug_assert_eq!(st.running, 0);
     if st.outcome.is_some() {
         return;
     }
     st.heartbeat();
 
-    // Worker-side race found since the last decision?
-    let pending_bug = shared.pending_bug.lock().take();
-    if let Some(bug) = pending_bug {
-        return abort(shared, st, RunOutcome::BugFound(bug));
+    // Worker-side race found since the last decision? (Atomic fast path:
+    // the mutex is only touched when a bug was actually posted.)
+    if shared
+        .pending_bug_flag
+        .load(std::sync::atomic::Ordering::Acquire)
+    {
+        shared
+            .pending_bug_flag
+            .store(false, std::sync::atomic::Ordering::Relaxed);
+        if let Some(bug) = shared.pending_bug.lock().take() {
+            return abort(shared, st, RunOutcome::BugFound(bug));
+        }
     }
 
     if st.alive.iter().all(|a| !a) {
@@ -259,17 +367,25 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
         return;
     }
 
-    // Enabled: alive, announced, and (for joins) target finished.
-    let enabled: Vec<Tid> = (0..st.alive.len())
-        .filter(|&i| st.alive[i])
-        .filter(|&i| match &st.pending[i] {
-            Some(Op::Join { target }) => st.mem.threads[target.idx()].finished,
-            Some(_) => true,
-            None => false,
-        })
-        .map(|i| Tid(i as u32))
-        .collect();
-    if enabled.is_empty() {
+    // Enabled: alive, announced, and (for joins) target finished. Built
+    // into the reusable buffer — the take/put-back dance keeps the borrow
+    // checker happy while `st` is read inside the loop; the abort paths
+    // restore the buffer too, so even they don't leak its capacity.
+    let mut runnable = std::mem::take(&mut st.sched_buf);
+    runnable.clear();
+    for i in 0..st.alive.len() {
+        let enabled = st.alive[i]
+            && match &st.pending[i] {
+                Some(Op::Join { target }) => st.mem.threads[target.idx()].finished,
+                Some(_) => true,
+                None => false,
+            };
+        if enabled {
+            runnable.push(Tid(i as u32));
+        }
+    }
+    if runnable.is_empty() {
+        st.sched_buf = runnable;
         let blocked: Vec<Tid> = (0..st.alive.len())
             .filter(|&i| st.alive[i])
             .map(|i| Tid(i as u32))
@@ -277,16 +393,12 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
         return abort(shared, st, RunOutcome::BugFound(Bug::Deadlock { blocked }));
     }
 
-    let mut runnable: Vec<Tid> = if st.config.sleep_sets {
-        enabled
-            .iter()
-            .copied()
-            .filter(|t| !st.sleep[t.idx()])
-            .collect()
-    } else {
-        enabled
-    };
+    if st.config.sleep_sets {
+        let sleep = &st.sleep;
+        runnable.retain(|t| !sleep[t.idx()]);
+    }
     if runnable.is_empty() {
+        st.sched_buf = runnable;
         return abort(shared, st, RunOutcome::SleepPruned);
     }
     // Prefer continuing the last-scheduled thread: fewer context switches
@@ -300,6 +412,7 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
     for &u in &runnable[..pick] {
         st.sleep[u.idx()] = true;
     }
+    st.sched_buf = runnable;
     st.sleep[t.idx()] = false;
     st.last_sched = t;
 
@@ -323,7 +436,9 @@ fn schedule(shared: &Shared, st: &mut ExecState) {
                 return abort(shared, st, RunOutcome::Diverged);
             }
             st.replies[t.idx()] = Some(reply);
-            shared.cv(t).notify_one();
+            if t != caller {
+                shared.cv(t).notify_one();
+            }
         }
         Err(outcome) => abort(shared, st, outcome),
     }
@@ -351,7 +466,6 @@ fn abort(shared: &Shared, st: &mut ExecState, outcome: RunOutcome) {
 
 /// Perform a visible operation as modeled thread `me`.
 pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
-    let cv = shared.cv(me);
     let mut st = shared.inner.lock();
     if st.dying {
         drop(st);
@@ -360,8 +474,13 @@ pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
     st.pending[me.idx()] = Some(op);
     st.running -= 1;
     if st.running == 0 {
-        schedule(shared, &mut st);
+        schedule(shared, &mut st, me);
     }
+    // The condvar is fetched lazily: when the scheduler picked `me` again
+    // (the common case), the reply is already deposited and the cvs lock
+    // is never touched. Fetching under `inner` follows the established
+    // inner→cvs lock order (see `spawn_thread` and `schedule`).
+    let mut cv = None;
     loop {
         if let Some(reply) = st.replies[me.idx()].take() {
             if matches!(reply, Reply::Die) {
@@ -371,7 +490,7 @@ pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
             st.running += 1;
             return reply;
         }
-        cv.wait(&mut st);
+        cv.get_or_insert_with(|| shared.cv(me)).wait(&mut st);
     }
 }
 
@@ -397,7 +516,7 @@ pub(crate) fn spawn_thread(
     }
     let child = st.register_thread();
     st.heartbeat();
-    shared.cvs.lock().push(Arc::new(Condvar::new()));
+    shared.ensure_cv(child);
     st.mem.spawn_thread(me);
     st.running += 1; // the child runs until its first visible op
     st.active_jobs += 1;
@@ -419,7 +538,7 @@ pub(crate) fn thread_finished(shared: &Shared, me: Tid) {
         st.alive[me.idx()] = false;
         st.running -= 1;
         if st.running == 0 {
-            schedule(shared, &mut st);
+            schedule(shared, &mut st, me);
         }
     }
 }
@@ -466,58 +585,108 @@ pub(crate) fn job_exited(shared: &Shared) {
 // Explorer-side driver.
 // ---------------------------------------------------------------------
 
+/// Execution-harness state carried between the executions of one
+/// exploration campaign: the `Shared` handle (with every buffer at its
+/// high-water capacity) and the recycled trace buffer of the previous
+/// execution. Per-execution setup cost — a fresh `Arc<Shared>`, every
+/// `Vec` regrowing from zero, one `Arc<Condvar>` per modeled thread —
+/// is a large share of short executions, so `run_once` rewinds this
+/// state in place instead of rebuilding it.
+///
+/// One `Reuse` belongs to exactly one explorer (and therefore one
+/// `Config`); it must not be shared across campaigns with different
+/// configs.
+#[derive(Default)]
+pub(crate) struct Reuse {
+    shared: Option<Arc<Shared>>,
+    /// Trace buffer handed back by the explorer once the plugins are done
+    /// with the previous execution's trace.
+    pub trace: Option<Trace>,
+}
+
 /// Execute the test closure once, replaying `script`. With a `sampler`,
 /// choice points beyond the script are resolved randomly instead of
-/// depth-first (deadline-degraded sampling).
+/// depth-first (deadline-degraded sampling). `reuse` carries the harness
+/// across executions; after a *hung* execution the `Shared` is abandoned
+/// (the wedged job may still touch it) and the next call builds afresh.
 pub(crate) fn run_once(
     config: &Config,
     pool: &Arc<Mutex<Pool>>,
     script: &[usize],
     test: Arc<dyn Fn() + Send + Sync>,
     sampler: Option<StdRng>,
+    reuse: &mut Reuse,
 ) -> RunResult {
-    let shared = Arc::new(Shared {
-        inner: Mutex::new(ExecState {
-            mem: MemState::new(),
-            config: config.clone(),
-            script: script.to_vec(),
-            cursor: 0,
-            choices: Vec::new(),
-            pending: Vec::new(),
-            replies: Vec::new(),
-            alive: Vec::new(),
-            running: 0,
-            active_jobs: 0,
-            sleep: Vec::new(),
-            spins: Vec::new(),
-            futile: Vec::new(),
-            last_sched: Tid::MAIN,
-            outcome: None,
-            dying: false,
-            progress: 0,
-            sampler,
+    let recycle = reuse.trace.take().unwrap_or_default();
+    let shared = match reuse.shared.take() {
+        Some(shared) => {
+            shared.inner.lock().reset(script, sampler, recycle);
+            // A bug posted right before an abort-for-another-reason could
+            // survive the previous execution; it must not leak into this
+            // one.
+            *shared.pending_bug.lock() = None;
+            shared
+                .pending_bug_flag
+                .store(false, std::sync::atomic::Ordering::Relaxed);
+            shared
+        }
+        None => Arc::new(Shared {
+            inner: Mutex::new(ExecState {
+                mem: MemState::new(),
+                config: config.clone(),
+                script: script.to_vec(),
+                cursor: 0,
+                choices: Vec::new(),
+                pending: Vec::new(),
+                replies: Vec::new(),
+                alive: Vec::new(),
+                running: 0,
+                active_jobs: 0,
+                sleep: Vec::new(),
+                spins: Vec::new(),
+                futile: Vec::new(),
+                last_sched: Tid::MAIN,
+                outcome: None,
+                dying: false,
+                progress: 0,
+                sampler,
+                cand_buf: Vec::new(),
+                rmw_buf: Vec::new(),
+                cand_scratch: Vec::new(),
+                sched_buf: Vec::new(),
+            }),
+            cvs: Mutex::new(Vec::new()),
+            done: Condvar::new(),
+            pending_bug: Mutex::new(None),
+            pending_bug_flag: std::sync::atomic::AtomicBool::new(false),
+            arena: Mutex::new(Vec::new()),
+            pool: Arc::clone(pool),
         }),
-        cvs: Mutex::new(Vec::new()),
-        done: Condvar::new(),
-        pending_bug: Mutex::new(None),
-        arena: Mutex::new(Vec::new()),
-        pool: Arc::clone(pool),
-    });
+    };
 
     {
         let mut st = shared.inner.lock();
         let main = st.register_thread();
         debug_assert_eq!(main, Tid::MAIN);
-        shared.cvs.lock().push(Arc::new(Condvar::new()));
+        shared.ensure_cv(main);
         st.running = 1;
         st.active_jobs = 1;
     }
     let t2 = Arc::clone(&test);
-    pool.lock().dispatch(Job {
-        tid: Tid::MAIN,
-        shared: Arc::clone(&shared),
-        closure: Box::new(move || t2()),
-    });
+    // Run the main modeled thread inline on this (explorer) thread: two
+    // fewer futex round-trips per execution. Requires the explorer to be
+    // free for the duration — with a hang watchdog to poll, or when
+    // already inside a modeled thread (nested explore), dispatch to the
+    // pool as before.
+    if config.hang_timeout.is_none() && !crate::worker::in_model() {
+        crate::worker::run_main_inline(&shared, Box::new(move || t2()));
+    } else {
+        pool.lock().dispatch(Job {
+            tid: Tid::MAIN,
+            shared: Arc::clone(&shared),
+            closure: Box::new(move || t2()),
+        });
+    }
 
     // Wait for the verdict + full job drain (arena safety). With a
     // hang_timeout, a watchdog polls the heartbeat counter: an execution
@@ -577,6 +746,10 @@ pub(crate) fn run_once(
     };
     if !hung {
         shared.arena.lock().clear();
+        // All jobs have drained (`active_jobs == 0`), so nothing touches
+        // the execution state again: the harness can be rewound and
+        // reused by the next execution.
+        reuse.shared = Some(shared);
     }
     // On a hang the arena stays alive deliberately: the wedged thread may
     // still dereference per-execution allocations, and its thread-local
