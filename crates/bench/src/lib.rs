@@ -359,20 +359,115 @@ impl Figure8Checkpoint {
     }
 }
 
+/// Why loading or storing a checkpoint file failed. Every variant's
+/// `Display` names the file and says what to do about it, so the harness
+/// binaries can print it verbatim and exit.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The file could not be read or written.
+    Io {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// What the filesystem said.
+        error: std::io::Error,
+    },
+    /// The file was read but its contents did not parse — a truncated
+    /// write from a crashed run, manual editing, or a file that is not a
+    /// checkpoint at all.
+    Malformed {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The parser's diagnostic (includes version/header mismatches).
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io { path, error } => {
+                write!(f, "checkpoint {}: {error}", path.display())
+            }
+            CheckpointError::Malformed { path, detail } => write!(
+                f,
+                "checkpoint {} is not usable: {detail} — it may be a truncated or \
+                 corrupted write from an interrupted run; delete it to start fresh, \
+                 or point --resume at a valid checkpoint",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
 /// Load and parse a checkpoint file through `parse`.
 pub fn load_checkpoint<T>(
     path: &Path,
     parse: impl FnOnce(&str) -> Result<T, String>,
-) -> Result<T, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-    parse(&text)
+) -> Result<T, CheckpointError> {
+    let text = std::fs::read_to_string(path).map_err(|error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    })?;
+    parse(&text).map_err(|detail| CheckpointError::Malformed {
+        path: path.to_path_buf(),
+        detail,
+    })
 }
 
 /// Write a checkpoint file (best effort is not enough here — an
 /// unwritable checkpoint is a hard error, the run's work would be lost).
-pub fn store_checkpoint(path: &Path, text: &str) -> Result<(), String> {
-    std::fs::write(path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))
+///
+/// The write is atomic-on-crash: the text goes to a temporary file in the
+/// same directory, is fsync'd, and is then `rename`d over the final path.
+/// A crash at any point leaves either the old checkpoint or the new one —
+/// never a half-written file — because POSIX `rename` within one
+/// filesystem replaces the destination atomically.
+pub fn store_checkpoint(path: &Path, text: &str) -> Result<(), CheckpointError> {
+    let io_err = |error: std::io::Error| CheckpointError::Io {
+        path: path.to_path_buf(),
+        error,
+    };
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| {
+            io_err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "checkpoint path has no file name",
+            ))
+        })?
+        .to_os_string();
+    // Unique per process so concurrent harnesses sharing a directory
+    // cannot clobber each other's in-flight temp file.
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(&file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let result = (|| {
+        {
+            use std::io::Write;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            // Data must be durable *before* the rename publishes it:
+            // rename-then-crash must not expose an empty or partial file.
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself is durable; not
+        // all filesystems/platforms support opening a directory, and the
+        // crash-consistency of the *data* no longer depends on it.
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(io_err)
 }
 
 // ---------------------------------------------------------------------
@@ -636,6 +731,58 @@ mod tests {
         // Non-row lines (schema header, brackets) parse to nothing.
         assert!(BenchRow::from_json_line("\"rows\": [").is_none());
         assert!(BenchRow::from_json_line("{\"probe\":\"x\"}").is_none());
+    }
+
+    #[test]
+    fn store_checkpoint_is_atomic_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("cdsspec-ckpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ck.txt");
+        store_checkpoint(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        // Overwrite: the rename replaces the old content in one step.
+        store_checkpoint(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        // No temp debris in the directory.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_checkpoint_errors_are_typed_and_actionable() {
+        let dir = std::env::temp_dir().join(format!("cdsspec-ckpt-load-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Missing file: Io variant naming the path.
+        let missing = dir.join("nope.txt");
+        let err = load_checkpoint(&missing, Figure7Checkpoint::from_text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err:?}");
+        assert!(err.to_string().contains("nope.txt"));
+
+        // Corrupted fixture: a checkpoint truncated mid-write (no `end`
+        // terminator), as a crash before the atomic-write fix could leave.
+        let corrupt = dir.join("corrupt.txt");
+        std::fs::write(&corrupt, "figure7-checkpoint v1\nrow SPSC Queue|42|30").unwrap();
+        let err = load_checkpoint(&corrupt, Figure7Checkpoint::from_text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("corrupt.txt"), "{msg}");
+        assert!(msg.contains("delete it to start fresh"), "{msg}");
+
+        // Wrong version/header: also Malformed, with the parser's detail.
+        let wrong = dir.join("wrong.txt");
+        std::fs::write(&wrong, "figure9-checkpoint v9\nend\n").unwrap();
+        let err = load_checkpoint(&wrong, Figure7Checkpoint::from_text).unwrap_err();
+        assert!(err.to_string().contains("bad header"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,796 @@
+//! Campaign orchestration: per-benchmark probe → split → supervised (or
+//! in-process) shard execution → deterministic merge → journal → cache.
+//!
+//! ## Determinism
+//!
+//! Every code path that produces a benchmark's row goes through the same
+//! task decomposition and the same fold:
+//!
+//! 1. A **probe** task explores the root shard under the split cap (or
+//!    the full cap when splitting is off).
+//! 2. If the probe hit the split cap, its leftover frontier shards become
+//!    one task each, run to completion in any order, on any worker, with
+//!    any number of crash/retry cycles in between.
+//! 3. The merge folds task results **in task order** — never completion
+//!    order — so the merged row is a pure function of the per-task
+//!    results, which are themselves deterministic (the PR 2 partition
+//!    invariant). Worker deaths only ever discard *partial* output and
+//!    rerun whole shards, so a chaos-ridden campaign renders the exact
+//!    bytes an undisturbed one does (`--stable` masks wall-clock, the
+//!    one nondeterministic column).
+//!
+//! The same argument makes the journal and cache sound: both store
+//! completed per-bench merges keyed by content, and replaying or
+//! cache-hitting a row reproduces the live rendering byte-for-byte.
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::journal::Journal;
+use crate::json::Json;
+use crate::lease::{Outcome, TaskSpec, TaskTable};
+use crate::supervisor::{Supervisor, SupervisorOpts};
+use crate::wire::{config_hash, spec_hash, stats_from_json, stats_to_json, task_key};
+use crate::{EXIT_BUG, EXIT_CLEAN, EXIT_RESUMABLE};
+use cdsspec_mc::{Config, ShardSpec, Stats, StopReason};
+use cdsspec_structures::registry::{benchmarks, Benchmark};
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Everything a campaign run needs (the CLI builds one of these).
+#[derive(Clone, Debug)]
+pub struct CampaignOpts {
+    /// Benchmarks to run (registry display names); `None` = all.
+    pub bench_filter: Option<Vec<String>>,
+    /// Probe execution cap; a probe that hits it fans its leftover
+    /// frontier out as one task per shard. `0` = no splitting (one task
+    /// per benchmark).
+    pub split: u64,
+    /// Execution cap per (non-probe) task.
+    pub max_executions: u64,
+    /// Mask wall-clock in all output (byte-identity across runs).
+    pub stable: bool,
+    /// Run tasks in this process instead of worker subprocesses (the
+    /// fault-free baseline chaos runs are diffed against).
+    pub in_process: bool,
+    /// Explorer threads per task.
+    pub worker_threads: usize,
+    /// Journal path (`None` = no journal).
+    pub journal: Option<PathBuf>,
+    /// Result-cache directory (`None` = no cache).
+    pub cache_dir: Option<PathBuf>,
+    /// Stop (exit code 3, journal intact) after this many live-computed
+    /// benchmarks — simulates a supervisor crash for resume testing.
+    pub halt_after: Option<usize>,
+    /// Ordering sites to weaken one step before checking each benchmark
+    /// (Figure 8-style fault injection; empty = default orderings).
+    /// Part of the campaign identity: it changes results, so it is folded
+    /// into the config hash the journal header and cache key use.
+    pub weaken: Vec<usize>,
+    /// Subprocess pool settings (ignored with `in_process`).
+    pub sup: SupervisorOpts,
+}
+
+impl Default for CampaignOpts {
+    fn default() -> Self {
+        CampaignOpts {
+            bench_filter: None,
+            split: 0,
+            max_executions: 1_000_000,
+            stable: false,
+            in_process: false,
+            worker_threads: 1,
+            journal: None,
+            cache_dir: None,
+            halt_after: None,
+            weaken: Vec::new(),
+            sup: SupervisorOpts::default(),
+        }
+    }
+}
+
+impl CampaignOpts {
+    /// The semantic exploration config this campaign hashes and ships to
+    /// workers.
+    pub fn base_config(&self) -> Config {
+        Config {
+            max_executions: self.max_executions,
+            ..Config::default()
+        }
+    }
+}
+
+/// Where a row's numbers came from (reported on stderr only — stdout is
+/// identical either way).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Source {
+    Live,
+    Cache,
+    JournalReplay,
+}
+
+struct Row {
+    name: String,
+    stats: Stats,
+    suspects: usize,
+    abandoned: usize,
+    source: Source,
+}
+
+#[derive(Default)]
+struct JournalState {
+    tasks: HashMap<String, Stats>,
+    benches: HashMap<String, (Stats, usize, usize)>,
+}
+
+/// Run a campaign; returns the process exit code.
+pub fn run_campaign(opts: &CampaignOpts, out: &mut dyn Write) -> Result<i32, String> {
+    let base_config = opts.base_config();
+    let cfg_hash = {
+        // Weakened orderings change every result, so they are part of the
+        // campaign identity exactly like the semantic config.
+        let mut h = crate::hash::Fnv1a::new();
+        h.update_u64(config_hash(&base_config));
+        for &s in &opts.weaken {
+            h.update_u64(s as u64);
+        }
+        h.finish()
+    };
+    let benches = select_benches(opts)?;
+
+    let mut journal = None;
+    let mut replay = JournalState::default();
+    if let Some(path) = &opts.journal {
+        let (j, recovered) = open_journal(path, opts, cfg_hash, &mut replay)?;
+        if recovered > 0 {
+            eprintln!(
+                "cdsspec-campaign: journal {}: dropped {recovered} byte(s) of corrupt tail, \
+                 resuming from the last valid record",
+                path.display()
+            );
+        }
+        journal = Some(j);
+    }
+    let cache = match &opts.cache_dir {
+        Some(dir) => Some(ResultCache::open(dir).map_err(|e| e.to_string())?),
+        None => None,
+    };
+    let mut sup = if opts.in_process {
+        None
+    } else {
+        let mut sup_opts = opts.sup.clone();
+        sup_opts.weaken = opts.weaken.clone();
+        Some(Supervisor::new(sup_opts))
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut live_done = 0usize;
+    let mut halted = false;
+    for bench in &benches {
+        // Journal replay: this bench already completed in a prior run of
+        // the same campaign.
+        if let Some((stats, suspects, abandoned)) = replay.benches.get(bench.name) {
+            rows.push(Row {
+                name: bench.name.to_string(),
+                stats: stats.clone(),
+                suspects: *suspects,
+                abandoned: *abandoned,
+                source: Source::JournalReplay,
+            });
+            continue;
+        }
+        let key = CacheKey {
+            structure: bench.name.to_string(),
+            spec_hash: spec_hash(bench),
+            config_hash: cfg_hash,
+        };
+        if let Some(stats) = cache.as_ref().and_then(|c| c.lookup(&key)) {
+            journal_bench(&mut journal, bench.name, &stats, 0, 0);
+            rows.push(Row {
+                name: bench.name.to_string(),
+                stats,
+                suspects: 0,
+                abandoned: 0,
+                source: Source::Cache,
+            });
+            continue;
+        }
+        if opts.halt_after.is_some_and(|n| live_done >= n) {
+            halted = true;
+            break;
+        }
+        let (stats, suspects, abandoned) = run_bench(
+            bench,
+            opts,
+            &base_config,
+            sup.as_mut(),
+            &mut journal,
+            &replay,
+        )?;
+        journal_bench(&mut journal, bench.name, &stats, suspects, abandoned);
+        if suspects == 0
+            && abandoned == 0
+            && matches!(stats.stop, StopReason::Exhausted | StopReason::FirstBug)
+        {
+            if let Some(cache) = &cache {
+                if let Err(e) = cache.store(&key, &stats) {
+                    eprintln!("cdsspec-campaign: cache store failed: {e}");
+                }
+            }
+        }
+        live_done += 1;
+        rows.push(Row {
+            name: bench.name.to_string(),
+            stats,
+            suspects,
+            abandoned,
+            source: Source::Live,
+        });
+    }
+    if let Some(sup) = &mut sup {
+        sup.shutdown();
+    }
+
+    render(&rows, opts.stable, out).map_err(|e| format!("write failed: {e}"))?;
+
+    let suspects: usize = rows.iter().map(|r| r.suspects).sum();
+    let abandoned: usize = rows.iter().map(|r| r.abandoned).sum();
+    let bugs: usize = rows.iter().map(|r| r.stats.bugs.len()).sum();
+    let count = |s: Source| rows.iter().filter(|r| r.source == s).count();
+    let sup_stats = sup.as_ref().map(|s| s.stats).unwrap_or_default();
+    eprintln!(
+        "campaign-summary: benches={} live={} cache_hits={} journal_hits={} \
+         worker_deaths={} chaos_kills={} quarantined={} abandoned={} suspects={} halted={}",
+        rows.len(),
+        count(Source::Live),
+        count(Source::Cache),
+        count(Source::JournalReplay),
+        sup_stats.worker_deaths,
+        sup_stats.chaos_kills,
+        sup_stats.quarantined,
+        abandoned,
+        suspects,
+        halted,
+    );
+    if halted {
+        eprintln!(
+            "cdsspec-campaign: halted after {live_done} benchmark(s); \
+             resume with the same --journal to continue"
+        );
+    }
+
+    Ok(if halted || suspects + abandoned > 0 {
+        EXIT_RESUMABLE
+    } else if bugs > 0 {
+        EXIT_BUG
+    } else {
+        EXIT_CLEAN
+    })
+}
+
+fn select_benches(opts: &CampaignOpts) -> Result<Vec<Benchmark>, String> {
+    let mut all = benchmarks();
+    if let Some(names) = &opts.bench_filter {
+        for name in names {
+            if !all.iter().any(|b| b.name == *name) {
+                let known: Vec<&str> = all.iter().map(|b| b.name).collect();
+                return Err(format!(
+                    "unknown benchmark {name:?}; known: {}",
+                    known.join(", ")
+                ));
+            }
+        }
+        // Registry order, not filter order: output must not depend on how
+        // the user spelled the filter.
+        all.retain(|b| names.iter().any(|n| n == b.name));
+    }
+    for bench in &all {
+        if let Some(&s) = opts.weaken.iter().find(|&&s| s >= bench.sites.len()) {
+            return Err(format!(
+                "--weaken {s} is out of range for {:?} ({} sites)",
+                bench.name,
+                bench.sites.len()
+            ));
+        }
+    }
+    Ok(all)
+}
+
+/// Campaign-identity fields stored in the journal header record. A resume
+/// with different parameters would silently compute different rows, so it
+/// is rejected instead.
+fn campaign_record(opts: &CampaignOpts, cfg_hash: u64) -> Json {
+    let filter = match &opts.bench_filter {
+        None => "*".to_string(),
+        Some(names) => names.join(","),
+    };
+    Json::obj(vec![
+        ("rec", Json::str("campaign")),
+        ("config_hash", Json::Num(cfg_hash as i128)),
+        ("split", Json::num(opts.split)),
+        ("filter", Json::str(filter)),
+    ])
+}
+
+fn open_journal(
+    path: &std::path::Path,
+    opts: &CampaignOpts,
+    cfg_hash: u64,
+    replay: &mut JournalState,
+) -> Result<(Journal, u64), String> {
+    let (mut journal, recovery) = Journal::open(path).map_err(|e| e.to_string())?;
+    let expected = campaign_record(opts, cfg_hash);
+    if recovery.records.is_empty() {
+        journal.append(&expected).map_err(|e| e.to_string())?;
+        return Ok((journal, 0));
+    }
+    if recovery.records[0] != expected {
+        return Err(crate::error::ParseError::WrongCampaign {
+            path: path.to_path_buf(),
+            detail: format!(
+                "journal header {} vs current campaign {}",
+                recovery.records[0].encode(),
+                expected.encode()
+            ),
+        }
+        .to_string());
+    }
+    for record in &recovery.records[1..] {
+        match record.get("rec").and_then(Json::as_str) {
+            Some("task") => {
+                let (Some(key), Some(stats)) = (
+                    record.get("key").and_then(Json::as_str),
+                    record.get("stats").and_then(|s| stats_from_json(s).ok()),
+                ) else {
+                    continue; // CRC-valid but semantically off: recompute
+                };
+                replay.tasks.insert(key.to_string(), stats);
+            }
+            Some("bench") => {
+                let (Some(name), Some(stats)) = (
+                    record.get("name").and_then(Json::as_str),
+                    record.get("stats").and_then(|s| stats_from_json(s).ok()),
+                ) else {
+                    continue;
+                };
+                let suspects = record.get("suspects").and_then(Json::as_usize).unwrap_or(0);
+                let abandoned = record
+                    .get("abandoned")
+                    .and_then(Json::as_usize)
+                    .unwrap_or(0);
+                replay
+                    .benches
+                    .insert(name.to_string(), (stats, suspects, abandoned));
+            }
+            _ => {}
+        }
+    }
+    Ok((journal, recovery.dropped_bytes))
+}
+
+fn journal_task(journal: &mut Option<Journal>, key: &str, stats: &Stats) {
+    if let Some(journal) = journal {
+        let record = Json::obj(vec![
+            ("rec", Json::str("task")),
+            ("key", Json::str(key)),
+            ("stats", stats_to_json(stats)),
+        ]);
+        if let Err(e) = journal.append(&record) {
+            eprintln!("cdsspec-campaign: journal append failed: {e}");
+        }
+    }
+}
+
+fn journal_bench(
+    journal: &mut Option<Journal>,
+    name: &str,
+    stats: &Stats,
+    suspects: usize,
+    abandoned: usize,
+) {
+    if let Some(journal) = journal {
+        let record = Json::obj(vec![
+            ("rec", Json::str("bench")),
+            ("name", Json::str(name)),
+            ("stats", stats_to_json(stats)),
+            ("suspects", Json::num(suspects as u64)),
+            ("abandoned", Json::num(abandoned as u64)),
+        ]);
+        if let Err(e) = journal.append(&record) {
+            eprintln!("cdsspec-campaign: journal append failed: {e}");
+        }
+    }
+}
+
+/// Probe, optionally split, execute, merge: one benchmark's row.
+fn run_bench(
+    bench: &Benchmark,
+    opts: &CampaignOpts,
+    base_config: &Config,
+    mut sup: Option<&mut Supervisor>,
+    journal: &mut Option<Journal>,
+    replay: &JournalState,
+) -> Result<(Stats, usize, usize), String> {
+    let probe_cap = if opts.split > 0 {
+        opts.split.min(opts.max_executions)
+    } else {
+        opts.max_executions
+    };
+    let probe_spec = TaskSpec {
+        bench: bench.name.to_string(),
+        shard: ShardSpec::root(),
+        max_executions: probe_cap,
+    };
+    let probe = run_tasks(
+        vec![probe_spec.clone()],
+        opts,
+        base_config,
+        sup.as_deref_mut(),
+        journal,
+        replay,
+    )
+    .pop()
+    .expect("one probe outcome");
+
+    let probe_stats = match probe {
+        Outcome::Done(stats) => stats,
+        Outcome::Quarantined { .. } => {
+            // The whole benchmark crashes its workers: report it suspect
+            // with an errored, resumable row (its shard is the root).
+            return Ok((errored_root_stats(), 1, 0));
+        }
+        Outcome::Abandoned => {
+            return Ok((errored_root_stats(), 0, 1));
+        }
+    };
+
+    // Fan out only when the probe was cut by its cap and left work.
+    let leftover = probe_stats.frontier_shards();
+    if opts.split == 0 || probe_stats.stop != StopReason::ExecutionCap || leftover.is_empty() {
+        return Ok((probe_stats, 0, 0));
+    }
+    let shard_specs: Vec<TaskSpec> = leftover
+        .into_iter()
+        .map(|shard| TaskSpec {
+            bench: bench.name.to_string(),
+            shard,
+            max_executions: opts.max_executions,
+        })
+        .collect();
+    let outcomes = run_tasks(shard_specs.clone(), opts, base_config, sup, journal, replay);
+    Ok(merge(probe_stats, &shard_specs, outcomes))
+}
+
+/// The row for a benchmark whose probe never completed: zero counters,
+/// errored, with the whole (root) shard left on the resumable frontier.
+fn errored_root_stats() -> Stats {
+    let mut stats = Stats {
+        stop: StopReason::Errored,
+        ..Stats::default()
+    };
+    stats.set_frontier_shards(vec![ShardSpec::root()]);
+    stats
+}
+
+/// Execute a batch of tasks, answering journaled tasks without running
+/// them and journaling fresh completions.
+fn run_tasks(
+    specs: Vec<TaskSpec>,
+    opts: &CampaignOpts,
+    base_config: &Config,
+    sup: Option<&mut Supervisor>,
+    journal: &mut Option<Journal>,
+    replay: &JournalState,
+) -> Vec<Outcome> {
+    let keys: Vec<String> = specs
+        .iter()
+        .map(|s| task_key(&s.bench, &s.shard, s.max_executions))
+        .collect();
+    match sup {
+        Some(sup) => {
+            let mut table = TaskTable::new(
+                specs,
+                opts.sup.lease,
+                Duration::from_millis(50),
+                opts.sup.max_attempts,
+            );
+            for (id, key) in keys.iter().enumerate() {
+                if let Some(stats) = replay.tasks.get(key) {
+                    table.preload_done(id, stats.clone());
+                }
+            }
+            sup.run_batch(base_config, &mut table, |id, stats| {
+                journal_task(journal, &keys[id], stats);
+            });
+            table.outcomes()
+        }
+        None => specs
+            .into_iter()
+            .zip(keys)
+            .map(|(spec, key)| {
+                if let Some(stats) = replay.tasks.get(&key) {
+                    return Outcome::Done(stats.clone());
+                }
+                let all = benchmarks();
+                let bench = all
+                    .iter()
+                    .find(|b| b.name == spec.bench)
+                    .expect("benchmark validated earlier");
+                let mut config = base_config.clone();
+                config.max_executions = spec.max_executions;
+                config.workers = opts.worker_threads.max(1);
+                config.resume_script = None;
+                config.resume_shards = Some(vec![spec.shard]);
+                let mut ords = bench.default_ords();
+                for &s in &opts.weaken {
+                    ords.weaken(s);
+                }
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (bench.check)(config, ords)
+                }));
+                match result {
+                    Ok(stats) => {
+                        journal_task(journal, &key, &stats);
+                        Outcome::Done(stats)
+                    }
+                    Err(_) => Outcome::Quarantined { attempts: 1 },
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Fold task outcomes (in task order) into the probe's stats. Quarantined
+/// and abandoned shards stay on the frontier — the row is resumable — and
+/// force `StopReason::Errored`.
+fn merge(probe: Stats, specs: &[TaskSpec], outcomes: Vec<Outcome>) -> (Stats, usize, usize) {
+    let mut merged = probe;
+    let mut stop = StopReason::Exhausted;
+    let mut leftover: Vec<ShardSpec> = Vec::new();
+    let mut suspects = 0;
+    let mut abandoned = 0;
+    for (spec, outcome) in specs.iter().zip(outcomes) {
+        match outcome {
+            Outcome::Done(s) => {
+                stop = stop.worst(s.stop);
+                leftover.extend(s.frontier_shards());
+                merged.executions += s.executions;
+                merged.feasible += s.feasible;
+                merged.diverged += s.diverged;
+                merged.sleep_pruned += s.sleep_pruned;
+                merged.sampled += s.sampled;
+                merged.peak_depth = merged.peak_depth.max(s.peak_depth);
+                merged.elapsed += s.elapsed;
+                merged.bugs.extend(s.bugs);
+            }
+            Outcome::Quarantined { .. } => {
+                suspects += 1;
+                stop = stop.worst(StopReason::Errored);
+                leftover.push(spec.shard.clone());
+            }
+            Outcome::Abandoned => {
+                abandoned += 1;
+                stop = stop.worst(StopReason::Errored);
+                leftover.push(spec.shard.clone());
+            }
+        }
+    }
+    // Dedup bugs by (category, rendered message), keeping the first
+    // occurrence in task order — same policy as the in-process merge.
+    let mut seen = HashSet::new();
+    merged
+        .bugs
+        .retain(|b| seen.insert((b.bug.category(), b.bug.to_string())));
+    merged.stop = stop;
+    merged.set_frontier_shards(leftover);
+    (merged, suspects, abandoned)
+}
+
+fn render(rows: &[Row], stable: bool, out: &mut dyn Write) -> std::io::Result<()> {
+    writeln!(
+        out,
+        "{:<22} {:>12} {:>12} {:>6} {:>5}  {:<13} {:>10}",
+        "Structure", "#Execs", "#Feasible", "Peak", "Bugs", "Stop", "Time"
+    )?;
+    writeln!(out, "{}", "-".repeat(88))?;
+    for row in rows {
+        let time = if stable {
+            "-".to_string()
+        } else {
+            format!("{:.2?}", row.stats.elapsed)
+        };
+        let suspect = if row.suspects + row.abandoned > 0 {
+            format!("  SUSPECT({})", row.suspects + row.abandoned)
+        } else {
+            String::new()
+        };
+        writeln!(
+            out,
+            "{:<22} {:>12} {:>12} {:>6} {:>5}  {:<13} {:>10}{}",
+            row.name,
+            row.stats.executions,
+            row.stats.feasible,
+            row.stats.peak_depth,
+            row.stats.bugs.len(),
+            row.stats.stop.to_string(),
+            time,
+            suspect
+        )?;
+        for bug in &row.stats.bugs {
+            writeln!(out, "    bug: {}", bug.bug)?;
+        }
+    }
+    writeln!(out, "{}", "-".repeat(88))?;
+    let execs: u64 = rows.iter().map(|r| r.stats.executions).sum();
+    let bugs: usize = rows.iter().map(|r| r.stats.bugs.len()).sum();
+    let suspects: usize = rows.iter().map(|r| r.suspects + r.abandoned).sum();
+    writeln!(
+        out,
+        "Total: {} benchmark(s), {execs} executions, {bugs} bug(s), {suspects} suspect shard(s)",
+        rows.len()
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(bench: &str) -> TaskSpec {
+        TaskSpec {
+            bench: bench.into(),
+            shard: ShardSpec {
+                floor: 1,
+                script: vec![7],
+            },
+            max_executions: 10,
+        }
+    }
+
+    #[test]
+    fn merge_is_order_of_tasks_not_completion() {
+        let probe = Stats {
+            executions: 5,
+            feasible: 3,
+            stop: StopReason::ExecutionCap,
+            ..Stats::default()
+        };
+        let a = Stats {
+            executions: 10,
+            feasible: 6,
+            peak_depth: 4,
+            stop: StopReason::Exhausted,
+            ..Stats::default()
+        };
+        let b = Stats {
+            executions: 20,
+            feasible: 12,
+            peak_depth: 9,
+            stop: StopReason::Exhausted,
+            ..Stats::default()
+        };
+        let specs = [spec("X"), spec("X")];
+        let (m1, s1, a1) = merge(
+            probe.clone(),
+            &specs,
+            vec![Outcome::Done(a.clone()), Outcome::Done(b.clone())],
+        );
+        assert_eq!((s1, a1), (0, 0));
+        assert_eq!(m1.executions, 35);
+        assert_eq!(m1.feasible, 21);
+        assert_eq!(m1.peak_depth, 9);
+        assert_eq!(
+            m1.stop,
+            StopReason::Exhausted,
+            "probe's cap is not inherited"
+        );
+        assert!(m1.frontier.is_none());
+    }
+
+    #[test]
+    fn quarantined_shards_stay_on_frontier_and_error_the_row() {
+        let probe = Stats {
+            executions: 5,
+            stop: StopReason::ExecutionCap,
+            ..Stats::default()
+        };
+        let done = Stats {
+            executions: 10,
+            stop: StopReason::Exhausted,
+            ..Stats::default()
+        };
+        let specs = [spec("X"), spec("X")];
+        let (m, suspects, abandoned) = merge(
+            probe,
+            &specs,
+            vec![Outcome::Done(done), Outcome::Quarantined { attempts: 3 }],
+        );
+        assert_eq!(suspects, 1);
+        assert_eq!(abandoned, 0);
+        assert_eq!(m.stop, StopReason::Errored);
+        assert_eq!(
+            m.frontier_shards(),
+            vec![specs[1].shard.clone()],
+            "the unexplored quarantined shard is resumable"
+        );
+    }
+
+    #[test]
+    fn merged_bugs_dedup_by_category_and_message() {
+        use cdsspec_mc::{Bug, BugCategory, FoundBug};
+        let mk = |msg: &str, execution| FoundBug {
+            bug: Bug::Restored {
+                category: BugCategory::Assertion,
+                message: msg.into(),
+            },
+            execution,
+            trace: String::new(),
+            worker: 0,
+            shard: vec![],
+        };
+        let probe = Stats {
+            bugs: vec![mk("dup", 1)],
+            stop: StopReason::ExecutionCap,
+            ..Stats::default()
+        };
+        let task = Stats {
+            bugs: vec![mk("dup", 9), mk("other", 2)],
+            stop: StopReason::Exhausted,
+            ..Stats::default()
+        };
+        let specs = [spec("X")];
+        let (m, _, _) = merge(probe, &specs, vec![Outcome::Done(task)]);
+        assert_eq!(m.bugs.len(), 2);
+        assert_eq!(m.bugs[0].execution, 1, "first occurrence wins");
+    }
+
+    #[test]
+    fn render_is_deterministic_and_masks_time_under_stable() {
+        let rows = vec![Row {
+            name: "SPSC Queue".into(),
+            stats: Stats {
+                executions: 18,
+                feasible: 18,
+                peak_depth: 6,
+                elapsed: Duration::from_millis(3),
+                ..Stats::default()
+            },
+            suspects: 0,
+            abandoned: 0,
+            source: Source::Live,
+        }];
+        let mut a = Vec::new();
+        render(&rows, true, &mut a).unwrap();
+        let mut b = Vec::new();
+        render(&rows, true, &mut b).unwrap();
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert!(!text.contains("3.00ms"), "{text}");
+        assert!(text.contains("SPSC Queue"));
+        assert!(text.contains("Total: 1 benchmark(s), 18 executions"));
+
+        let mut c = Vec::new();
+        render(&rows, false, &mut c).unwrap();
+        assert!(String::from_utf8(c).unwrap().contains("ms"));
+    }
+
+    #[test]
+    fn campaign_record_captures_identity() {
+        let opts = CampaignOpts::default();
+        let h = config_hash(&opts.base_config());
+        let a = campaign_record(&opts, h);
+        let mut other = opts.clone();
+        other.split = 500;
+        assert_ne!(campaign_record(&other, h), a, "split is identity");
+        let mut filt = opts.clone();
+        filt.bench_filter = Some(vec!["RCU".into()]);
+        assert_ne!(campaign_record(&filt, h), a, "filter is identity");
+        let mut cfg = opts.clone();
+        cfg.max_executions += 1;
+        assert_ne!(
+            campaign_record(&cfg, config_hash(&cfg.base_config())),
+            a,
+            "config hash is identity"
+        );
+    }
+}

@@ -1,0 +1,432 @@
+//! Shard leases: who owns which task, until when, and what happens when
+//! an owner dies.
+//!
+//! The supervisor's scheduling state is this table. Each task (one shard
+//! of one benchmark) moves through:
+//!
+//! ```text
+//! Pending ──lease──▶ Leased ──result──▶ Done
+//!    ▲                  │
+//!    └──expiry/death────┤  (attempts < max: requeue with backoff)
+//!                       └──────────────▶ Quarantined  (attempts == max)
+//! ```
+//!
+//! A lease carries a deadline; [`TaskTable::expired`] surfaces leases
+//! whose owner has stopped heartbeating so the supervisor can kill the
+//! worker and requeue the shard. Requeues back off exponentially
+//! (`backoff * 2^(attempt-1)`, capped) so a shard that keeps crashing its
+//! worker cannot monopolize the pool, and after `max_attempts` failures
+//! the shard is **quarantined**: reported as suspect instead of retried
+//! forever.
+//!
+//! The table is deliberately pure bookkeeping — no processes, no clocks
+//! of its own (every method takes `now`) — so lease policy is unit
+//! testable without spawning anything.
+
+use cdsspec_mc::{ShardSpec, Stats};
+use std::time::{Duration, Instant};
+
+/// One unit of campaign work: a shard of one benchmark's choice tree.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Benchmark display name (registry spelling).
+    pub bench: String,
+    /// The frontier shard to explore.
+    pub shard: ShardSpec,
+    /// Execution cap for this task.
+    pub max_executions: u64,
+}
+
+/// Terminal state of one task after the campaign ran it.
+#[derive(Clone, Debug)]
+pub enum Outcome {
+    /// The task completed; its merged statistics.
+    Done(Stats),
+    /// The task crashed its worker `attempts` times and was quarantined.
+    Quarantined {
+        /// Dispatch attempts consumed before giving up.
+        attempts: u32,
+    },
+    /// The pool died (every slot unusable) before the task could run.
+    Abandoned,
+}
+
+/// What a worker-failure report did to the task it was leasing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailOutcome {
+    /// The task went back to `Pending`, not dispatchable before the
+    /// embedded delay elapses.
+    Requeued {
+        /// Backoff applied before the next attempt.
+        delay: Duration,
+        /// Attempts consumed so far.
+        attempt: u32,
+    },
+    /// The task reached its attempt cap and is out of the rotation.
+    Quarantined {
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+#[derive(Debug)]
+enum State {
+    Pending { not_before: Instant },
+    Leased { slot: usize, deadline: Instant },
+    Done(Stats),
+    Quarantined,
+}
+
+struct Task {
+    spec: TaskSpec,
+    state: State,
+    attempts: u32,
+}
+
+/// The supervisor's lease table over a fixed set of tasks.
+pub struct TaskTable {
+    tasks: Vec<Task>,
+    lease: Duration,
+    backoff: Duration,
+    max_attempts: u32,
+}
+
+impl TaskTable {
+    /// A table over `specs`, all immediately pending.
+    ///
+    /// `lease` is how long a worker may hold a task without a heartbeat
+    /// extension; `backoff` the base requeue delay; `max_attempts` the
+    /// dispatch budget before quarantine (≥ 1).
+    pub fn new(
+        specs: Vec<TaskSpec>,
+        lease: Duration,
+        backoff: Duration,
+        max_attempts: u32,
+    ) -> Self {
+        let now = Instant::now();
+        TaskTable {
+            tasks: specs
+                .into_iter()
+                .map(|spec| Task {
+                    spec,
+                    state: State::Pending { not_before: now },
+                    attempts: 0,
+                })
+                .collect(),
+            lease,
+            backoff,
+            max_attempts: max_attempts.max(1),
+        }
+    }
+
+    /// Number of tasks in the table.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The spec of task `id`.
+    pub fn spec(&self, id: usize) -> &TaskSpec {
+        &self.tasks[id].spec
+    }
+
+    /// Dispatch attempts consumed by task `id` so far.
+    pub fn attempts(&self, id: usize) -> u32 {
+        self.tasks[id].attempts
+    }
+
+    /// Lowest-id task that is pending and past its backoff delay.
+    pub fn next_ready(&self, now: Instant) -> Option<usize> {
+        self.tasks
+            .iter()
+            .position(|t| matches!(t.state, State::Pending { not_before } if not_before <= now))
+    }
+
+    /// Earliest instant at which some pending task becomes ready (to size
+    /// the supervisor's wait when everything ready is already leased).
+    pub fn next_wakeup(&self) -> Option<Instant> {
+        self.tasks
+            .iter()
+            .filter_map(|t| match t.state {
+                State::Pending { not_before } => Some(not_before),
+                State::Leased { deadline, .. } => Some(deadline),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Lease task `id` to worker slot `slot`, consuming one attempt. The
+    /// lease expires at `now + lease` unless extended.
+    pub fn lease(&mut self, id: usize, slot: usize, now: Instant) {
+        let task = &mut self.tasks[id];
+        debug_assert!(matches!(task.state, State::Pending { .. }));
+        task.attempts += 1;
+        task.state = State::Leased {
+            slot,
+            deadline: now + self.lease,
+        };
+    }
+
+    /// Extend the lease held by `slot` (a heartbeat arrived). Returns the
+    /// task id, or `None` if the slot holds no lease (e.g. a heartbeat
+    /// raced a completed result).
+    pub fn extend(&mut self, slot: usize, now: Instant) -> Option<usize> {
+        let id = self.leased_by(slot)?;
+        if let State::Leased { deadline, .. } = &mut self.tasks[id].state {
+            *deadline = now + self.lease;
+        }
+        Some(id)
+    }
+
+    /// The task currently leased to `slot`, if any.
+    pub fn leased_by(&self, slot: usize) -> Option<usize> {
+        self.tasks
+            .iter()
+            .position(|t| matches!(t.state, State::Leased { slot: s, .. } if s == slot))
+    }
+
+    /// Record a completed result from `slot`. Returns the task id, or
+    /// `None` if the slot held no lease (a stale result from a worker
+    /// whose lease already expired — dropped, because its shard was
+    /// requeued and will be recomputed; merging both copies would double
+    /// count).
+    pub fn complete(&mut self, slot: usize, stats: Stats) -> Option<usize> {
+        let id = self.leased_by(slot)?;
+        self.tasks[id].state = State::Done(stats);
+        Some(id)
+    }
+
+    /// Record that the worker on `slot` failed (died, errored, or lost
+    /// its lease). The leased task either requeues with exponential
+    /// backoff or quarantines at the attempt cap.
+    pub fn fail(&mut self, slot: usize, now: Instant) -> Option<(usize, FailOutcome)> {
+        let id = self.leased_by(slot)?;
+        let task = &mut self.tasks[id];
+        if task.attempts >= self.max_attempts {
+            task.state = State::Quarantined;
+            Some((
+                id,
+                FailOutcome::Quarantined {
+                    attempts: task.attempts,
+                },
+            ))
+        } else {
+            // attempts >= 1 here (lease consumed one), so the shift is
+            // well-defined; cap the exponent to keep the delay sane.
+            let exp = (task.attempts - 1).min(10);
+            let delay = self.backoff * 2u32.pow(exp);
+            task.state = State::Pending {
+                not_before: now + delay,
+            };
+            Some((
+                id,
+                FailOutcome::Requeued {
+                    delay,
+                    attempt: task.attempts,
+                },
+            ))
+        }
+    }
+
+    /// Leases whose deadline has passed: `(task id, slot)` pairs. The
+    /// supervisor kills those workers and then reports them via
+    /// [`TaskTable::fail`].
+    pub fn expired(&self, now: Instant) -> Vec<(usize, usize)> {
+        self.tasks
+            .iter()
+            .enumerate()
+            .filter_map(|(id, t)| match t.state {
+                State::Leased { slot, deadline } if deadline <= now => Some((id, slot)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Mark task `id` as already done (journal replay on resume).
+    pub fn preload_done(&mut self, id: usize, stats: Stats) {
+        self.tasks[id].state = State::Done(stats);
+    }
+
+    /// Quarantine every task that is not yet terminal — the pool died and
+    /// nothing else can run. Returns how many tasks were abandoned.
+    pub fn abandon_unfinished(&mut self) -> usize {
+        let mut n = 0;
+        for task in &mut self.tasks {
+            if matches!(task.state, State::Pending { .. } | State::Leased { .. }) {
+                task.state = State::Quarantined;
+                task.attempts = 0; // distinguishes Abandoned in outcomes()
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Is any task still pending or leased?
+    pub fn unfinished(&self) -> bool {
+        self.tasks
+            .iter()
+            .any(|t| matches!(t.state, State::Pending { .. } | State::Leased { .. }))
+    }
+
+    /// Consume the table into per-task outcomes, in task order.
+    pub fn outcomes(self) -> Vec<Outcome> {
+        self.tasks
+            .into_iter()
+            .map(|t| match t.state {
+                State::Done(stats) => Outcome::Done(stats),
+                State::Quarantined if t.attempts == 0 => Outcome::Abandoned,
+                State::Quarantined => Outcome::Quarantined {
+                    attempts: t.attempts,
+                },
+                State::Pending { .. } | State::Leased { .. } => {
+                    unreachable!("outcomes() called with unfinished tasks")
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(n: usize, max_attempts: u32) -> TaskTable {
+        let specs = (0..n)
+            .map(|i| TaskSpec {
+                bench: format!("bench-{i}"),
+                shard: ShardSpec::root(),
+                max_executions: 100,
+            })
+            .collect();
+        TaskTable::new(
+            specs,
+            Duration::from_millis(100),
+            Duration::from_millis(10),
+            max_attempts,
+        )
+    }
+
+    #[test]
+    fn happy_path_lease_and_complete() {
+        let mut t = table(2, 3);
+        let now = Instant::now();
+        assert_eq!(t.next_ready(now), Some(0));
+        t.lease(0, 7, now);
+        assert_eq!(t.next_ready(now), Some(1), "leased task is not ready");
+        assert_eq!(t.leased_by(7), Some(0));
+        assert_eq!(t.complete(7, Stats::default()), Some(0));
+        assert_eq!(t.leased_by(7), None);
+        t.lease(1, 7, now);
+        t.complete(7, Stats::default());
+        assert!(!t.unfinished());
+        let outcomes = t.outcomes();
+        assert!(matches!(outcomes[0], Outcome::Done(_)));
+        assert!(matches!(outcomes[1], Outcome::Done(_)));
+    }
+
+    #[test]
+    fn failure_requeues_with_exponential_backoff_then_quarantines() {
+        let mut t = table(1, 3);
+        let now = Instant::now();
+
+        t.lease(0, 0, now);
+        let (id, out) = t.fail(0, now).unwrap();
+        assert_eq!(id, 0);
+        assert_eq!(
+            out,
+            FailOutcome::Requeued {
+                delay: Duration::from_millis(10),
+                attempt: 1
+            }
+        );
+        assert_eq!(t.next_ready(now), None, "backoff delays the requeue");
+        let later = now + Duration::from_millis(11);
+        assert_eq!(t.next_ready(later), Some(0));
+
+        t.lease(0, 1, later);
+        let (_, out) = t.fail(1, later).unwrap();
+        assert_eq!(
+            out,
+            FailOutcome::Requeued {
+                delay: Duration::from_millis(20),
+                attempt: 2
+            },
+            "backoff doubles"
+        );
+
+        let final_try = later + Duration::from_millis(21);
+        t.lease(0, 2, final_try);
+        let (_, out) = t.fail(2, final_try).unwrap();
+        assert_eq!(out, FailOutcome::Quarantined { attempts: 3 });
+        assert!(!t.unfinished());
+        assert!(matches!(
+            t.outcomes()[0],
+            Outcome::Quarantined { attempts: 3 }
+        ));
+    }
+
+    #[test]
+    fn lease_expiry_and_heartbeat_extension() {
+        let mut t = table(1, 3);
+        let now = Instant::now();
+        t.lease(0, 0, now);
+        assert!(t.expired(now + Duration::from_millis(50)).is_empty());
+        assert_eq!(
+            t.expired(now + Duration::from_millis(101)),
+            vec![(0, 0)],
+            "lease expires without heartbeats"
+        );
+        // A heartbeat pushes the deadline out.
+        let hb = now + Duration::from_millis(90);
+        assert_eq!(t.extend(0, hb), Some(0));
+        assert!(t.expired(now + Duration::from_millis(101)).is_empty());
+        assert_eq!(t.expired(hb + Duration::from_millis(101)), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn stale_results_from_expired_leases_are_dropped() {
+        let mut t = table(1, 3);
+        let now = Instant::now();
+        t.lease(0, 0, now);
+        // Lease expires; supervisor fails the slot and requeues.
+        t.fail(0, now).unwrap();
+        // The old worker's result arrives late: no lease on slot 0 → dropped.
+        assert_eq!(t.complete(0, Stats::default()), None);
+        assert!(t.unfinished(), "task is requeued, not done");
+    }
+
+    #[test]
+    fn abandoned_tasks_are_distinguishable() {
+        let mut t = table(2, 3);
+        let now = Instant::now();
+        t.lease(0, 0, now);
+        t.complete(0, Stats::default());
+        assert_eq!(t.abandon_unfinished(), 1);
+        let outcomes = t.outcomes();
+        assert!(matches!(outcomes[0], Outcome::Done(_)));
+        assert!(matches!(outcomes[1], Outcome::Abandoned));
+    }
+
+    #[test]
+    fn preload_done_skips_dispatch() {
+        let mut t = table(2, 3);
+        let stats = Stats {
+            executions: 5,
+            ..Stats::default()
+        };
+        t.preload_done(0, stats);
+        assert_eq!(t.next_ready(Instant::now()), Some(1));
+        let now = Instant::now();
+        t.lease(1, 0, now);
+        t.complete(0, Stats::default());
+        let outcomes = t.outcomes();
+        match &outcomes[0] {
+            Outcome::Done(s) => assert_eq!(s.executions, 5),
+            other => panic!("expected preloaded Done, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! The multi-process campaign supervisor.
+//!
+//! A fixed pool of worker *subprocesses* (the same binary re-invoked with
+//! `--worker-mode`) executes tasks from a [`TaskTable`]. All scheduling
+//! decisions live here; all crash-isolation comes from the process
+//! boundary:
+//!
+//! - Each dispatched task is covered by a **lease**. Workers heartbeat
+//!   while running; a lease that outlives its deadline means the worker
+//!   is wedged or dead, so the supervisor SIGKILLs it and requeues the
+//!   shard with exponential backoff.
+//! - A worker death (crash, chaos kill, kill -9 from outside) surfaces as
+//!   EOF on its stdout; its leased shard requeues the same way. Partial
+//!   output is discarded wholesale — only complete, checksummed `result`
+//!   lines ever reach the merge — so a rerun is byte-identical to an
+//!   undisturbed run.
+//! - A shard that keeps killing workers quarantines after
+//!   `max_attempts` dispatches (reported as *suspect*), and a slot that
+//!   keeps dying in quick succession is retired after
+//!   [`Supervisor::FAST_DEATH_CAP`] consecutive deaths. The attempt cap
+//!   is below the slot cap, so a poison shard quarantines before it can
+//!   take the pool down.
+//! - If every slot dies anyway, remaining tasks are *abandoned* and the
+//!   campaign reports a resumable exit instead of spinning.
+//!
+//! Chaos mode (`chaos_kill_pct`) kills a freshly-dispatched worker with
+//! seeded probability — only on a task's **first** attempt, so fault
+//! injection exercises every recovery path yet can never quarantine a
+//! healthy shard. CI uses it to prove kill-tolerance by diffing a chaos
+//! campaign against an in-process run.
+
+use crate::lease::{FailOutcome, TaskTable};
+use crate::proto::{FromWorker, ToWorker};
+use cdsspec_mc::{Config, Stats};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Supervisor tuning.
+#[derive(Clone, Debug)]
+pub struct SupervisorOpts {
+    /// Worker subprocess slots.
+    pub workers: usize,
+    /// Explorer threads inside each worker.
+    pub worker_threads: usize,
+    /// Lease duration granted per dispatch/heartbeat.
+    pub lease: Duration,
+    /// Heartbeat interval workers are asked to use.
+    pub heartbeat: Duration,
+    /// Dispatch attempts per task before quarantine.
+    pub max_attempts: u32,
+    /// Probability (percent, 0–100) of chaos-killing the worker right
+    /// after a task's first dispatch.
+    pub chaos_kill_pct: u32,
+    /// Seed for the chaos RNG.
+    pub chaos_seed: u64,
+    /// Forwarded to workers: benchmark name on which to `abort()`
+    /// (fault-injection of a poison shard).
+    pub poison: Option<String>,
+    /// Ordering sites every dispatched task weakens before checking
+    /// (Figure 8-style fault injection; empty = default orderings).
+    pub weaken: Vec<usize>,
+    /// Worker executable; `None` = `std::env::current_exe()`.
+    pub worker_exe: Option<PathBuf>,
+}
+
+impl Default for SupervisorOpts {
+    fn default() -> Self {
+        SupervisorOpts {
+            workers: 2,
+            worker_threads: 1,
+            lease: Duration::from_secs(30),
+            heartbeat: Duration::from_millis(500),
+            max_attempts: 3,
+            chaos_kill_pct: 0,
+            chaos_seed: 0,
+            poison: None,
+            weaken: Vec::new(),
+            worker_exe: None,
+        }
+    }
+}
+
+/// Counters describing what the pool went through.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SupervisorStats {
+    /// Worker processes spawned (including respawns).
+    pub spawns: u64,
+    /// Worker deaths observed (all causes, chaos included).
+    pub worker_deaths: u64,
+    /// Deaths injected by chaos mode.
+    pub chaos_kills: u64,
+    /// Results that arrived after their lease had been revoked and were
+    /// dropped (their shard was recomputed; merging both would double
+    /// count).
+    pub stale_results: u64,
+    /// Slots permanently retired after repeated fast deaths.
+    pub dead_slots: u64,
+    /// Tasks quarantined at the attempt cap.
+    pub quarantined: u64,
+}
+
+enum Event {
+    Line(usize, u64, String),
+    Eof(usize, u64),
+}
+
+struct Slot {
+    child: Option<(Child, ChildStdin)>,
+    /// Spawn generation; events tagged with an older epoch are stale.
+    epoch: u64,
+    /// Consecutive deaths without a completed task in between.
+    fast_deaths: u32,
+    /// Earliest instant a respawn may happen (death backoff).
+    respawn_after: Instant,
+    /// Permanently retired.
+    dead: bool,
+}
+
+/// The worker pool + event loop. One instance supervises a whole
+/// campaign; [`Supervisor::run_batch`] drives one task table to
+/// completion at a time, reusing live workers across batches.
+pub struct Supervisor {
+    opts: SupervisorOpts,
+    slots: Vec<Slot>,
+    tx: mpsc::Sender<Event>,
+    rx: mpsc::Receiver<Event>,
+    next_epoch: u64,
+    rng: StdRng,
+    /// Counters (readable between batches).
+    pub stats: SupervisorStats,
+}
+
+impl Supervisor {
+    /// Consecutive fast deaths that retire a slot. Strictly greater than
+    /// the default task attempt cap, so a poison shard quarantines before
+    /// any slot is retired.
+    pub const FAST_DEATH_CAP: u32 = 5;
+
+    /// Base backoff applied before respawning a slot after a death
+    /// (doubles per consecutive death).
+    const RESPAWN_BACKOFF: Duration = Duration::from_millis(20);
+
+    /// Event-loop poll interval (bounds lease-expiry detection latency).
+    const POLL: Duration = Duration::from_millis(25);
+
+    /// A pool with `opts.workers` empty slots; workers spawn lazily on
+    /// first dispatch.
+    pub fn new(opts: SupervisorOpts) -> Supervisor {
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        let slots = (0..opts.workers.max(1))
+            .map(|_| Slot {
+                child: None,
+                epoch: 0,
+                fast_deaths: 0,
+                respawn_after: now,
+                dead: false,
+            })
+            .collect();
+        let rng = StdRng::seed_from_u64(opts.chaos_seed);
+        Supervisor {
+            opts,
+            slots,
+            tx,
+            rx,
+            next_epoch: 0,
+            rng,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Drive `table` until every task is terminal (`Done`, `Quarantined`,
+    /// or — if the whole pool dies — abandoned). `on_complete` fires once
+    /// per completed task, in completion order, before the task is
+    /// considered durable (the campaign journals there).
+    pub fn run_batch(
+        &mut self,
+        base_config: &Config,
+        table: &mut TaskTable,
+        mut on_complete: impl FnMut(usize, &Stats),
+    ) {
+        while table.unfinished() {
+            let now = Instant::now();
+
+            // Revoke expired leases: kill the wedged worker, requeue the
+            // shard. The epoch bump makes any in-flight output stale.
+            for (_, slot) in table.expired(now) {
+                self.fail_slot(slot, table, now);
+            }
+
+            // Respawn slots whose backoff has elapsed.
+            for i in 0..self.slots.len() {
+                if !self.slots[i].dead
+                    && self.slots[i].child.is_none()
+                    && self.slots[i].respawn_after <= now
+                {
+                    self.spawn_worker(i, now);
+                }
+            }
+
+            // Dispatch ready tasks to idle live workers.
+            while let Some(id) = table.next_ready(now) {
+                let Some(slot) = self.idle_slot(table) else {
+                    break;
+                };
+                self.dispatch(id, slot, base_config, table, now);
+            }
+
+            if self.slots.iter().all(|s| s.dead) {
+                table.abandon_unfinished();
+                break;
+            }
+
+            match self.rx.recv_timeout(Self::POLL) {
+                Ok(ev) => {
+                    self.handle(ev, table, &mut on_complete);
+                    while let Ok(ev) = self.rx.try_recv() {
+                        self.handle(ev, table, &mut on_complete);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {}
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor holds a sender")
+                }
+            }
+        }
+    }
+
+    /// Ask every live worker to exit and reap it.
+    pub fn shutdown(&mut self) {
+        for slot in &mut self.slots {
+            if let Some((_, stdin)) = &mut slot.child {
+                let _ = writeln!(stdin, "{}", ToWorker::Exit.encode());
+            }
+            if let Some((mut child, stdin)) = slot.child.take() {
+                drop(stdin); // EOF backstop in case the Exit write raced
+                let _ = child.wait();
+            }
+        }
+    }
+
+    fn idle_slot(&self, table: &TaskTable) -> Option<usize> {
+        (0..self.slots.len()).find(|&i| {
+            !self.slots[i].dead && self.slots[i].child.is_some() && table.leased_by(i).is_none()
+        })
+    }
+
+    fn dispatch(
+        &mut self,
+        id: usize,
+        slot: usize,
+        base_config: &Config,
+        table: &mut TaskTable,
+        now: Instant,
+    ) {
+        let spec = table.spec(id).clone();
+        table.lease(id, slot, now);
+        let mut config = base_config.clone();
+        config.max_executions = spec.max_executions;
+        let msg = ToWorker::Run {
+            task: id as u64,
+            bench: spec.bench,
+            shard: spec.shard,
+            config,
+            weaken: self.opts.weaken.clone(),
+        };
+        let sent = match &mut self.slots[slot].child {
+            Some((_, stdin)) => writeln!(stdin, "{}", msg.encode()).is_ok(),
+            None => false,
+        };
+        if !sent {
+            // The worker died between spawn and dispatch; normal failure
+            // path (requeue + respawn with backoff).
+            self.fail_slot(slot, table, now);
+            return;
+        }
+        // Chaos: on a task's FIRST dispatch only, kill the worker that
+        // just received it. Recovery (requeue + respawn) must reproduce
+        // the exact same campaign result.
+        if self.opts.chaos_kill_pct > 0
+            && table.attempts(id) == 1
+            && self.rng.gen_range(0..100u32) < self.opts.chaos_kill_pct
+        {
+            self.stats.chaos_kills += 1;
+            self.fail_slot(slot, table, now);
+        }
+    }
+
+    fn spawn_worker(&mut self, slot: usize, now: Instant) {
+        let exe = match &self.opts.worker_exe {
+            Some(p) => p.clone(),
+            None => match std::env::current_exe() {
+                Ok(p) => p,
+                Err(_) => {
+                    self.retire_or_backoff(slot, now);
+                    return;
+                }
+            },
+        };
+        let mut cmd = Command::new(exe);
+        cmd.arg("--worker-mode")
+            .arg("--heartbeat-ms")
+            .arg(self.opts.heartbeat.as_millis().to_string())
+            .arg("--worker-threads")
+            .arg(self.opts.worker_threads.max(1).to_string());
+        if let Some(poison) = &self.opts.poison {
+            cmd.arg("--poison").arg(poison);
+        }
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(_) => {
+                self.retire_or_backoff(slot, now);
+                return;
+            }
+        };
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        self.next_epoch += 1;
+        let epoch = self.next_epoch;
+        self.slots[slot].epoch = epoch;
+        self.slots[slot].child = Some((child, stdin));
+        self.stats.spawns += 1;
+        let tx = self.tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(Event::Line(slot, epoch, l)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(Event::Eof(slot, epoch));
+        });
+    }
+
+    /// Kill the worker on `slot` (if any), requeue or quarantine its
+    /// lease, and schedule a backed-off respawn (or retire the slot).
+    fn fail_slot(&mut self, slot: usize, table: &mut TaskTable, now: Instant) {
+        // Bump the epoch first: everything the dying worker already wrote
+        // is stale from this point on.
+        self.next_epoch += 1;
+        self.slots[slot].epoch = self.next_epoch;
+        if let Some((mut child, stdin)) = self.slots[slot].child.take() {
+            drop(stdin);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        self.stats.worker_deaths += 1;
+        if let Some((_, outcome)) = table.fail(slot, now) {
+            if matches!(outcome, FailOutcome::Quarantined { .. }) {
+                self.stats.quarantined += 1;
+            }
+        }
+        self.retire_or_backoff(slot, now);
+    }
+
+    fn retire_or_backoff(&mut self, slot: usize, now: Instant) {
+        let s = &mut self.slots[slot];
+        s.fast_deaths += 1;
+        if s.fast_deaths >= Self::FAST_DEATH_CAP {
+            s.dead = true;
+            self.stats.dead_slots += 1;
+        } else {
+            let exp = (s.fast_deaths - 1).min(10);
+            s.respawn_after = now + Self::RESPAWN_BACKOFF * 2u32.pow(exp);
+        }
+    }
+
+    fn handle(
+        &mut self,
+        ev: Event,
+        table: &mut TaskTable,
+        on_complete: &mut impl FnMut(usize, &Stats),
+    ) {
+        let now = Instant::now();
+        match ev {
+            Event::Line(slot, epoch, line) => {
+                if self.slots[slot].epoch != epoch {
+                    return; // output of a revoked/killed incarnation
+                }
+                match FromWorker::decode(&line) {
+                    Ok(FromWorker::Hello { .. }) => {}
+                    Ok(FromWorker::Heartbeat { .. }) => {
+                        table.extend(slot, now);
+                    }
+                    Ok(FromWorker::Result { stats, .. }) => {
+                        if let Some(id) = table.complete(slot, stats.clone()) {
+                            // A completed task proves the slot healthy.
+                            self.slots[slot].fast_deaths = 0;
+                            on_complete(id, &stats);
+                        } else {
+                            self.stats.stale_results += 1;
+                        }
+                    }
+                    Ok(FromWorker::Error { message, .. }) => {
+                        // The task failed *inside* a healthy worker (it
+                        // replied cleanly): charge the task, not the slot.
+                        if let Some((_, outcome)) = table.fail(slot, now) {
+                            if matches!(outcome, FailOutcome::Quarantined { .. }) {
+                                self.stats.quarantined += 1;
+                            }
+                        }
+                        let _ = message;
+                    }
+                    Err(_) => {
+                        // Protocol corruption — indistinguishable from a
+                        // half-dead worker. Kill and recover.
+                        self.fail_slot(slot, table, now);
+                    }
+                }
+            }
+            Event::Eof(slot, epoch) => {
+                if self.slots[slot].epoch != epoch {
+                    return; // we killed it ourselves; already handled
+                }
+                self.fail_slot(slot, table, now);
+            }
+        }
+    }
+}
+
+impl Drop for Supervisor {
+    fn drop(&mut self) {
+        for slot in &mut self.slots {
+            if let Some((mut child, stdin)) = slot.child.take() {
+                drop(stdin);
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}

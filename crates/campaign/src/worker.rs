@@ -1,0 +1,149 @@
+//! The worker-mode loop: what `cdsspec-campaign --worker-mode` runs.
+//!
+//! A worker is a thin, *stateless* shell around the in-process explorer:
+//! read one `run` line, execute that shard through the benchmark
+//! registry's ordinary `check` entry point, write one `result` line,
+//! repeat. All state lives in the supervisor; a worker can be SIGKILLed
+//! at any instant and the campaign loses nothing but the in-flight
+//! shard's CPU time.
+//!
+//! A background thread heartbeats the currently-running task id so the
+//! supervisor keeps extending the lease of a long exploration. Output is
+//! serialized under one mutex — heartbeats can never split a result line.
+
+use crate::proto::{FromWorker, ToWorker};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Worker-mode settings (decoded from `--worker-mode` flags).
+#[derive(Clone, Debug)]
+pub struct WorkerOpts {
+    /// Heartbeat interval.
+    pub heartbeat: Duration,
+    /// Explorer threads for each task.
+    pub worker_threads: usize,
+    /// Fault injection: `abort()` on receiving this benchmark (simulates
+    /// a shard that reliably crashes its worker).
+    pub poison: Option<String>,
+}
+
+/// Sentinel meaning "no task running" in the heartbeat cell.
+const IDLE: u64 = u64::MAX;
+
+fn send(lock: &Mutex<()>, msg: &FromWorker) {
+    let _guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{}", msg.encode());
+    let _ = out.flush();
+}
+
+/// Run the worker loop until `exit` or stdin EOF. Returns the process
+/// exit code.
+pub fn worker_main(opts: WorkerOpts) -> i32 {
+    let out_lock = Arc::new(Mutex::new(()));
+    send(
+        &out_lock,
+        &FromWorker::Hello {
+            pid: std::process::id(),
+        },
+    );
+
+    let current = Arc::new(AtomicU64::new(IDLE));
+    {
+        let current = Arc::clone(&current);
+        let out_lock = Arc::clone(&out_lock);
+        let interval = opts.heartbeat;
+        std::thread::spawn(move || loop {
+            std::thread::sleep(interval);
+            let task = current.load(Ordering::Relaxed);
+            if task != IDLE {
+                send(&out_lock, &FromWorker::Heartbeat { task });
+            }
+        });
+    }
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match ToWorker::decode(&line) {
+            Ok(ToWorker::Run {
+                task,
+                bench,
+                shard,
+                mut config,
+                weaken,
+            }) => {
+                if opts.poison.as_deref() == Some(bench.as_str()) {
+                    // Fault injection: die exactly the way a native crash
+                    // would — no unwinding, no reply, just SIGABRT.
+                    std::process::abort();
+                }
+                let all = cdsspec_structures::registry::benchmarks();
+                let Some(b) = all.iter().find(|b| b.name == bench) else {
+                    send(
+                        &out_lock,
+                        &FromWorker::Error {
+                            task,
+                            message: format!("unknown benchmark {bench:?}"),
+                        },
+                    );
+                    continue;
+                };
+                config.workers = opts.worker_threads.max(1);
+                config.resume_script = None;
+                config.resume_shards = Some(vec![shard]);
+                let mut ords = b.default_ords();
+                let bad_site = weaken.iter().find(|&&s| s >= ords.len());
+                if let Some(&s) = bad_site {
+                    send(
+                        &out_lock,
+                        &FromWorker::Error {
+                            task,
+                            message: format!(
+                                "weaken site {s} out of range for {bench:?} ({} sites)",
+                                ords.len()
+                            ),
+                        },
+                    );
+                    continue;
+                }
+                for &s in &weaken {
+                    ords.weaken(s);
+                }
+                current.store(task, Ordering::Relaxed);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (b.check)(config, ords)
+                }));
+                current.store(IDLE, Ordering::Relaxed);
+                match result {
+                    Ok(stats) => send(&out_lock, &FromWorker::Result { task, stats }),
+                    Err(payload) => {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "check panicked".into());
+                        send(
+                            &out_lock,
+                            &FromWorker::Error {
+                                task,
+                                message: format!("check panicked: {message}"),
+                            },
+                        );
+                    }
+                }
+            }
+            Ok(ToWorker::Exit) => return 0,
+            Err(e) => {
+                eprintln!("cdsspec-campaign worker: bad supervisor message: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

@@ -261,6 +261,19 @@ impl Explorer {
             }
             RunOutcome::Diverged => self.stats.diverged += 1,
             RunOutcome::SleepPruned => self.stats.sleep_pruned += 1,
+            RunOutcome::EngineError(message) => {
+                // Not a property of the modeled code: the engine could not
+                // run the execution (e.g. the pool's respawn budget ran
+                // out). Record it so the report explains itself, and stop
+                // with `Errored` so the run never claims completeness.
+                self.record_bug(
+                    Bug::EngineFailure {
+                        message: message.clone(),
+                    },
+                    &result.trace,
+                );
+                stop = Some(StopReason::Errored);
+            }
         }
         // The plugins are done with the trace: hand the buffer back to the
         // harness so the next execution's event/mo/sc vectors start at

@@ -59,6 +59,14 @@ pub enum Bug {
         /// How long the scheduler was stalled before the abort.
         stalled_ms: u64,
     },
+    /// The exploration engine itself failed (e.g. the OS thread pool could
+    /// not keep workers alive after bounded respawn attempts). Not a
+    /// defect in the modeled code: the run is incomplete and stops with
+    /// [`StopReason::Errored`].
+    EngineFailure {
+        /// What the engine could not do.
+        message: String,
+    },
     /// A bug deserialized from a [`Checkpoint`]: only its category and
     /// rendered message survive the round trip.
     Restored {
@@ -83,6 +91,7 @@ impl Bug {
                 }
             }
             Bug::AxiomViolation { .. } => BugCategory::Internal,
+            Bug::EngineFailure { .. } => BugCategory::Internal,
             Bug::InternalHang { .. } => BugCategory::BuiltIn,
             Bug::Restored { category, .. } => *category,
         }
@@ -109,6 +118,7 @@ impl std::fmt::Display for Bug {
             Bug::UserPanic { tid, message } => write!(f, "panic in {tid}: {message}"),
             Bug::Plugin { plugin, message } => write!(f, "[{plugin}] {message}"),
             Bug::AxiomViolation { message } => write!(f, "AXIOM VIOLATION (internal): {message}"),
+            Bug::EngineFailure { message } => write!(f, "engine failure: {message}"),
             Bug::InternalHang { stalled_ms } => {
                 write!(
                     f,

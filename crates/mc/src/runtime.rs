@@ -53,6 +53,10 @@ pub(crate) enum RunOutcome {
     Diverged,
     /// Every runnable thread was asleep — a redundant interleaving.
     SleepPruned,
+    /// The engine itself failed (e.g. the OS thread pool exhausted its
+    /// bounded respawn budget). The execution is void and the campaign
+    /// stops with [`crate::StopReason::Errored`].
+    EngineError(String),
 }
 
 /// Result of one execution.
@@ -522,11 +526,30 @@ pub(crate) fn spawn_thread(
     st.active_jobs += 1;
     let pool = Arc::clone(&shared.pool);
     drop(st);
-    pool.lock().dispatch(Job {
+    let dispatched = pool.lock().dispatch(Job {
         tid: child,
         shared: Arc::clone(shared),
         closure,
     });
+    if !dispatched {
+        // The pool could not keep a worker alive for the child (bounded
+        // respawns exhausted). Undo the child's accounting and abort the
+        // execution as an engine error — the spawning thread unwinds like
+        // any other abandoned execution.
+        let mut st = shared.inner.lock();
+        st.alive[child.idx()] = false;
+        st.running -= 1;
+        st.active_jobs -= 1;
+        abort(
+            shared,
+            &mut st,
+            RunOutcome::EngineError(format!(
+                "worker pool exhausted its respawn budget dispatching {child}"
+            )),
+        );
+        drop(st);
+        std::panic::panic_any(DieMarker);
+    }
     child
 }
 
@@ -681,11 +704,24 @@ pub(crate) fn run_once(
     if config.hang_timeout.is_none() && !crate::worker::in_model() {
         crate::worker::run_main_inline(&shared, Box::new(move || t2()));
     } else {
-        pool.lock().dispatch(Job {
+        let dispatched = pool.lock().dispatch(Job {
             tid: Tid::MAIN,
             shared: Arc::clone(&shared),
             closure: Box::new(move || t2()),
         });
+        if !dispatched {
+            // No worker could host even the main modeled thread: void the
+            // execution up front instead of waiting on a job that will
+            // never run.
+            let mut st = shared.inner.lock();
+            st.alive[Tid::MAIN.idx()] = false;
+            st.running -= 1;
+            st.active_jobs -= 1;
+            st.outcome = Some(RunOutcome::EngineError(
+                "worker pool exhausted its respawn budget dispatching the main thread".into(),
+            ));
+            shared.done.notify_all();
+        }
     }
 
     // Wait for the verdict + full job drain (arena safety). With a

@@ -81,8 +81,18 @@ impl Pool {
     /// A worker whose OS thread has died (its job channel is closed) is
     /// respawned in place and the dispatch retried — one lost thread must
     /// not take down the whole exploration.
-    pub fn dispatch(&mut self, job: Job) {
+    ///
+    /// Respawns are bounded: a host where fresh pool threads die
+    /// immediately on every start (resource exhaustion, a broken runtime)
+    /// would otherwise spin here forever. After [`Pool::MAX_RESPAWNS`]
+    /// consecutive failed hand-offs — each preceded by an exponentially
+    /// growing backoff sleep — the dispatch gives up and returns `false`;
+    /// callers surface the failure as [`crate::StopReason::Errored`]
+    /// instead of hanging the exploration.
+    #[must_use = "a failed dispatch must abort the execution, not be ignored"]
+    pub fn dispatch(&mut self, job: Job) -> bool {
         let mut job = job;
+        let mut respawns = 0u32;
         loop {
             let idx = match self.free_rx.try_recv() {
                 Ok(i) => i,
@@ -93,18 +103,31 @@ impl Pool {
                 }
             };
             job = match self.workers[idx].job_tx.send(job) {
-                Ok(()) => return,
+                Ok(()) => return true,
                 Err(std::sync::mpsc::SendError(j)) => j,
             };
             // Dead worker: replace it and hand the fresh one the job
-            // directly (it never announced itself free).
+            // directly (it never announced itself free). Back off first —
+            // if threads are dying from transient resource pressure, an
+            // immediate respawn just burns the retry budget.
+            if respawns >= Self::MAX_RESPAWNS {
+                return false;
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50u64 << respawns.min(12)));
+            respawns += 1;
             self.workers[idx] = spawn_worker(idx, self.free_tx.clone());
             job = match self.workers[idx].job_tx.send(job) {
-                Ok(()) => return,
+                Ok(()) => return true,
                 Err(std::sync::mpsc::SendError(j)) => j,
             };
         }
     }
+}
+
+impl Pool {
+    /// Consecutive dead-worker respawns tolerated by one dispatch before
+    /// it reports failure (total backoff ≈ 0.8 s at the cap).
+    pub(crate) const MAX_RESPAWNS: u32 = 8;
 }
 
 /// Run `n` shard-explorer bodies on dedicated OS threads and collect their
