@@ -10,7 +10,7 @@
 //! ```text
 //! cargo run -p cdsspec-bench --release --bin figure7 -- \
 //!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>] \
-//!     [--workers <n>] [--stable]
+//!     [--workers <n>] [--stable] [--no-rf-prune]
 //! ```
 //!
 //! With `--time-budget`, an expiring run writes a checkpoint (completed
@@ -25,6 +25,12 @@
 //! execution/feasible counts are identical at every worker count;
 //! `--stable` masks the time column so the identity can be checked with
 //! `diff <(figure7 --stable --workers 1) <(figure7 --stable --workers 4)`.
+//!
+//! `--no-rf-prune` disables reads-from equivalence pruning. Execution
+//! counts rise several-fold but the bug verdicts and rf-class counts are
+//! identical — the differential the pruning soundness tests pin down
+//! (see `ARCHITECTURE.md`, *Exploration identity and rf-equivalence
+//! pruning*).
 
 use std::process::exit;
 
@@ -149,6 +155,7 @@ fn main() {
             max_executions: 3_000_000,
             time_budget: budget,
             workers: args.mc_workers(),
+            rf_prune: args.rf_prune,
             ..mc::Config::default()
         };
         // Pick up mid-tree if a previous run was interrupted inside this
@@ -195,6 +202,8 @@ fn main() {
             peak_depth: stats.peak_depth,
             stop: stats.stop.to_string(),
             buggy: stats.buggy(),
+            executions_pruned: stats.executions_pruned,
+            rf_classes: stats.rf_classes.len() as u64,
         };
         total_ok &= !row.buggy;
         print_row(&row, false, args.stable);
@@ -205,19 +214,22 @@ fn main() {
     if let Some(path) = args.checkpoint_path() {
         let _ = std::fs::remove_file(path);
     }
-    // Throughput summary. Executions and peak depth are deterministic
-    // across worker counts; only the rate is timing-dependent, so only
-    // the rate is masked under `--stable`.
+    // Throughput summary. Executions, pruned branches, rf classes and
+    // peak depth are deterministic across worker counts; only the rate is
+    // timing-dependent, so only the rate is masked under `--stable`.
     let total_exec: u64 = state.done.iter().map(|r| r.executions).sum();
     let total_ns: u128 = state.done.iter().map(|r| r.elapsed_ns).sum();
     let depth = state.done.iter().map(|r| r.peak_depth).max().unwrap_or(0);
+    let pruned: u64 = state.done.iter().map(|r| r.executions_pruned).sum();
+    let classes: u64 = state.done.iter().map(|r| r.rf_classes).sum();
     let rate = if args.stable {
         "-".to_string()
     } else {
         format!("{:.0}", exec_per_sec(total_exec, total_ns))
     };
     println!(
-        "\nThroughput: {total_exec} executions at {rate} exec/s, peak frontier depth {depth}."
+        "\nThroughput: {total_exec} executions at {rate} exec/s, {pruned} rf-pruned \
+         branches, {classes} rf classes, peak frontier depth {depth}."
     );
     println!(
         "\nAll benchmarks clean: {}. Shape claim preserved: every benchmark finishes \

@@ -8,7 +8,7 @@
 //! ```text
 //! cargo run -p cdsspec-bench --release --bin figure8 -- [--verbose] \
 //!     [--time-budget <secs>] [--resume <path>] [--checkpoint <path>] \
-//!     [--workers <n>]
+//!     [--workers <n>] [--no-rf-prune]
 //! ```
 //!
 //! `--workers <n>` sets the explorer thread count used by each trial's
@@ -105,6 +105,7 @@ fn main() {
     let config = mc::Config {
         max_executions: 300_000,
         workers: args.mc_workers(),
+        rf_prune: args.rf_prune,
         ..mc::Config::default()
     };
     let benches = benchmarks();
@@ -184,6 +185,8 @@ fn main() {
                     executions: trials.iter().map(|t| t.executions).sum(),
                     elapsed_ns: trials.iter().map(|t| t.elapsed_ns).sum(),
                     peak_depth: trials.iter().map(|t| t.peak_depth).max().unwrap_or(0),
+                    executions_pruned: trials.iter().map(|t| t.executions_pruned).sum(),
+                    rf_classes: trials.iter().map(|t| t.rf_classes).sum(),
                 };
                 state.done.push(saved.clone());
                 (saved, false)
@@ -209,19 +212,23 @@ fn main() {
     if let Some(path) = args.checkpoint_path() {
         let _ = std::fs::remove_file(path);
     }
-    // Throughput summary across every trial exploration. Executions and
-    // peak depth are deterministic per trial; the rate is
-    // timing-dependent, so it is masked under `--stable`.
+    // Throughput summary across every trial exploration. Executions,
+    // pruned branches, rf classes and peak depth are deterministic per
+    // trial; the rate is timing-dependent, so it is masked under
+    // `--stable`.
     let total_exec: u64 = state.done.iter().map(|r| r.executions).sum();
     let total_ns: u128 = state.done.iter().map(|r| r.elapsed_ns).sum();
     let depth = state.done.iter().map(|r| r.peak_depth).max().unwrap_or(0);
+    let pruned: u64 = state.done.iter().map(|r| r.executions_pruned).sum();
+    let classes: u64 = state.done.iter().map(|r| r.rf_classes).sum();
     let rate = if args.stable {
         "-".to_string()
     } else {
         format!("{:.0}", exec_per_sec(total_exec, total_ns))
     };
     println!(
-        "\nThroughput: {total_exec} trial executions at {rate} exec/s, peak frontier depth {depth}."
+        "\nThroughput: {total_exec} trial executions at {rate} exec/s, {pruned} rf-pruned \
+         branches, {classes} rf classes, peak frontier depth {depth}."
     );
     println!(
         "\nShape claims preserved: the overwhelming majority of injections are detected;\n\

@@ -14,7 +14,11 @@
 //!   auto-detect available parallelism; `--workers 1` forces the
 //!   sequential engine);
 //! * `--stable` — mask wall-clock columns so two runs at different
-//!   worker counts diff byte-for-byte.
+//!   worker counts diff byte-for-byte;
+//! * `--no-rf-prune` — disable reads-from equivalence pruning
+//!   ([`mc::Config::rf_prune`]); used by the differential tests that
+//!   prove pruning preserves the bug set (see `ARCHITECTURE.md`,
+//!   *Exploration identity and rf-equivalence pruning*).
 //!
 //! `figure7` checkpoints at *exploration* granularity — completed rows
 //! plus a mid-tree [`mc::Checkpoint`] for the interrupted benchmark — so
@@ -23,6 +27,8 @@
 //! granularity: completed Figure 8 rows are saved verbatim and the
 //! interrupted benchmark's trials restart, which preserves the same
 //! guarantee (a row is only ever reported from a complete trial set).
+
+#![warn(missing_docs)]
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -35,7 +41,7 @@ use cdsspec_mc as mc;
 pub const EXIT_INTERRUPTED: i32 = 3;
 
 /// Parsed harness flags shared by the evaluation binaries.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct HarnessArgs {
     /// Wall-clock budget for the whole run.
     pub time_budget: Option<Duration>,
@@ -51,6 +57,24 @@ pub struct HarnessArgs {
     /// Suppress wall-clock columns so output is byte-comparable across
     /// runs (`diff <(figure7 --stable) <(figure7 --stable --workers 4)`).
     pub stable: bool,
+    /// Reads-from equivalence pruning (`--no-rf-prune` clears it).
+    /// Threaded into [`mc::Config::rf_prune`]; on by default, like the
+    /// checker's.
+    pub rf_prune: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            time_budget: None,
+            checkpoint: None,
+            resume: None,
+            verbose: false,
+            workers: None,
+            stable: false,
+            rf_prune: true,
+        }
+    }
 }
 
 impl HarnessArgs {
@@ -94,11 +118,12 @@ impl HarnessArgs {
                     out.workers = Some(n);
                 }
                 "--stable" => out.stable = true,
+                "--no-rf-prune" => out.rf_prune = false,
                 other => {
                     return Err(format!(
                         "unknown flag {other} (expected --time-budget <secs>, \
                          --resume <path>, --checkpoint <path>, --workers <n>, \
-                         --stable, --verbose)"
+                         --stable, --verbose, --no-rf-prune)"
                     ));
                 }
             }
@@ -148,6 +173,12 @@ pub struct SavedRow7 {
     pub buggy: bool,
     /// Deepest DFS frontier reached (see [`mc::Stats::peak_depth`]).
     pub peak_depth: u64,
+    /// Branches suppressed by rf-equivalence pruning (see
+    /// [`mc::Stats::executions_pruned`]).
+    pub executions_pruned: u64,
+    /// Distinct reads-from equivalence classes among the benchmark's
+    /// completed executions (`mc::Stats::rf_classes.len()`).
+    pub rf_classes: u64,
 }
 
 impl SavedRow7 {
@@ -185,8 +216,16 @@ impl Figure7Checkpoint {
         let mut out = String::from("figure7-checkpoint v1\n");
         for r in &self.done {
             out.push_str(&format!(
-                "row {}|{}|{}|{}|{}|{}|{}\n",
-                r.name, r.executions, r.feasible, r.elapsed_ns, r.stop, r.buggy as u8, r.peak_depth
+                "row {}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+                r.name,
+                r.executions,
+                r.feasible,
+                r.elapsed_ns,
+                r.stop,
+                r.buggy as u8,
+                r.peak_depth,
+                r.executions_pruned,
+                r.rf_classes
             ));
         }
         if let Some((name, ckpt)) = &self.current {
@@ -211,12 +250,14 @@ impl Figure7Checkpoint {
                 break;
             } else if let Some(rest) = line.strip_prefix("row ") {
                 let f: Vec<&str> = rest.split('|').collect();
-                // 6 fields = pre-peak-depth checkpoints (still accepted,
-                // the depth reads back as 0); 7 = current format.
-                if f.len() != 6 && f.len() != 7 {
+                // 6 fields = pre-peak-depth checkpoints, 7 = pre-rf-prune
+                // (both still accepted, missing counters read back as 0);
+                // 9 = current format.
+                if f.len() != 6 && f.len() != 7 && f.len() != 9 {
                     return Err(format!("bad row line: {line}"));
                 }
                 let num = |s: &str| s.parse::<u64>().map_err(|e| format!("bad row field: {e}"));
+                let opt = |s: Option<&&str>| s.map_or(Ok(0), |d| num(d));
                 out.done.push(SavedRow7 {
                     name: f[0].to_string(),
                     executions: num(f[1])?,
@@ -224,10 +265,9 @@ impl Figure7Checkpoint {
                     elapsed_ns: f[3].parse().map_err(|e| format!("bad row field: {e}"))?,
                     stop: f[4].to_string(),
                     buggy: f[5] == "1",
-                    peak_depth: match f.get(6) {
-                        Some(d) => num(d)?,
-                        None => 0,
-                    },
+                    peak_depth: opt(f.get(6))?,
+                    executions_pruned: opt(f.get(7))?,
+                    rf_classes: opt(f.get(8))?,
                 });
             } else if let Some(name) = line.strip_prefix("current ") {
                 // The embedded exploration checkpoint runs to its own
@@ -274,6 +314,14 @@ pub struct SavedRow8 {
     pub elapsed_ns: u128,
     /// Deepest DFS frontier reached by any trial.
     pub peak_depth: u64,
+    /// Branches suppressed by rf-equivalence pruning, summed across the
+    /// benchmark's trials.
+    pub executions_pruned: u64,
+    /// Reads-from equivalence classes, summed across trials (each trial
+    /// explores an independently weakened structure, so the per-trial
+    /// class counts are independent and their sum is the meaningful
+    /// campaign total).
+    pub rf_classes: u64,
 }
 
 /// Figure 8 checkpoint: benchmark-granularity — completed rows only.
@@ -289,7 +337,7 @@ impl Figure8Checkpoint {
         let mut out = String::from("figure8-checkpoint v1\n");
         for r in &self.done {
             out.push_str(&format!(
-                "row {}|{}|{}|{}|{}|{}|{}|{}|{}\n",
+                "row {}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{}\n",
                 r.name,
                 r.injections,
                 r.builtin,
@@ -298,7 +346,9 @@ impl Figure8Checkpoint {
                 r.errored,
                 r.executions,
                 r.elapsed_ns,
-                r.peak_depth
+                r.peak_depth,
+                r.executions_pruned,
+                r.rf_classes
             ));
         }
         out.push_str("end\n");
@@ -322,15 +372,25 @@ impl Figure8Checkpoint {
                 .strip_prefix("row ")
                 .ok_or_else(|| format!("bad line: {line}"))?;
             let f: Vec<&str> = rest.split('|').collect();
-            // 6 fields = pre-throughput checkpoints (still accepted, the
-            // extra counters read back as 0); 9 = current format.
-            if f.len() != 6 && f.len() != 9 {
+            // 6 fields = pre-throughput checkpoints, 9 = pre-rf-prune
+            // (both still accepted, the extra counters read back as 0);
+            // 11 = current format.
+            if f.len() != 6 && f.len() != 9 && f.len() != 11 {
                 return Err(format!("bad row line: {line}"));
             }
             let num = |s: &str| {
                 s.parse::<usize>()
                     .map_err(|e| format!("bad row field: {e}"))
             };
+            fn opt<T>(s: Option<&&str>) -> Result<T, String>
+            where
+                T: std::str::FromStr + Default,
+                T::Err: std::fmt::Display,
+            {
+                s.map_or(Ok(T::default()), |v| {
+                    v.parse().map_err(|e| format!("bad row field: {e}"))
+                })
+            }
             out.done.push(SavedRow8 {
                 name: f[0].to_string(),
                 injections: num(f[1])?,
@@ -338,18 +398,11 @@ impl Figure8Checkpoint {
                 admissibility: num(f[3])?,
                 assertion: num(f[4])?,
                 errored: num(f[5])?,
-                executions: match f.get(6) {
-                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
-                    None => 0,
-                },
-                elapsed_ns: match f.get(7) {
-                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
-                    None => 0,
-                },
-                peak_depth: match f.get(8) {
-                    Some(s) => s.parse().map_err(|e| format!("bad row field: {e}"))?,
-                    None => 0,
-                },
+                executions: opt(f.get(6))?,
+                elapsed_ns: opt(f.get(7))?,
+                peak_depth: opt(f.get(8))?,
+                executions_pruned: opt(f.get(9))?,
+                rf_classes: opt(f.get(10))?,
             });
         }
         if !closed {
@@ -620,6 +673,7 @@ mod tests {
             "--workers",
             "4",
             "--stable",
+            "--no-rf-prune",
         ]))
         .unwrap();
         assert_eq!(a.time_budget, Some(Duration::from_millis(1500)));
@@ -628,6 +682,7 @@ mod tests {
         assert_eq!(a.workers, Some(4));
         assert_eq!(a.mc_workers(), 4);
         assert!(a.stable);
+        assert!(!a.rf_prune);
         assert!(HarnessArgs::parse(strings(&["--bogus"])).is_err());
         assert!(HarnessArgs::parse(strings(&["--time-budget", "-1"])).is_err());
         assert!(HarnessArgs::parse(strings(&["--time-budget"])).is_err());
@@ -641,6 +696,7 @@ mod tests {
         assert_eq!(a.workers, None);
         assert_eq!(a.mc_workers(), 0);
         assert!(!a.stable);
+        assert!(a.rf_prune, "pruning is on unless --no-rf-prune");
     }
 
     #[test]
@@ -655,6 +711,7 @@ mod tests {
         inner.script = vec![0, 3, 1];
         inner.stats.executions = 17;
         inner.stats.stop = mc::StopReason::Deadline;
+        inner.stats.elapsed = Duration::from_millis(4321);
         let ck = Figure7Checkpoint {
             done: vec![SavedRow7 {
                 name: "SPSC Queue".into(),
@@ -664,6 +721,8 @@ mod tests {
                 stop: "exhausted".into(),
                 buggy: false,
                 peak_depth: 7,
+                executions_pruned: 12,
+                rf_classes: 9,
             }],
             current: Some(("RCU".into(), inner)),
         };
@@ -673,6 +732,10 @@ mod tests {
         assert_eq!(name, "RCU");
         assert_eq!(ckpt.script, vec![0, 3, 1]);
         assert_eq!(ckpt.stats.executions, 17);
+        // The interrupted benchmark's *active* exploration time rides
+        // along: figure7 resumes accumulate onto it, so the summary's
+        // exec/s never includes the suspension gap between runs.
+        assert_eq!(ckpt.stats.elapsed, Duration::from_millis(4321));
     }
 
     #[test]
@@ -688,6 +751,8 @@ mod tests {
                 executions: 61_000,
                 elapsed_ns: 2_500_000,
                 peak_depth: 11,
+                executions_pruned: 300,
+                rf_classes: 41,
             }],
         };
         assert_eq!(Figure8Checkpoint::from_text(&ck.to_text()).unwrap(), ck);
@@ -793,10 +858,30 @@ mod tests {
         let ck7 = Figure7Checkpoint::from_text(f7).unwrap();
         assert_eq!(ck7.done[0].executions, 42);
         assert_eq!(ck7.done[0].peak_depth, 0);
+        assert_eq!(ck7.done[0].executions_pruned, 0);
+        assert_eq!(ck7.done[0].rf_classes, 0);
         let f8 = "figure8-checkpoint v1\nrow Ticket Lock|2|0|0|2|0\nend\n";
         let ck8 = Figure8Checkpoint::from_text(f8).unwrap();
         assert_eq!(ck8.done[0].assertion, 2);
         assert_eq!(ck8.done[0].executions, 0);
         assert_eq!(ck8.done[0].peak_depth, 0);
+        assert_eq!(ck8.done[0].executions_pruned, 0);
+    }
+
+    #[test]
+    fn pre_rf_prune_rows_still_parse() {
+        // The immediately preceding formats (7-field figure7 rows,
+        // 9-field figure8 rows) also load, with the rf counters zero.
+        let f7 = "figure7-checkpoint v1\nrow SPSC Queue|42|30|1000000|exhausted|0|7\nend\n";
+        let ck7 = Figure7Checkpoint::from_text(f7).unwrap();
+        assert_eq!(ck7.done[0].peak_depth, 7);
+        assert_eq!(ck7.done[0].executions_pruned, 0);
+        assert_eq!(ck7.done[0].rf_classes, 0);
+        let f8 = "figure8-checkpoint v1\nrow Ticket Lock|2|0|0|2|0|61000|2500000|11\nend\n";
+        let ck8 = Figure8Checkpoint::from_text(f8).unwrap();
+        assert_eq!(ck8.done[0].executions, 61_000);
+        assert_eq!(ck8.done[0].peak_depth, 11);
+        assert_eq!(ck8.done[0].executions_pruned, 0);
+        assert_eq!(ck8.done[0].rf_classes, 0);
     }
 }

@@ -602,6 +602,157 @@ pub fn validate(trace: &Trace, check_clocks: bool) -> Vec<AxiomError> {
     errors
 }
 
+// ---------------------------------------------------------------------
+// rf-signature canonicalization (exploration identity)
+// ---------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// Sentinel mixed in for "reads the initial (uninitialized) value".
+const NO_RF: u64 = 0x5eed_0000_0000_0001;
+
+/// FNV-1a over the little-endian bytes of `v`, chained from `h`.
+fn fnv(mut h: u64, v: u64) -> u64 {
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A schedule-independent identity for a completed execution: a hash of
+/// the abstract execution graph — per-thread operation sequences, the
+/// reads-from assignment, per-location modification orders, and the SC
+/// order — with every schedule-dependent artifact canonicalized away.
+///
+/// Two completed executions that differ only in how the scheduler
+/// interleaved their threads hash identically; executions that differ in
+/// any rf edge, mo position, or SC position hash differently (modulo
+/// 64-bit collisions). Concretely:
+///
+/// * **Threads** are named by their spawn path (parent's name plus the
+///   parent's spawn count at creation), not by their interleaving-
+///   dependent [`Tid`]; events are identified as (thread name, per-thread
+///   sequence number), never by their global commit index.
+/// * **Locations** are named by the smallest canonical event id that
+///   touches them, because `LocId`/`DataId` allocation order tracks the
+///   schedule.
+/// * **Values are excluded**: the test closure is deterministic, so given
+///   the per-thread operation sequences and the rf assignment the values
+///   are redundant — and pointer-valued cells would otherwise leak
+///   allocation addresses into the hash.
+/// * Per-thread and per-location chains are combined commutatively, so
+///   the fold order (which tracks the schedule) cannot leak in.
+///
+/// Signatures are comparable within one test closure's exploration —
+/// that is their only use: counting rf classes and checking that pruned
+/// and unpruned explorations cover the same classes.
+pub fn rf_signature(trace: &Trace) -> u64 {
+    let nthreads = trace.num_threads as usize;
+
+    // Canonical thread names from the spawn tree.
+    let mut canon = vec![0u64; nthreads];
+    let mut spawn_count = vec![0u64; nthreads];
+    canon[0] = fnv(FNV_OFFSET, 0);
+    for e in &trace.events {
+        if let EventKind::ThreadCreate { child } = e.kind {
+            let p = e.tid.idx();
+            canon[child.idx()] = fnv(fnv(canon[p], 1), spawn_count[p]);
+            spawn_count[p] += 1;
+        }
+    }
+
+    // Canonical event id: (thread name, per-thread sequence number).
+    let ceid = |id: EventId| -> u64 {
+        let e = trace.event(id);
+        fnv(fnv(FNV_OFFSET, canon[e.tid.idx()]), e.seq as u64)
+    };
+
+    // Canonical location names: the smallest canonical id of any event
+    // touching the location (the touching-event *set* is schedule-
+    // independent, so its minimum is too).
+    let mut loc_min: Vec<u64> = Vec::new();
+    let mut data_min: Vec<u64> = Vec::new();
+    let note = |slot: &mut Vec<u64>, idx: usize, c: u64| {
+        if slot.len() <= idx {
+            slot.resize(idx + 1, u64::MAX);
+        }
+        slot[idx] = slot[idx].min(c);
+    };
+    for e in &trace.events {
+        let c = ceid(e.id);
+        match e.kind {
+            EventKind::AtomicLoad { loc, .. }
+            | EventKind::AtomicStore { loc, .. }
+            | EventKind::Rmw { loc, .. } => note(&mut loc_min, loc.idx(), c),
+            EventKind::DataWrite { loc } | EventKind::DataRead { loc } => {
+                note(&mut data_min, loc.idx(), c)
+            }
+            _ => {}
+        }
+    }
+
+    // Per-thread operation chains (sequential fold per thread = program
+    // order; commutative sum across threads).
+    let mut thread_hash: Vec<u64> = canon.iter().map(|&c| fnv(FNV_OFFSET, c)).collect();
+    for e in &trace.events {
+        let h = &mut thread_hash[e.tid.idx()];
+        *h = match e.kind {
+            EventKind::AtomicLoad { loc, ord, rf, .. } => {
+                let rf = rf.map(&ceid).unwrap_or(NO_RF);
+                fnv(fnv(fnv(fnv(*h, 1), loc_min[loc.idx()]), ord as u64), rf)
+            }
+            EventKind::AtomicStore { loc, ord, .. } => {
+                fnv(fnv(fnv(*h, 2), loc_min[loc.idx()]), ord as u64)
+            }
+            EventKind::Rmw {
+                loc,
+                ord,
+                rf,
+                written,
+                ..
+            } => {
+                let rf = rf.map(&ceid).unwrap_or(NO_RF);
+                let wrote = written.is_some() as u64;
+                fnv(
+                    fnv(fnv(fnv(fnv(*h, 3), loc_min[loc.idx()]), ord as u64), rf),
+                    wrote,
+                )
+            }
+            EventKind::Fence { ord } => fnv(fnv(*h, 4), ord as u64),
+            EventKind::ThreadCreate { child } => fnv(fnv(*h, 5), canon[child.idx()]),
+            EventKind::ThreadJoin { target } => fnv(fnv(*h, 6), canon[target.idx()]),
+            EventKind::ThreadFinish => fnv(*h, 7),
+            EventKind::DataWrite { loc } => fnv(fnv(*h, 8), data_min[loc.idx()]),
+            EventKind::DataRead { loc } => fnv(fnv(*h, 9), data_min[loc.idx()]),
+        };
+    }
+    let mut sig = 0u64;
+    for h in thread_hash {
+        sig = sig.wrapping_add(fnv(FNV_OFFSET, h));
+    }
+
+    // Per-location modification orders (commutative across locations).
+    for (li, chain) in trace.mo.iter().enumerate() {
+        if chain.is_empty() {
+            continue;
+        }
+        let mut h = fnv(fnv(FNV_OFFSET, 10), loc_min[li]);
+        for &w in chain {
+            h = fnv(h, ceid(w));
+        }
+        sig = sig.wrapping_add(h);
+    }
+
+    // The SC order (one global chain).
+    let mut h = fnv(FNV_OFFSET, 11);
+    for &s in &trace.sc_order {
+        h = fnv(h, ceid(s));
+    }
+    sig = sig.wrapping_add(h);
+
+    fnv(sig, trace.num_threads as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

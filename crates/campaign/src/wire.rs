@@ -118,12 +118,17 @@ pub fn stats_to_json(stats: &Stats) -> Json {
         })
         .collect();
     let shards = stats.frontier_shards().iter().map(shard_to_json).collect();
+    // `rf_classes` is a BTreeSet, so the array is sorted — part of the
+    // deterministic-encoding guarantee the cache's byte identity needs.
+    let classes = stats.rf_classes.iter().map(|&c| Json::num(c)).collect();
     Json::obj(vec![
         ("executions", Json::num(stats.executions)),
         ("feasible", Json::num(stats.feasible)),
         ("diverged", Json::num(stats.diverged)),
         ("sleep_pruned", Json::num(stats.sleep_pruned)),
         ("sampled", Json::num(stats.sampled)),
+        ("executions_pruned", Json::num(stats.executions_pruned)),
+        ("rf_classes", Json::Arr(classes)),
         ("peak_depth", Json::num(stats.peak_depth)),
         ("elapsed_ns", Json::Num(stats.elapsed.as_nanos() as i128)),
         ("stop", Json::str(stop_label(stats.stop))),
@@ -150,6 +155,19 @@ pub fn stats_from_json(v: &Json) -> Result<Stats, String> {
         peak_depth: num("peak_depth")?,
         ..Stats::default()
     };
+    // Absent in pre-rf-prune journals: read back as zero/empty rather
+    // than failing, so old journal tails still decode.
+    stats.executions_pruned = v
+        .get("executions_pruned")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    if let Some(classes) = v.get("rf_classes").and_then(Json::as_arr) {
+        for c in classes {
+            stats
+                .rf_classes
+                .insert(c.as_u64().ok_or("non-integer rf class")?);
+        }
+    }
     let ns = v
         .get("elapsed_ns")
         .and_then(Json::as_num)
@@ -229,6 +247,9 @@ pub fn config_to_json(config: &Config) -> Json {
         ("sleep_sets", Json::Bool(config.sleep_sets)),
         ("stop_on_first_bug", Json::Bool(config.stop_on_first_bug)),
         ("validate_axioms", Json::Bool(config.validate_axioms)),
+        // Semantic: pruning preserves the bug set but changes the
+        // execution counters, so cached results must not cross the knob.
+        ("rf_prune", Json::Bool(config.rf_prune)),
     ])
 }
 
@@ -272,6 +293,9 @@ pub fn config_from_json(v: &Json) -> Result<Config, String> {
         .get("validate_axioms")
         .and_then(Json::as_bool)
         .ok_or("config missing validate_axioms")?;
+    // Pre-rf-prune encodings lack the key; they were produced by builds
+    // where pruning did not exist, i.e. it was off.
+    config.rf_prune = v.get("rf_prune").and_then(Json::as_bool).unwrap_or(false);
     Ok(config)
 }
 
@@ -312,6 +336,7 @@ mod tests {
             diverged: 30,
             sleep_pruned: 10,
             sampled: 4,
+            executions_pruned: 40,
             peak_depth: 12,
             elapsed: Duration::from_nanos(1_234_567_890),
             stop: StopReason::ExecutionCap,
@@ -327,6 +352,9 @@ mod tests {
             }],
             ..Stats::default()
         };
+        // Include a signature above i64::MAX: FNV values use the full
+        // u64 range and must survive the i128 wire representation.
+        stats.rf_classes.extend([3, u64::MAX - 1, 7]);
         stats.set_frontier_shards(vec![
             ShardSpec {
                 floor: 2,
@@ -349,6 +377,8 @@ mod tests {
         assert_eq!(back.diverged, stats.diverged);
         assert_eq!(back.sleep_pruned, stats.sleep_pruned);
         assert_eq!(back.sampled, stats.sampled);
+        assert_eq!(back.executions_pruned, stats.executions_pruned);
+        assert_eq!(back.rf_classes, stats.rf_classes);
         assert_eq!(back.peak_depth, stats.peak_depth);
         assert_eq!(back.elapsed, stats.elapsed);
         assert_eq!(back.stop, stats.stop);
@@ -402,10 +432,35 @@ mod tests {
         parallel.steal_batch = 4;
         assert_eq!(config_hash(&parallel), config_hash(&config));
 
-        // ...but semantic knobs do.
+        // ...but semantic knobs do. Pruning changes the execution
+        // counters, so cached results must not cross the knob.
         let mut other = config.clone();
         other.max_executions = 124;
         assert_ne!(config_hash(&other), config_hash(&config));
+        let mut unpruned = config.clone();
+        unpruned.rf_prune = false;
+        assert_ne!(config_hash(&unpruned), config_hash(&config));
+    }
+
+    /// Encodings from builds that predate rf-equivalence pruning decode
+    /// with the counters zero/empty and the knob off (that is what those
+    /// builds computed).
+    #[test]
+    fn pre_rf_prune_encodings_still_decode() {
+        let mut stats_json = stats_to_json(&sample_stats());
+        let mut config_json = config_to_json(&Config::default());
+        for json in [&mut stats_json, &mut config_json] {
+            if let Json::Obj(pairs) = json {
+                pairs.retain(|(k, _)| {
+                    k != "executions_pruned" && k != "rf_classes" && k != "rf_prune"
+                });
+            }
+        }
+        let stats = stats_from_json(&stats_json).expect("legacy stats decode");
+        assert_eq!(stats.executions_pruned, 0);
+        assert!(stats.rf_classes.is_empty());
+        let config = config_from_json(&config_json).expect("legacy config decode");
+        assert!(!config.rf_prune);
     }
 
     #[test]

@@ -169,6 +169,97 @@ fn suite_parallel_cut_resumes_through_shards() {
     }
 }
 
+/// Reads-from equivalence pruning composes with suite shard peeling: a
+/// pruned suite reports the same bug set and rf classes as an unpruned
+/// one, and a pruned parallel cut resumed through part-prefixed shards
+/// still partitions every counter — including `executions_pruned` —
+/// exactly.
+#[test]
+fn suite_rf_pruning_is_sound_across_peeled_shards() {
+    let pruned_cfg = || Config {
+        rf_prune: true,
+        workers: 1,
+        ..Config::default()
+    };
+    let full = check_suite(pruned_cfg(), suite());
+    let unpruned = check_suite(
+        Config {
+            rf_prune: false,
+            workers: 1,
+            ..Config::default()
+        },
+        suite(),
+    );
+    let msgs = |s: &mc::Stats| {
+        let mut m: Vec<String> = s.bugs.iter().map(|b| b.bug.to_string()).collect();
+        m.sort();
+        m
+    };
+    assert_eq!(
+        msgs(&full),
+        msgs(&unpruned),
+        "pruning changed the suite's bug set"
+    );
+    assert_eq!(
+        full.rf_classes, unpruned.rf_classes,
+        "pruning changed the suite's rf classes"
+    );
+    assert!(
+        full.executions < unpruned.executions,
+        "pruning did not engage on the suite: {} vs {}",
+        full.summary(),
+        unpruned.summary()
+    );
+
+    // Parallel pruned cut inside part B, resumed through peeled shards.
+    let part_a_total = spec::check(pruned_cfg(), Spec::new("noop", || ()), part_a).executions;
+    let cut = check_suite(
+        Config {
+            max_executions: part_a_total + 1,
+            workers: 2,
+            rf_prune: true,
+            ..Config::default()
+        },
+        suite(),
+    );
+    if cut.stop == mc::StopReason::Exhausted {
+        assert_eq!(cut.executions, full.executions);
+        return;
+    }
+    assert!(!cut.shard_frontiers.is_empty(), "{}", cut.summary());
+    let resumed = check_suite(
+        Config {
+            resume_shards: Some(cut.shard_frontiers.clone()),
+            workers: 2,
+            rf_prune: true,
+            ..Config::default()
+        },
+        suite(),
+    );
+    assert_eq!(
+        cut.executions + resumed.executions,
+        full.executions,
+        "cut {} + resumed {} != full {}",
+        cut.summary(),
+        resumed.summary(),
+        full.summary()
+    );
+    assert_eq!(
+        cut.executions_pruned + resumed.executions_pruned,
+        full.executions_pruned,
+        "pruned-branch counts must partition: cut {} + resumed {} != full {}",
+        cut.summary(),
+        resumed.summary(),
+        full.summary()
+    );
+    let mut classes = cut.rf_classes.clone();
+    classes.extend(resumed.rf_classes.iter().copied());
+    assert_eq!(
+        classes, full.rf_classes,
+        "rf classes must union to the full set"
+    );
+}
+
 /// A wall-clock budget of zero stops the suite with a resumable frontier
 /// in its first part, and the resumed run completes the tree.
 #[test]

@@ -37,6 +37,8 @@
 //! in site order at every worker count — a parallel campaign's rows are
 //! identical to a sequential one's.
 
+#![warn(missing_docs)]
+
 use cdsspec_mc as mc;
 use cdsspec_structures::registry::Benchmark;
 use cdsspec_structures::Ords;
@@ -62,6 +64,11 @@ pub struct Trial {
     pub message: Option<String>,
     /// Executions explored in the trial.
     pub executions: u64,
+    /// Branches suppressed by rf-equivalence pruning during the trial.
+    pub executions_pruned: u64,
+    /// Distinct reads-from equivalence classes among the trial's
+    /// completed executions.
+    pub rf_classes: u64,
     /// Wall-clock of the trial's exploration, in nanoseconds.
     pub elapsed_ns: u128,
     /// Deepest DFS frontier the trial's exploration reached.
@@ -198,6 +205,8 @@ fn run_trial(
         detected,
         message,
         executions: stats.executions,
+        executions_pruned: stats.executions_pruned,
+        rf_classes: stats.rf_classes.len() as u64,
         elapsed_ns: stats.elapsed.as_nanos(),
         peak_depth: stats.peak_depth,
         errored,

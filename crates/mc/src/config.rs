@@ -68,6 +68,19 @@ pub struct Config {
     /// Enable sleep-set partial-order reduction (on by default; the
     /// ablation bench toggles it).
     pub sleep_sets: bool,
+    /// Enable rf-equivalence pruning (on by default; `--no-rf-prune`
+    /// toggles it in the bench harnesses). Treats the reads-from
+    /// assignment — not the interleaving — as the execution's identity:
+    /// non-SC loads are deferred behind co-enabled same-location writes
+    /// (the read-then-write order is rf-equivalent to write-then-read
+    /// with the same candidate window), and rf candidates that would
+    /// immediately trip the futile-read bound are rejected eagerly,
+    /// before scheduling descends under them. Checkpoints and shard
+    /// frontiers are only valid under the same setting they were
+    /// produced with — the same contract `sleep_sets` already has.
+    /// See ARCHITECTURE.md "Exploration identity and rf-equivalence
+    /// pruning" for the soundness and determinism argument.
+    pub rf_prune: bool,
     /// Stop at the first bug instead of enumerating all buggy executions.
     pub stop_on_first_bug: bool,
     /// Run the offline axiom validator on every feasible execution
@@ -97,6 +110,7 @@ impl Default for Config {
             steal_batch: 1,
             max_threads: 32,
             sleep_sets: true,
+            rf_prune: true,
             stop_on_first_bug: true,
             validate_axioms: false,
             verbose: false,
@@ -135,6 +149,7 @@ mod tests {
         let c = Config::default();
         assert!(c.max_steps_per_thread >= 100);
         assert!(c.sleep_sets);
+        assert!(c.rf_prune, "rf-equivalence pruning on by default");
         assert!(!c.validate_axioms);
         assert!(Config::validating().validate_axioms);
         assert!(c.time_budget.is_none(), "no deadline unless asked");

@@ -185,6 +185,7 @@ impl Explorer {
         self.stats.executions += 1;
         self.local_executions += 1;
         self.stats.peak_depth = self.stats.peak_depth.max(result.choices.len() as u64);
+        self.stats.executions_pruned += result.pruned;
 
         if self.config.verbose {
             eprintln!(
@@ -204,6 +205,12 @@ impl Explorer {
         match &result.outcome {
             RunOutcome::Completed => {
                 self.stats.feasible += 1;
+                // Class accounting uses completed traces only: a partial
+                // (bug-aborted) trace's signature would depend on where
+                // the abort cut it, which is scheduling noise.
+                self.stats
+                    .rf_classes
+                    .insert(cdsspec_c11::relations::rf_signature(&result.trace));
                 if self.config.validate_axioms {
                     for err in cdsspec_c11::relations::validate(&result.trace, true) {
                         self.record_bug(

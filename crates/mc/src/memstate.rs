@@ -177,6 +177,12 @@ impl MemState {
         &self.trace.mo[loc.idx()]
     }
 
+    /// The mo-maximal store to `loc`, if any — the write most recently
+    /// committed (mo order is commit order per location).
+    pub fn last_store(&self, loc: LocId) -> Option<EventId> {
+        self.loc_stores(loc).last().copied()
+    }
+
     fn store_val(&self, id: EventId) -> Val {
         self.trace
             .event(id)

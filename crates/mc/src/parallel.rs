@@ -273,6 +273,8 @@ fn merge_results(
                 merged.diverged += stats.diverged;
                 merged.sleep_pruned += stats.sleep_pruned;
                 merged.sampled += stats.sampled;
+                merged.executions_pruned += stats.executions_pruned;
+                merged.rf_classes.extend(stats.rf_classes);
                 merged.peak_depth = merged.peak_depth.max(stats.peak_depth);
                 merged.stop = merged.stop.worst(stats.stop);
                 for b in stats.bugs {

@@ -2,6 +2,7 @@
 //! stop reasons, and serializable checkpoints for resumable campaigns.
 
 use cdsspec_c11::{DataId, LocId, Tid};
+use std::collections::BTreeSet;
 use std::time::Duration;
 
 /// A defect detected during exploration.
@@ -305,6 +306,20 @@ pub struct Stats {
     /// Executions contributed by deadline-degraded random-walk sampling
     /// (a subset of `executions`; see `Config::deadline_samples`).
     pub sampled: u64,
+    /// Choice-tree branches suppressed by rf-equivalence pruning
+    /// (`Config::rf_prune`): deferred redundant reader schedules plus
+    /// eagerly rejected futile rf candidates. Counted once per suppressed
+    /// branch at its unique fresh visit, so the total is deterministic
+    /// across worker counts and sums exactly across checkpoint
+    /// partitions. `0` when pruning is disabled.
+    pub executions_pruned: u64,
+    /// rf-signatures of the distinct execution identities observed among
+    /// completed executions (see `cdsspec_c11::relations::rf_signature`):
+    /// the abstract (per-thread ops, rf, mo, SC) graph with scheduling
+    /// noise canonicalized away. Pruned and unpruned explorations of the
+    /// same closure cover the same set — that is the pruning soundness
+    /// invariant the differential tests check. Merging unions the sets.
+    pub rf_classes: BTreeSet<u64>,
     /// Deepest DFS frontier reached: the maximum number of recorded
     /// choice points in any single execution. Deterministic across worker
     /// counts (the set of explored executions is identical), so it can be
@@ -395,6 +410,8 @@ impl Stats {
         self.diverged += other.diverged;
         self.sleep_pruned += other.sleep_pruned;
         self.sampled += other.sampled;
+        self.executions_pruned += other.executions_pruned;
+        self.rf_classes.extend(other.rf_classes.iter().copied());
         self.peak_depth = self.peak_depth.max(other.peak_depth);
         self.elapsed += other.elapsed;
         self.stop = self.stop.worst(other.stop);
@@ -434,12 +451,14 @@ impl Stats {
     /// One-line summary (used by the evaluation harness).
     pub fn summary(&self) -> String {
         format!(
-            "{} executions ({} feasible, {} diverged, {} sleep-pruned), {} bug(s), \
-             {:.2?} ({:.0} exec/s), peak depth {}, stop: {}",
+            "{} executions ({} feasible, {} diverged, {} sleep-pruned, {} rf-pruned, \
+             {} rf classes), {} bug(s), {:.2?} ({:.0} exec/s), peak depth {}, stop: {}",
             self.executions,
             self.feasible,
             self.diverged,
             self.sleep_pruned,
+            self.executions_pruned,
+            self.rf_classes.len(),
             self.bugs.len(),
             self.elapsed,
             self.exec_per_sec(),
@@ -538,6 +557,24 @@ impl Checkpoint {
         if self.stats.peak_depth != 0 {
             out.push_str(&format!("peak_depth {}\n", self.stats.peak_depth));
         }
+        // Optional lines (omitted when trivial) keep old checkpoints and
+        // old parsers compatible with the `counts` line unchanged.
+        if self.stats.executions_pruned != 0 {
+            out.push_str(&format!(
+                "executions_pruned {}\n",
+                self.stats.executions_pruned
+            ));
+        }
+        if !self.stats.rf_classes.is_empty() {
+            let classes = self
+                .stats
+                .rf_classes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!("rf_classes {classes}\n"));
+        }
         out.push_str(&format!("stop {}\n", self.stats.stop));
         for b in &self.stats.bugs {
             out.push_str(&format!(
@@ -615,6 +652,18 @@ impl Checkpoint {
                     ck.stats.peak_depth = rest
                         .parse()
                         .map_err(|e| format!("bad peak_depth {rest:?}: {e}"))?;
+                }
+                "executions_pruned" => {
+                    ck.stats.executions_pruned = rest
+                        .parse()
+                        .map_err(|e| format!("bad executions_pruned {rest:?}: {e}"))?;
+                }
+                "rf_classes" => {
+                    ck.stats.rf_classes = rest
+                        .split(',')
+                        .filter(|c| !c.is_empty())
+                        .map(|c| c.parse().map_err(|e| format!("bad rf class {c:?}: {e}")))
+                        .collect::<Result<_, _>>()?;
                 }
                 "stop" => {
                     ck.stats.stop = StopReason::from_label(rest)
@@ -826,6 +875,8 @@ mod tests {
             diverged: 7,
             sleep_pruned: 5,
             sampled: 3,
+            executions_pruned: 6,
+            rf_classes: [4u64, u64::MAX - 3].into_iter().collect(),
             peak_depth: 9,
             elapsed: Duration::from_millis(1234),
             stop: StopReason::Deadline,
@@ -851,7 +902,14 @@ mod tests {
         assert_eq!(back.stats.diverged, 7);
         assert_eq!(back.stats.sleep_pruned, 5);
         assert_eq!(back.stats.sampled, 3);
+        assert_eq!(back.stats.executions_pruned, 6);
+        assert_eq!(back.stats.rf_classes, stats.rf_classes);
         assert_eq!(back.stats.peak_depth, 9);
+        // Elapsed must round-trip exactly: resumed throughput summaries
+        // divide by accumulated *active* time, so a checkpoint that
+        // dropped or re-derived it would fold suspension gaps into the
+        // reported exec/s rate.
+        assert_eq!(back.stats.elapsed, stats.elapsed);
         assert_eq!(back.stats.stop, StopReason::Deadline);
         assert_eq!(back.stats.bugs.len(), 1);
         // The restored bug renders identically, so dedup on resume works.

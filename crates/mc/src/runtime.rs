@@ -29,7 +29,7 @@ use rand::Rng;
 
 use crate::config::Config;
 use crate::memstate::MemState;
-use crate::msg::{Op, Reply};
+use crate::msg::{Op, Reply, RmwKind};
 use crate::report::Bug;
 use crate::worker::{DieMarker, Job, Pool};
 
@@ -68,6 +68,12 @@ pub(crate) struct RunResult {
     /// watchdog aborted, but one job never exited). The per-execution
     /// arena is intentionally kept alive in this case.
     pub hung: bool,
+    /// Choice-tree branches suppressed by rf-equivalence pruning at
+    /// decision points this execution visited for the first time (see
+    /// [`ExecState::at_fresh_node`]). Summing these over an exploration
+    /// counts each suppressed branch exactly once, independent of worker
+    /// count and checkpoint partitioning.
+    pub pruned: u64,
 }
 
 /// Futile-read state for one `(thread, location)` pair: the rf observed by
@@ -127,6 +133,20 @@ pub(crate) struct ExecState {
     /// collects per scheduling decision was the single largest remaining
     /// allocation source after the rf-candidate buffers moved here.
     sched_buf: Vec<Tid>,
+    /// Branches suppressed by rf-equivalence pruning at fresh decision
+    /// points of *this* execution (reset per execution, surfaced through
+    /// [`RunResult::pruned`]).
+    pruned: u64,
+    /// Per-thread rf floor set when a *sleeping* thread whose pending op
+    /// is a non-SC load (or a CAS with a non-SC failure ordering) of
+    /// `loc` is woken by a write to `loc`: the already-explored sibling
+    /// subtree (the reason the thread slept) covered every pre-write
+    /// candidate, so the woken read only needs candidates `>=` the waking
+    /// write in mo. Cleared when the read executes; slot reuse mirrors
+    /// `futile`. Soundness requires the mapping to point at strictly
+    /// DFS-earlier branches — see the exploration-identity contract in
+    /// `ARCHITECTURE.md`.
+    wake_floor: Vec<Option<(LocId, EventId)>>,
 }
 
 /// Shared handle between the explorer, the workers, and the user-facing
@@ -220,6 +240,11 @@ impl ExecState {
         } else {
             self.futile[idx].clear();
         }
+        if self.wake_floor.len() <= idx {
+            self.wake_floor.push(None);
+        } else {
+            self.wake_floor[idx] = None;
+        }
         Tid(idx as u32)
     }
 
@@ -246,6 +271,74 @@ impl ExecState {
         self.dying = false;
         self.progress = 0;
         self.sampler = sampler;
+        self.pruned = 0;
+    }
+
+    /// True when the current decision point is being visited for the first
+    /// time across the whole exploration: not a script replay (`cursor`
+    /// still inside the script) and not a random sample. Generated scripts
+    /// always end in an incremented entry, so for every decision-point
+    /// prefix exactly one executed script satisfies this — pruning
+    /// counters bumped under this guard count each suppressed branch once,
+    /// regardless of worker count or checkpoint partitioning.
+    fn at_fresh_node(&self) -> bool {
+        self.sampler.is_none() && self.cursor >= self.script.len()
+    }
+
+    /// Eager futile-read rejection (`Config::rf_prune`): when `(t, loc)`
+    /// already sits at the futile-read bound, drop load candidates equal
+    /// to the previously observed rf — choosing one would immediately
+    /// divergence-abort in [`ExecState::track_read`], so the branch is
+    /// rejected before scheduling descends under it. Only
+    /// already-diverging branches are removed, leaving the bug set and
+    /// the feasible executions untouched.
+    fn reject_futile_loads(&mut self, t: Tid, loc: LocId) -> Result<(), RunOutcome> {
+        let cap = self.config.max_futile_reads;
+        let Some(slot) = self.futile.get(t.idx()).and_then(|f| f.get(loc.idx())) else {
+            return Ok(());
+        };
+        let Some((prev, n)) = *slot else {
+            return Ok(());
+        };
+        if n < cap {
+            return Ok(());
+        }
+        let before = self.cand_buf.len();
+        self.cand_buf.retain(|&c| c != prev);
+        let removed = (before - self.cand_buf.len()) as u64;
+        if removed > 0 && self.at_fresh_node() {
+            self.pruned += removed;
+        }
+        if self.cand_buf.is_empty() {
+            return Err(RunOutcome::Diverged);
+        }
+        Ok(())
+    }
+
+    /// As [`ExecState::reject_futile_loads`] for RMW decisions: only
+    /// *failing* reads are tracked by the futile counter, so successful
+    /// RMW outcomes are never removed.
+    fn reject_futile_rmws(&mut self, t: Tid, loc: LocId) -> Result<(), RunOutcome> {
+        let cap = self.config.max_futile_reads;
+        let Some(slot) = self.futile.get(t.idx()).and_then(|f| f.get(loc.idx())) else {
+            return Ok(());
+        };
+        let Some((prev, n)) = *slot else {
+            return Ok(());
+        };
+        if n < cap {
+            return Ok(());
+        }
+        let before = self.rmw_buf.len();
+        self.rmw_buf.retain(|c| c.success || c.rf != prev);
+        let removed = (before - self.rmw_buf.len()) as u64;
+        if removed > 0 && self.at_fresh_node() {
+            self.pruned += removed;
+        }
+        if self.rmw_buf.is_empty() {
+            return Err(RunOutcome::Diverged);
+        }
+        Ok(())
     }
 
     /// Record a read for futile-read tracking; `true` = prune.
@@ -281,6 +374,28 @@ impl ExecState {
             Op::Load { loc, ord } => {
                 self.mem
                     .load_candidates_into(t, loc, ord, &mut self.cand_buf);
+                if self.config.rf_prune {
+                    self.reject_futile_loads(t, loc)?;
+                    if let Some((fl, fev)) = self.wake_floor[t.idx()].take() {
+                        if fl == loc && !ord.is_seq_cst() {
+                            let before = self.cand_buf.len();
+                            self.cand_buf.retain(|c| matches!(c, Some(w) if *w >= fev));
+                            let removed = (before - self.cand_buf.len()) as u64;
+                            if removed > 0 && self.at_fresh_node() {
+                                self.pruned += removed;
+                            }
+                            // The waking write itself is always in this
+                            // thread's window (the thread has not run since
+                            // before the write committed, so its coherence
+                            // floor predates it) and is never the futile
+                            // `prev` (which was read before the sleep).
+                            debug_assert!(!self.cand_buf.is_empty());
+                            if self.cand_buf.is_empty() {
+                                return Err(RunOutcome::Diverged);
+                            }
+                        }
+                    }
+                }
                 let idx = self.choose(self.cand_buf.len());
                 let rf = self.cand_buf[idx];
                 let val = self.mem.apply_load(t, loc, ord, rf);
@@ -306,6 +421,29 @@ impl ExecState {
                     &mut self.rmw_buf,
                     &mut self.cand_scratch,
                 );
+                if self.config.rf_prune {
+                    self.reject_futile_rmws(t, loc)?;
+                    if let Some((fl, fev)) = self.wake_floor[t.idx()].take() {
+                        if fl == loc {
+                            let before = self.rmw_buf.len();
+                            // Success choices read the mo-maximal store
+                            // (`>=` the waking write by construction), so
+                            // only stale *failure* reads are floored.
+                            self.rmw_buf
+                                .retain(|c| c.success || matches!(c.rf, Some(w) if w >= fev));
+                            let removed = (before - self.rmw_buf.len()) as u64;
+                            if removed > 0 && self.at_fresh_node() {
+                                self.pruned += removed;
+                            }
+                            // The fail-or-succeed choice on the current
+                            // mo-maximal store always survives the floor.
+                            debug_assert!(!self.rmw_buf.is_empty());
+                            if self.rmw_buf.is_empty() {
+                                return Err(RunOutcome::Diverged);
+                            }
+                        }
+                    }
+                }
                 let idx = self.choose(self.rmw_buf.len());
                 let choice = self.rmw_buf[idx];
                 let (old, success) = self.mem.apply_rmw(t, loc, ord, kind, choice);
@@ -410,6 +548,22 @@ fn schedule(shared: &Shared, st: &mut ExecState, caller: Tid) {
     if let Some(pos) = runnable.iter().position(|&t| t == st.last_sched) {
         runnable.swap(0, pos);
     }
+    // Explore floorable readers before writers (`Config::rf_prune`): the
+    // rf floor only prunes a reader that *slept* through the waking write,
+    // i.e. one explored as an earlier sibling. Readers-first makes that
+    // the common case. Stable, so the last-scheduled preference survives
+    // within each group — a deterministic ordering heuristic, not a
+    // correctness condition.
+    if st.config.rf_prune && runnable.len() > 1 {
+        let pending = &st.pending;
+        runnable.sort_by_key(|&t| {
+            let floorable = matches!(
+                &pending[t.idx()],
+                Some(Op::Load { ord, .. }) if !ord.is_seq_cst()
+            );
+            !floorable
+        });
+    }
 
     let pick = st.choose(runnable.len());
     let t = runnable[pick];
@@ -425,12 +579,69 @@ fn schedule(shared: &Shared, st: &mut ExecState, caller: Tid) {
         .expect("runnable thread has a pending op");
     match st.process(t, &op) {
         Ok(reply) => {
+            // Dynamic dependence (`Config::rf_prune`): a CAS that failed
+            // wrote nothing — as executed it is a plain load with the
+            // failure ordering. Downgrading it tightens the sleep-set wake
+            // rule: sleeping readers stay asleep across failed CASes. A
+            // *spurious* weak-CAS failure (read value == expected) stays a
+            // full RMW: the fail-on-expected branch is only enumerated for
+            // the mo-maximal store, so it does not survive commutation
+            // with a later write the way a value-mismatch failure does.
+            let eff_op: Op = match (&op, &reply) {
+                (
+                    Op::Rmw {
+                        loc,
+                        kind:
+                            RmwKind::Cas {
+                                expected, fail_ord, ..
+                            },
+                        ..
+                    },
+                    Reply::Rmw {
+                        old,
+                        success: false,
+                    },
+                ) if st.config.rf_prune && old != expected => Op::Load {
+                    loc: *loc,
+                    ord: *fail_ord,
+                },
+                _ => op.clone(),
+            };
             if st.config.sleep_sets {
+                // If the op committed a write, sleeping non-SC loads of
+                // that location wake with an rf floor: everything mo-older
+                // than this write was already explored in the subtree that
+                // put them to sleep (see `ExecState::wake_floor`).
+                let wake_write: Option<(LocId, EventId)> = if st.config.rf_prune && eff_op.writes()
+                {
+                    eff_op
+                        .loc()
+                        .and_then(|l| st.mem.last_store(l).map(|e| (l, e)))
+                } else {
+                    None
+                };
                 for i in 0..st.sleep.len() {
                     if st.sleep[i] {
                         if let Some(p) = &st.pending[i] {
-                            if p.dependent(&op) {
+                            if p.dependent(&eff_op) {
                                 st.sleep[i] = false;
+                                if let Some((l, e)) = wake_write {
+                                    // Non-SC read ordering is what makes
+                                    // the commutation S-preserving; a CAS
+                                    // reads with its failure ordering.
+                                    let floors = match p {
+                                        Op::Load { loc, ord } => *loc == l && !ord.is_seq_cst(),
+                                        Op::Rmw {
+                                            loc,
+                                            kind: RmwKind::Cas { fail_ord, .. },
+                                            ..
+                                        } => *loc == l && !fail_ord.is_seq_cst(),
+                                        _ => false,
+                                    };
+                                    if floors {
+                                        st.wake_floor[i] = Some((l, e));
+                                    }
+                                }
                             }
                         }
                     }
@@ -677,6 +888,8 @@ pub(crate) fn run_once(
                 rmw_buf: Vec::new(),
                 cand_scratch: Vec::new(),
                 sched_buf: Vec::new(),
+                pruned: 0,
+                wake_floor: Vec::new(),
             }),
             cvs: Mutex::new(Vec::new()),
             done: Condvar::new(),
@@ -729,7 +942,7 @@ pub(crate) fn run_once(
     // whose scheduler makes no progress for the configured interval is
     // aborted (`Bug::InternalHang`), and if the wedged job still refuses
     // to exit, it is leaked rather than parking the explorer forever.
-    let (outcome, trace, choices, hung) = {
+    let (outcome, trace, choices, hung, pruned) = {
         let mut st = shared.inner.lock();
         let mut hung = false;
         match config.hang_timeout {
@@ -778,6 +991,7 @@ pub(crate) fn run_once(
             std::mem::take(&mut st.mem.trace),
             std::mem::take(&mut st.choices),
             hung,
+            st.pruned,
         )
     };
     if !hung {
@@ -796,5 +1010,6 @@ pub(crate) fn run_once(
         trace,
         choices,
         hung,
+        pruned,
     }
 }

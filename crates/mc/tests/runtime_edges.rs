@@ -34,8 +34,10 @@ fn max_threads_is_enforced() {
 /// count here is a sequential-engine guarantee.)
 #[test]
 fn truncation_is_reported() {
+    // rf-equivalence pruning collapses this program to 3 executions, so
+    // the cap sits at 2 to still fire mid-tree.
     let config = Config {
-        max_executions: 3,
+        max_executions: 2,
         workers: 1,
         ..Config::default()
     };
@@ -48,7 +50,7 @@ fn truncation_is_reported() {
     });
     assert!(stats.truncated());
     assert_eq!(stats.stop, mc::StopReason::ExecutionCap);
-    assert_eq!(stats.executions, 3);
+    assert_eq!(stats.executions, 2);
     assert!(stats.frontier.is_some(), "a capped run must be resumable");
 }
 
@@ -283,6 +285,42 @@ fn resume_script_threads_through_config() {
         cut.summary(),
         resumed.summary(),
         full.summary()
+    );
+}
+
+/// Resumed elapsed time accumulates the checkpoint's *active*
+/// exploration time plus the resumed run's own — never the wall-clock
+/// age of the checkpoint. A checkpoint written an hour before resumption
+/// must not inflate `Stats::elapsed` (and through it the figure7/figure8
+/// exec/s summaries) by that hour.
+#[test]
+fn resume_elapsed_excludes_suspension_gap() {
+    let cut = mc::explore(
+        Config {
+            max_executions: 2,
+            workers: 1,
+            ..Config::default()
+        },
+        branchy_workload,
+    );
+    let ckpt = cut.checkpoint().expect("capped run leaves a frontier");
+    // Round-trip through the text form, as the harness binaries do, and
+    // simulate a long suspension by aging the stored active time: the
+    // resumed total must sit just above it, proving the engine adds only
+    // its own active time on top of what the checkpoint recorded.
+    let mut ckpt = mc::Checkpoint::from_text(&ckpt.to_text()).expect("serializable");
+    assert_eq!(
+        ckpt.stats.elapsed, cut.elapsed,
+        "elapsed survives the text form"
+    );
+    let hour = Duration::from_secs(3600);
+    ckpt.stats.elapsed = hour;
+    let resumed = mc::explore_from(Config::default(), ckpt, branchy_workload);
+    assert!(resumed.elapsed >= hour, "{:?}", resumed.elapsed);
+    assert!(
+        resumed.elapsed < hour + Duration::from_secs(60),
+        "resume added wall-clock beyond its own active time: {:?}",
+        resumed.elapsed
     );
 }
 

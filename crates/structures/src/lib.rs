@@ -6,6 +6,8 @@
 //! sequential data structure, and parameterized by an ordering table for
 //! fault injection.
 
+#![warn(missing_docs)]
+
 pub mod blocking_queue;
 pub mod chase_lev;
 pub mod hashtable;

@@ -201,8 +201,15 @@ mod tests {
     #[test]
     fn concurrent_pushes_are_inadmissible() {
         // Violating the SPSC contract (two producers) must be flagged as
-        // an admissibility failure, not silently accepted.
-        let stats = spec::check(mc::Config::default(), make_spec(), || {
+        // an admissibility failure, not silently accepted. Two producers
+        // also race on the data cell; which bug surfaces *first* depends
+        // on exploration order, so collect the full bug set and look for
+        // the admissibility record in it.
+        let config = mc::Config {
+            stop_on_first_bug: false,
+            ..mc::Config::default()
+        };
+        let stats = spec::check(config, make_spec(), || {
             let q = SpscQueue::new();
             let q1 = q.clone();
             let t = mc::thread::spawn(move || {
