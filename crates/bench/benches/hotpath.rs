@@ -78,7 +78,7 @@ fn bench_hotpath(c: &mut Criterion) {
             for i in 0..100u64 {
                 st.apply_store(Tid::MAIN, loc, MemOrd::Relaxed, i);
             }
-            st.trace.events.len()
+            st.trace.len()
         })
     });
 }

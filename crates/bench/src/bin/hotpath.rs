@@ -5,8 +5,15 @@
 //!
 //! ```text
 //! cargo run -p cdsspec-bench --release --bin hotpath -- \
-//!     [--variant <name>] [--out <path>] [--baseline <path>] [--smoke]
+//!     [--variant <name>] [--out <path>] [--baseline <path>] [--smoke] \
+//!     [--guard <path>]
 //! ```
+//!
+//! `--guard <path>` switches to regression-guard mode: instead of writing
+//! a new file, re-measure allocations/execution for the figure7 probes
+//! and exit nonzero when any exceeds the best committed value in `<path>`
+//! by more than 10% (the CI bench job runs this against the committed
+//! `BENCH_hotpath.json`).
 //!
 //! Two probe families share one row schema ([`BenchRow`]):
 //!
@@ -112,6 +119,14 @@ fn figure7_probe(name: &str, workers: usize, variant: &str) -> BenchRow {
     let config = mc::Config {
         max_executions: 3_000_000,
         workers,
+        // Probes measure the bare engine; the per-execution axiom audit
+        // is a debugging aid, priced separately by micro:relations_finalize.
+        debug_audit: false,
+        // No hang watchdog: these closures are known-terminating, and a
+        // free explorer lets the runtime host all modeled threads on
+        // userspace fibers (the fastest path — the one a tuned production
+        // campaign runs). A genuine wedge would hit the CI job timeout.
+        hang_timeout: None,
         ..mc::Config::default()
     };
     let (stats, elapsed_ns, allocations) = measured(|| bench.check_default(config));
@@ -171,6 +186,80 @@ fn sample_memstate() -> (MemState, Tid, LocId) {
     let rf = st.load_candidates(child, loc, MemOrd::Acquire)[0];
     st.apply_load(child, loc, MemOrd::Acquire, rf);
     (st, child, loc)
+}
+
+/// A canned annotated trace shaped like one feasible MPMC-queue
+/// execution: two producers and two consumers over two slots plus
+/// tail/head counters, with release/acquire synchronization, an SC
+/// spine, and full method-call annotations. This is the input the
+/// per-execution finalize path (axiom check + rf signature + call
+/// order) sees after every feasible exploration step.
+fn canned_mpmc_trace() -> cdsspec_c11::Trace {
+    use cdsspec_c11::{SpecNote, SpecVal};
+    let mut st = MemState::new();
+    let main = Tid::MAIN;
+    let producers = [st.spawn_thread(main), st.spawn_thread(main)];
+    let consumers = [st.spawn_thread(main), st.spawn_thread(main)];
+    let tail = st.alloc_atomic(main, Some(0));
+    let head = st.alloc_atomic(main, Some(0));
+    let slots = [
+        st.alloc_atomic(main, Some(0)),
+        st.alloc_atomic(main, Some(0)),
+    ];
+
+    for (i, &p) in producers.iter().enumerate() {
+        st.annotate(
+            p,
+            SpecNote::MethodBegin {
+                obj: 1,
+                name: "enq",
+            },
+        );
+        st.annotate(
+            p,
+            SpecNote::MethodArg {
+                val: SpecVal::I64(10 + i as i64),
+            },
+        );
+        st.apply_store(p, slots[i], MemOrd::Release, 10 + i as u64);
+        st.apply_store(p, tail, MemOrd::SeqCst, i as u64 + 1);
+        st.annotate(p, SpecNote::OpDefine);
+        st.annotate(p, SpecNote::MethodEnd { ret: SpecVal::Unit });
+        st.apply_finish(p);
+    }
+    for (i, &c) in consumers.iter().enumerate() {
+        st.annotate(
+            c,
+            SpecNote::MethodBegin {
+                obj: 1,
+                name: "deq",
+            },
+        );
+        let tail_rf = *st
+            .load_candidates(c, tail, MemOrd::SeqCst)
+            .last()
+            .expect("tail has candidates");
+        st.apply_load(c, tail, MemOrd::SeqCst, tail_rf);
+        st.annotate(c, SpecNote::OpDefine);
+        let slot_rf = *st
+            .load_candidates(c, slots[i], MemOrd::Acquire)
+            .last()
+            .expect("slot has candidates");
+        let val = st.apply_load(c, slots[i], MemOrd::Acquire, slot_rf);
+        st.apply_store(c, head, MemOrd::SeqCst, i as u64 + 1);
+        st.annotate(
+            c,
+            SpecNote::MethodEnd {
+                ret: SpecVal::I64(val as i64),
+            },
+        );
+        st.apply_finish(c);
+    }
+    for &t in producers.iter().chain(&consumers) {
+        st.apply_join(main, t);
+    }
+    st.apply_finish(main);
+    st.trace
 }
 
 /// Run every micro probe at `iters` iterations.
@@ -238,9 +327,31 @@ fn micro_probes(variant: &str, iters: u64) -> Vec<BenchRow> {
         for i in 0..iters {
             st.apply_store(Tid::MAIN, loc, MemOrd::Relaxed, i);
         }
-        st.trace.events.len()
+        st.trace.len()
     });
     push("push_event", iters, dt, da);
+
+    // relations_finalize: the per-feasible-execution finalize work —
+    // offline axiom validation (the full O(n²) oracle), the rf-class
+    // signature, and method-call ordering — over a canned annotated
+    // MPMC execution. Iterations are scaled down: validate dominates.
+    let trace = canned_mpmc_trace();
+    let calls = cdsspec_core::extract_calls(&trace).expect("canned trace annotates cleanly");
+    assert!(
+        cdsspec_c11::relations::validate(&trace, true).is_empty(),
+        "canned MPMC trace must satisfy the axioms"
+    );
+    let fin_iters = (iters / 10).max(1);
+    let (_, dt, da) = measured(|| {
+        let mut sink = 0u64;
+        for _ in 0..fin_iters {
+            sink += cdsspec_c11::relations::validate(&trace, true).len() as u64;
+            sink = sink.wrapping_add(cdsspec_c11::relations::rf_signature(&trace));
+            sink += u64::from(cdsspec_core::build_call_order(&trace, &calls).cyclic());
+        }
+        sink
+    });
+    push("relations_finalize", fin_iters, dt, da);
 
     rows
 }
@@ -250,6 +361,7 @@ struct Args {
     out: PathBuf,
     baseline: Option<PathBuf>,
     smoke: bool,
+    guard: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -258,6 +370,7 @@ fn parse_args() -> Result<Args, String> {
         out: PathBuf::from("BENCH_hotpath.json"),
         baseline: None,
         smoke: false,
+        guard: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -267,6 +380,7 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = PathBuf::from(val("--out")?),
             "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline")?)),
             "--smoke" => args.smoke = true,
+            "--guard" => args.guard = Some(PathBuf::from(val("--guard")?)),
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -287,6 +401,60 @@ fn main() {
     } else {
         (PROBE_BENCHES, &[1usize, 2][..], 200_000u64)
     };
+
+    // Regression-guard mode: re-measure allocations/execution for the
+    // figure7 probes at one worker (allocation counts there are near
+    // deterministic — no stealing noise) and fail when any probe exceeds
+    // the best committed value by more than 10%. exec/sec is *not*
+    // guarded: wall-clock on shared CI runners is far noisier than the
+    // allocation count, which only changes when the code does.
+    if let Some(path) = &args.guard {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "hotpath: cannot read guard baseline {}: {e}",
+                    path.display()
+                );
+                exit(1);
+            }
+        };
+        let committed = extract_bench_rows(&text);
+        let mut failed = false;
+        for name in benches {
+            let row = figure7_probe(name, 1, "guard");
+            let best = committed
+                .iter()
+                .filter(|r| r.probe == row.probe && r.workers == 1 && r.allocations > 0)
+                .map(|r| r.allocs_per_exec)
+                .fold(f64::INFINITY, f64::min);
+            if !best.is_finite() {
+                eprintln!(
+                    "{:<28} {:>8.1} allocs/exec (no committed baseline)",
+                    row.probe, row.allocs_per_exec
+                );
+                continue;
+            }
+            let verdict = if row.allocs_per_exec > best * 1.10 {
+                failed = true;
+                "REGRESSION"
+            } else {
+                "ok"
+            };
+            eprintln!(
+                "{:<28} {:>8.1} allocs/exec vs committed best {:>8.1} ({verdict})",
+                row.probe, row.allocs_per_exec, best
+            );
+        }
+        if failed {
+            eprintln!(
+                "hotpath: allocation regression > 10% against {}",
+                path.display()
+            );
+            exit(1);
+        }
+        return;
+    }
 
     let mut rows = Vec::new();
     for &w in worker_counts {

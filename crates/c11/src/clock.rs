@@ -16,31 +16,37 @@
 //! synchronizes-with, thread create/join), so the bounds flow along exactly
 //! the happens-before edges.
 //!
-//! # Copy-on-write representation
+//! # Inline-first, copy-on-write-spill representation
 //!
 //! Clocks are the allocation hot spot of the checker: every event snapshots
 //! its thread's clock, every acquire joins a store's release payload, and a
-//! figure-7 exploration takes millions of both. Both [`VecClock`] and
-//! [`CoherenceMap`] therefore store their table as `Option<Arc<Vec<_>>>`:
+//! figure-7 exploration takes millions of both. A pure `Arc<Vec<_>>`
+//! copy-on-write table keeps *clones* free but makes the write after a
+//! snapshot expensive: the thread clock advances at every event, so each
+//! event snapshot forces one deep buffer copy — roughly one heap
+//! allocation per event. Unit-test workloads never exceed a handful of
+//! threads and locations, so both [`VecClock`] and [`CoherenceMap`] store
+//! their table inline first and spill to the shared heap form only past
+//! [`INLINE`] entries:
 //!
-//! * `None` encodes the empty table, so fresh clocks never allocate;
-//! * `clone()` is an `Arc` refcount bump — event snapshots and release
-//!   payloads share one buffer until someone writes;
-//! * mutation goes through [`std::sync::Arc::make_mut`], which copies only
-//!   when the buffer is shared (and is a plain in-place write when not);
-//! * `join` short-circuits without touching memory when one side already
-//!   covers the other: joining with an empty/identical/dominated clock is a
-//!   no-op, and joining *into* a dominated clock is a pointer copy.
+//! * tables with at most `INLINE` entries live in a fixed array inside the
+//!   struct: `clone()` is a memcpy, mutation writes in place, and no heap
+//!   allocation ever happens — this is the only form the figure-7
+//!   workloads reach;
+//! * larger tables spill to `Arc<Vec<_>>`: `clone()` is a refcount bump,
+//!   mutation goes through [`std::sync::Arc::make_mut`] (copying only
+//!   while shared), and `join` short-circuits to a no-op or a pointer
+//!   copy when one side already covers the other;
+//! * a spilled table never shrinks back to inline — oscillating at the
+//!   boundary must not thrash.
 //!
 //! **Invariants.** The representation is observational: a trailing run of
 //! default entries (`0` counts, absent bounds) is indistinguishable from a
 //! shorter buffer, and `PartialEq` is defined accordingly. No operation may
-//! branch on buffer length or capacity, and no caller can observe whether a
-//! fast path or the slow pointwise walk produced a result — the
-//! `cow_equivalence` proptest suite checks exactly this against the
-//! [`naive`] reference implementation. Observational no-ops ([`VecClock::set`]
-//! to the current value, [`CoherenceMap::raise`] to a not-higher bound) must
-//! not unshare the buffer.
+//! branch on buffer length, capacity, or inline-vs-heap form, and no caller
+//! can observe whether a fast path or the slow pointwise walk produced a
+//! result — the `cow_equivalence` proptest suite checks exactly this
+//! against the [`naive`] reference implementation.
 
 use std::sync::Arc;
 
@@ -61,27 +67,164 @@ fn slices_eq<T: Copy + PartialEq>(a: &[T], b: &[T], default: T) -> bool {
     (0..n).all(|i| a.get(i).copied().unwrap_or(default) == b.get(i).copied().unwrap_or(default))
 }
 
+/// Inline capacity of the small-buffer representation (see the module
+/// docs): tables indexed past this spill to the shared heap form.
+const INLINE: usize = 8;
+
+/// The shared table storage behind [`VecClock`] and [`CoherenceMap`]:
+/// inline array first, copy-on-write `Arc<Vec<_>>` on spill.
+#[derive(Clone, Debug)]
+enum Buf<T> {
+    /// `buf[..len]` held by value — clones are memcpys, writes in place.
+    Inline {
+        /// Entries in use (`<= INLINE`).
+        len: u8,
+        /// Fixed storage; entries past `len` hold the default.
+        buf: [T; INLINE],
+    },
+    /// Spilled table: shared buffer, copied on write while shared.
+    Heap(Arc<Vec<T>>),
+}
+
+impl<T: Copy + Ord> Buf<T> {
+    fn empty(default: T) -> Self {
+        Buf::Inline {
+            len: 0,
+            buf: [default; INLINE],
+        }
+    }
+
+    #[inline]
+    fn slice(&self) -> &[T] {
+        match self {
+            Buf::Inline { len, buf } => &buf[..*len as usize],
+            Buf::Heap(v) => v,
+        }
+    }
+
+    /// Store `val` at `idx`, extending with `default`. Callers are
+    /// responsible for the observational no-op checks (`set` to the same
+    /// value, `raise` to a not-higher bound) *before* calling in.
+    fn write(&mut self, idx: usize, val: T, default: T) {
+        match self {
+            Buf::Inline { len, buf } if idx < INLINE => {
+                let l = *len as usize;
+                if idx >= l {
+                    buf[l..idx].fill(default);
+                    *len = (idx + 1) as u8;
+                }
+                buf[idx] = val;
+            }
+            Buf::Inline { len, buf } => {
+                let mut v: Vec<T> = Vec::with_capacity(idx + 1);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.resize(idx + 1, default);
+                v[idx] = val;
+                *self = Buf::Heap(Arc::new(v));
+            }
+            Buf::Heap(arc) => {
+                let v = Arc::make_mut(arc);
+                if v.len() <= idx {
+                    v.resize(idx + 1, default);
+                }
+                v[idx] = val;
+            }
+        }
+    }
+
+    /// Pointwise maximum with `other`. In the inline form this is a plain
+    /// 8-wide max loop; in the heap form the copy-on-write fast paths
+    /// (identical buffer, either side dominating) avoid the deep copy.
+    fn join(&mut self, other: &Buf<T>, default: T) {
+        let theirs = other.slice();
+        if theirs.is_empty() {
+            return;
+        }
+        match self {
+            Buf::Inline { len, buf } if theirs.len() <= INLINE => {
+                let l = *len as usize;
+                for (i, &t) in theirs.iter().enumerate() {
+                    let m = if i < l { buf[i] } else { default };
+                    buf[i] = if m >= t { m } else { t };
+                }
+                *len = (*len).max(theirs.len() as u8);
+            }
+            Buf::Inline { len, buf } => {
+                let mut v: Vec<T> = Vec::with_capacity(theirs.len());
+                v.extend_from_slice(theirs);
+                for (slot, &m) in v.iter_mut().zip(&buf[..*len as usize]) {
+                    if m > *slot {
+                        *slot = m;
+                    }
+                }
+                *self = Buf::Heap(Arc::new(v));
+            }
+            Buf::Heap(mine) => {
+                if let Buf::Heap(b) = other {
+                    if Arc::ptr_eq(mine, b) {
+                        return;
+                    }
+                }
+                if dominates(mine, theirs, default) {
+                    return;
+                }
+                if let (true, Buf::Heap(b)) = (dominates(theirs, mine, default), other) {
+                    *mine = Arc::clone(b);
+                    return;
+                }
+                let v = Arc::make_mut(mine);
+                if v.len() < theirs.len() {
+                    v.resize(theirs.len(), default);
+                }
+                for (m, &t) in v.iter_mut().zip(theirs) {
+                    if t > *m {
+                        *m = t;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `other ⊑ self` pointwise.
+    fn includes(&self, other: &Buf<T>, default: T) -> bool {
+        if let (Buf::Heap(a), Buf::Heap(b)) = (self, other) {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+        }
+        dominates(self.slice(), other.slice(), default)
+    }
+}
+
 /// A plain vector clock: `vc[t]` = number of events of thread `t` known to
 /// happen-before (or equal) the current point.
 ///
-/// Copy-on-write: see the module docs. Cloning is O(1); mutation copies
-/// the underlying buffer only while it is shared.
-#[derive(Clone, Debug, Default)]
+/// Inline-first: see the module docs. Cloning is a memcpy (inline) or an
+/// `Arc` bump (spilled); mutation never allocates while inline.
+#[derive(Clone, Debug)]
 pub struct VecClock {
-    /// Shared counts buffer; `None` is the empty clock.
-    counts: Option<Arc<Vec<u32>>>,
+    /// Counts table, absent entries implicit.
+    counts: Buf<u32>,
+}
+
+impl Default for VecClock {
+    fn default() -> Self {
+        VecClock {
+            counts: Buf::empty(0),
+        }
+    }
 }
 
 impl VecClock {
     /// The empty clock (knows nothing). Does not allocate.
     pub fn new() -> Self {
-        VecClock { counts: None }
+        VecClock::default()
     }
 
     /// The raw counts, absent entries implicit.
     #[inline]
     fn slice(&self) -> &[u32] {
-        self.counts.as_deref().map_or(&[], Vec::as_slice)
+        self.counts.slice()
     }
 
     /// Number of events of `tid` known at this clock.
@@ -91,76 +234,34 @@ impl VecClock {
     }
 
     /// Record that `tid` has performed `count` events. A `set` to the
-    /// value already held is a no-op and keeps the buffer shared.
+    /// value already held is a no-op (and keeps a spilled buffer shared).
     pub fn set(&mut self, tid: Tid, count: u32) {
         if self.get(tid) == count {
             return;
         }
-        let v = Arc::make_mut(self.counts.get_or_insert_with(Default::default));
-        if v.len() <= tid.idx() {
-            v.resize(tid.idx() + 1, 0);
-        }
-        v[tid.idx()] = count;
+        self.counts.write(tid.idx(), count, 0);
     }
 
     /// Raise `tid`'s count to at least `seq`. A raise at or below the
-    /// current count is a no-op and keeps the buffer shared. This is the
-    /// stamping primitive for release payloads and thread-lifecycle
+    /// current count is a no-op (and keeps a spilled buffer shared). This
+    /// is the stamping primitive for release payloads and thread-lifecycle
     /// clocks, where the thread's own (implicit) component must be made
     /// explicit before the clock is handed to another thread.
     pub fn raise(&mut self, tid: Tid, seq: u32) {
         if self.get(tid) >= seq {
             return;
         }
-        let v = Arc::make_mut(self.counts.get_or_insert_with(Default::default));
-        if v.len() <= tid.idx() {
-            v.resize(tid.idx() + 1, 0);
-        }
-        v[tid.idx()] = seq;
+        self.counts.write(tid.idx(), seq, 0);
     }
 
-    /// Pointwise maximum with `other`. Joins where one side already covers
-    /// the other do not copy: they are a no-op or an `Arc` pointer copy.
+    /// Pointwise maximum with `other`.
     pub fn join(&mut self, other: &VecClock) {
-        let Some(theirs_arc) = &other.counts else {
-            return;
-        };
-        let take_theirs = match &mut self.counts {
-            None => true,
-            Some(mine) => {
-                if Arc::ptr_eq(mine, theirs_arc) {
-                    return;
-                }
-                let theirs = theirs_arc.as_slice();
-                if dominates(mine, theirs, 0) {
-                    return;
-                }
-                if dominates(theirs, mine, 0) {
-                    true
-                } else {
-                    let v = Arc::make_mut(mine);
-                    if v.len() < theirs.len() {
-                        v.resize(theirs.len(), 0);
-                    }
-                    for (m, &t) in v.iter_mut().zip(theirs) {
-                        *m = (*m).max(t);
-                    }
-                    false
-                }
-            }
-        };
-        if take_theirs {
-            self.counts = Some(Arc::clone(theirs_arc));
-        }
+        self.counts.join(&other.counts, 0);
     }
 
     /// Does this clock dominate `other` pointwise (`other ⊑ self`)?
     pub fn includes(&self, other: &VecClock) -> bool {
-        match (&self.counts, &other.counts) {
-            (_, None) => true,
-            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
-            _ => dominates(self.slice(), other.slice(), 0),
-        }
+        self.counts.includes(&other.counts, 0)
     }
 
     /// Does this clock know about event number `seq` (1-based) of `tid`?
@@ -180,26 +281,34 @@ impl Eq for VecClock {}
 /// A per-location table of mo-index lower bounds. Index `loc.idx()`;
 /// `None` is encoded as `i64::MIN` so joins are a plain `max`.
 ///
-/// Copy-on-write: see the module docs. Cloning is O(1); mutation copies
-/// the underlying buffer only while it is shared.
-#[derive(Clone, Debug, Default)]
+/// Inline-first: see the module docs. Cloning is a memcpy (inline) or an
+/// `Arc` bump (spilled); mutation never allocates while inline.
+#[derive(Clone, Debug)]
 pub struct CoherenceMap {
-    /// Shared bounds buffer; `None` is the unconstrained table.
-    bounds: Option<Arc<Vec<i64>>>,
+    /// Bounds table, absent entries implicit (`NO_BOUND`).
+    bounds: Buf<i64>,
 }
 
 const NO_BOUND: i64 = i64::MIN;
 
+impl Default for CoherenceMap {
+    fn default() -> Self {
+        CoherenceMap {
+            bounds: Buf::empty(NO_BOUND),
+        }
+    }
+}
+
 impl CoherenceMap {
     /// Empty table: no location constrained. Does not allocate.
     pub fn new() -> Self {
-        CoherenceMap { bounds: None }
+        CoherenceMap::default()
     }
 
     /// The raw bounds, absent entries implicit.
     #[inline]
     fn slice(&self) -> &[i64] {
-        self.bounds.as_deref().map_or(&[], Vec::as_slice)
+        self.bounds.slice()
     }
 
     /// Current bound for `loc`, or `None` if unconstrained.
@@ -212,61 +321,23 @@ impl CoherenceMap {
     }
 
     /// Raise the bound for `loc` to at least `idx`. A raise at or below
-    /// the current bound is a no-op and keeps the buffer shared.
+    /// the current bound is a no-op (and keeps a spilled buffer shared).
     pub fn raise(&mut self, loc: LocId, idx: u32) {
         let current = self.slice().get(loc.idx()).copied().unwrap_or(NO_BOUND);
         if current >= idx as i64 {
             return;
         }
-        let v = Arc::make_mut(self.bounds.get_or_insert_with(Default::default));
-        if v.len() <= loc.idx() {
-            v.resize(loc.idx() + 1, NO_BOUND);
-        }
-        v[loc.idx()] = idx as i64;
+        self.bounds.write(loc.idx(), idx as i64, NO_BOUND);
     }
 
-    /// Pointwise maximum with `other`. Joins where one side already covers
-    /// the other do not copy: they are a no-op or an `Arc` pointer copy.
+    /// Pointwise maximum with `other`.
     pub fn join(&mut self, other: &CoherenceMap) {
-        let Some(theirs_arc) = &other.bounds else {
-            return;
-        };
-        let take_theirs = match &mut self.bounds {
-            None => true,
-            Some(mine) => {
-                if Arc::ptr_eq(mine, theirs_arc) {
-                    return;
-                }
-                let theirs = theirs_arc.as_slice();
-                if dominates(mine, theirs, NO_BOUND) {
-                    return;
-                }
-                if dominates(theirs, mine, NO_BOUND) {
-                    true
-                } else {
-                    let v = Arc::make_mut(mine);
-                    if v.len() < theirs.len() {
-                        v.resize(theirs.len(), NO_BOUND);
-                    }
-                    for (m, &t) in v.iter_mut().zip(theirs) {
-                        *m = (*m).max(t);
-                    }
-                    false
-                }
-            }
-        };
-        if take_theirs {
-            self.bounds = Some(Arc::clone(theirs_arc));
-        }
+        self.bounds.join(&other.bounds, NO_BOUND);
     }
 
     /// Does this table bound at least as tightly as `other` everywhere?
     pub fn includes(&self, other: &CoherenceMap) -> bool {
-        match (&self.bounds, &other.bounds) {
-            (_, None) => true,
-            (Some(a), Some(b)) if Arc::ptr_eq(a, b) => true,
-            _ => dominates(self.slice(), other.slice(), NO_BOUND),
-        }
+        self.bounds.includes(&other.bounds, NO_BOUND)
     }
 }
 

@@ -1,6 +1,13 @@
 //! Execution-trace events.
+//!
+//! Since the struct-of-arrays [`crate::trace::Trace`] rework there is no
+//! per-event struct: an event is a row across the trace's parallel
+//! columns, addressed by [`EventId`]. [`EventKind`] remains the *logical*
+//! description of one operation — it is what callers pass to
+//! [`crate::trace::Trace::push`] and what [`crate::trace::Trace::kind`]
+//! materializes back from the columns — and [`EventTag`] is the dense
+//! one-byte discriminant stored in the hot column.
 
-use crate::clock::VecClock;
 use crate::loc::{DataId, LocId};
 use crate::ordering::MemOrd;
 use crate::value::Val;
@@ -27,8 +34,8 @@ impl std::fmt::Display for Tid {
     }
 }
 
-/// Index of an event in [`crate::trace::Trace::events`] (global execution
-/// order, which is also the order the scheduler committed operations).
+/// Index of an event in the trace's columns (global execution order, which
+/// is also the order the scheduler committed operations).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u32);
 
@@ -46,8 +53,37 @@ impl std::fmt::Display for EventId {
     }
 }
 
-/// What an event did.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// Dense one-byte discriminant of an event — the hot-column form of
+/// [`EventKind`], stored once per event in the trace's `tags` column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventTag {
+    /// An atomic load ([`EventKind::AtomicLoad`]).
+    Load,
+    /// An atomic store ([`EventKind::AtomicStore`]).
+    Store,
+    /// An RMW, successful or failed ([`EventKind::Rmw`]; a failed
+    /// compare-exchange is distinguished by the absence of an mo index).
+    Rmw,
+    /// A fence ([`EventKind::Fence`]).
+    Fence,
+    /// Thread creation ([`EventKind::ThreadCreate`]).
+    Create,
+    /// Thread join ([`EventKind::ThreadJoin`]).
+    Join,
+    /// Thread completion ([`EventKind::ThreadFinish`]).
+    Finish,
+    /// Non-atomic write ([`EventKind::DataWrite`]).
+    DataWrite,
+    /// Non-atomic read ([`EventKind::DataRead`]).
+    DataRead,
+}
+
+/// What an event did. The logical, self-contained description of one
+/// operation: the input to [`crate::trace::Trace::push`] and the
+/// materialized output of [`crate::trace::Trace::kind`]. `Copy`, so
+/// materializing one never allocates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// An atomic load. `rf` is the store read from (`None` = the location
     /// was uninitialized — always reported as a built-in bug). `val` is the
@@ -122,6 +158,21 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// The dense one-byte discriminant stored in the trace's hot column.
+    pub fn tag(&self) -> EventTag {
+        match self {
+            EventKind::AtomicLoad { .. } => EventTag::Load,
+            EventKind::AtomicStore { .. } => EventTag::Store,
+            EventKind::Rmw { .. } => EventTag::Rmw,
+            EventKind::Fence { .. } => EventTag::Fence,
+            EventKind::ThreadCreate { .. } => EventTag::Create,
+            EventKind::ThreadJoin { .. } => EventTag::Join,
+            EventKind::ThreadFinish => EventTag::Finish,
+            EventKind::DataWrite { .. } => EventTag::DataWrite,
+            EventKind::DataRead { .. } => EventTag::DataRead,
+        }
+    }
+
     /// Atomic location touched, if any.
     pub fn atomic_loc(&self) -> Option<LocId> {
         match self {
@@ -191,86 +242,9 @@ impl EventKind {
     }
 }
 
-/// One committed operation of an execution.
-#[derive(Clone, Debug)]
-pub struct Event {
-    /// Position in global execution order.
-    pub id: EventId,
-    /// Executing thread.
-    pub tid: Tid,
-    /// 1-based per-thread sequence number.
-    pub seq: u32,
-    /// The operation.
-    pub kind: EventKind,
-    /// Happens-before knowledge of *other* threads' events at this point.
-    /// The executing thread's own component is implicit — `tid`'s first
-    /// `seq` events happen-before (or are) this event — which lets the
-    /// buffer stay shared with the thread's live clock instead of being
-    /// copied per event (see the copy-on-write notes in [`crate::clock`]).
-    /// Query through [`Event::happens_before`], which accounts for the
-    /// implicit component; the per-event coherence tables that used to
-    /// ride along here were never read back and are not stored.
-    pub clock: VecClock,
-    /// Position in the SC total order *S*, when `ord` is `seq_cst`.
-    pub sc_index: Option<u32>,
-}
-
-impl Event {
-    /// Does this event happen-before `other`? (Irreflexive: an event does
-    /// not happen-before itself.)
-    pub fn happens_before(&self, other: &Event) -> bool {
-        if self.id == other.id {
-            return false;
-        }
-        if self.tid == other.tid {
-            // Program order; `other.clock` does not carry its own thread.
-            return self.seq < other.seq;
-        }
-        other.clock.knows(self.tid, self.seq)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ev(id: u32, tid: u32, seq: u32) -> Event {
-        Event {
-            id: EventId(id),
-            tid: Tid(tid),
-            seq,
-            kind: EventKind::Fence {
-                ord: MemOrd::SeqCst,
-            },
-            clock: VecClock::new(),
-            sc_index: None,
-        }
-    }
-
-    #[test]
-    fn happens_before_is_irreflexive() {
-        let e = ev(0, 0, 1);
-        assert!(!e.happens_before(&e));
-    }
-
-    #[test]
-    fn happens_before_follows_clock_knowledge() {
-        let e1 = ev(0, 0, 1);
-        let mut e2 = ev(1, 1, 1);
-        assert!(!e1.happens_before(&e2));
-        e2.clock.set(Tid(0), 1);
-        assert!(e1.happens_before(&e2));
-        assert!(!e2.happens_before(&e1));
-    }
-
-    #[test]
-    fn happens_before_same_thread_is_program_order() {
-        let e1 = ev(0, 2, 1);
-        let e2 = ev(5, 2, 2);
-        // Neither clock mentions thread 2 — the own component is implicit.
-        assert!(e1.happens_before(&e2));
-        assert!(!e2.happens_before(&e1));
-    }
 
     #[test]
     fn kind_accessors() {
@@ -284,6 +258,7 @@ mod tests {
         assert_eq!(store.atomic_loc(), Some(LocId(0)));
         assert_eq!(store.written_val(), Some(7));
         assert_eq!(store.mo_index(), Some(2));
+        assert_eq!(store.tag(), EventTag::Store);
 
         let failed_cas = EventKind::Rmw {
             loc: LocId(1),
@@ -297,11 +272,29 @@ mod tests {
         assert_eq!(failed_cas.rf(), Some(EventId(0)));
         assert_eq!(failed_cas.written_val(), None);
         assert_eq!(failed_cas.mo_index(), None);
+        assert_eq!(failed_cas.tag(), EventTag::Rmw);
 
         let fence = EventKind::Fence {
             ord: MemOrd::AcqRel,
         };
         assert_eq!(fence.atomic_loc(), None);
         assert_eq!(fence.ord(), Some(MemOrd::AcqRel));
+        assert_eq!(fence.tag(), EventTag::Fence);
+    }
+
+    #[test]
+    fn every_kind_has_a_distinct_tag() {
+        use EventTag::*;
+        let tags = [
+            Load, Store, Rmw, Fence, Create, Join, Finish, DataWrite, DataRead,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(EventKind::ThreadFinish.tag(), Finish);
+        assert_eq!(EventKind::ThreadCreate { child: Tid(1) }.tag(), Create);
+        assert_eq!(EventKind::DataRead { loc: DataId(0) }.tag(), DataRead);
     }
 }

@@ -11,14 +11,18 @@
 //!   compiler and CDSChecker itself do);
 //! * [`value::Val`] and [`value::PrimVal`] — the bit-level value model
 //!   (every atomic cell holds a `u64`);
-//! * [`event::Event`] — one node of an execution trace (atomic load/store,
-//!   RMW, fence, thread lifecycle);
+//! * [`event::EventKind`] — the logical description of one trace event
+//!   (atomic load/store, RMW, fence, thread lifecycle), with
+//!   [`event::EventTag`] as its dense one-byte discriminant;
 //! * [`clock::Clock`] — vector clocks extended with per-location coherence
 //!   indices, the core of our coherence enforcement;
-//! * [`trace::Trace`] — a completed execution: events, per-location
-//!   modification order, SC order, and spec annotations;
-//! * [`relations`] — derived relations (`hb`, SC order, `mo`) plus an
-//!   *independent* axiom validator used to property-test the model checker.
+//! * [`trace::Trace`] — a completed execution stored struct-of-arrays:
+//!   events as rows across dense columns, per-location modification
+//!   order, SC order, spec annotations, and incrementally maintained
+//!   relation indexes;
+//! * [`relations`] — derived relations (`hb`, SC order, `mo`), a fast
+//!   index-trusting auditor, plus an *independent* post-hoc axiom oracle
+//!   used to property-test the model checker.
 
 #![warn(missing_docs)]
 
@@ -31,7 +35,7 @@ pub mod trace;
 pub mod value;
 
 pub use clock::{Clock, VecClock};
-pub use event::{Event, EventId, EventKind, Tid};
+pub use event::{EventId, EventKind, EventTag, Tid};
 pub use loc::{DataId, LocId};
 pub use ordering::MemOrd;
 pub use trace::{Annotation, SpecNote, SpecVal, Trace};

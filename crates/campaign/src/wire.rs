@@ -247,6 +247,7 @@ pub fn config_to_json(config: &Config) -> Json {
         ("sleep_sets", Json::Bool(config.sleep_sets)),
         ("stop_on_first_bug", Json::Bool(config.stop_on_first_bug)),
         ("validate_axioms", Json::Bool(config.validate_axioms)),
+        ("debug_audit", Json::Bool(config.debug_audit)),
         // Semantic: pruning preserves the bug set but changes the
         // execution counters, so cached results must not cross the knob.
         ("rf_prune", Json::Bool(config.rf_prune)),
@@ -296,6 +297,8 @@ pub fn config_from_json(v: &Json) -> Result<Config, String> {
     // Pre-rf-prune encodings lack the key; they were produced by builds
     // where pruning did not exist, i.e. it was off.
     config.rf_prune = v.get("rf_prune").and_then(Json::as_bool).unwrap_or(false);
+    // Pre-auditor encodings lack the key; the auditor defaults on.
+    config.debug_audit = v.get("debug_audit").and_then(Json::as_bool).unwrap_or(true);
     Ok(config)
 }
 

@@ -251,11 +251,10 @@ mod tests {
     }
 
     fn trace_with(annotations: Vec<Annotation>, threads: u32) -> Trace {
-        Trace {
-            annotations,
-            num_threads: threads,
-            ..Trace::default()
-        }
+        let mut t = Trace::default();
+        t.annotations = annotations;
+        t.num_threads = threads;
+        t
     }
 
     #[test]

@@ -120,6 +120,11 @@ impl<S: Send + 'static> SpecChecker<S> {
         let mut objs: Vec<u64> = all_calls.iter().map(|c| c.obj).collect();
         objs.sort_unstable();
         objs.dedup();
+        // Single-object executions (the overwhelmingly common case) skip
+        // the per-object projection clone entirely.
+        if objs.len() == 1 {
+            return self.check_object(trace, &all_calls);
+        }
         let mut bugs = Vec::new();
         for obj in objs {
             let calls: Vec<MethodCall> =
@@ -181,18 +186,24 @@ impl<S: Send + 'static> SpecChecker<S> {
 
         let mut bugs = Vec::new();
 
-        // 4. Sequential histories (Definitions 2/5/6).
-        let concurrent_sets: Vec<Vec<MethodCall>> = (0..calls.len())
-            .map(|i| {
-                (0..calls.len())
+        // 4. Sequential histories (Definitions 2/5/6). One `CallEval` per
+        // call, built once and reused across every replayed history — the
+        // deep `MethodCall`/`CONCURRENT` clones per history step dominated
+        // checking time on history-heavy traces. Only `s_ret` varies
+        // between replays; it is re-armed before each use.
+        let mut evals: Vec<CallEval> = (0..calls.len())
+            .map(|i| CallEval {
+                call: calls[i].clone(),
+                s_ret: cdsspec_c11::SpecVal::Unit,
+                concurrent: (0..calls.len())
                     .filter(|&j| order.concurrent(i, j))
                     .map(|j| calls[j].clone())
-                    .collect()
+                    .collect(),
             })
             .collect();
 
         for_each_history(&order, self.spec.policy, |h| {
-            if let Err(msg) = self.run_history(h, calls, &concurrent_sets) {
+            if let Err(msg) = self.run_history(h, calls, &mut evals) {
                 bugs.push(plugin_bug(format!(
                     "{msg}\n  history: {}",
                     render_history(calls, h)
@@ -213,8 +224,8 @@ impl<S: Send + 'static> SpecChecker<S> {
             if !meth.has_justification() {
                 continue;
             }
-            let prefix = order.predecessors_of(i);
-            let mut scope: Vec<usize> = prefix.clone();
+            let mut scope = order.predecessors_of(i);
+            let prefix_len = scope.len();
             scope.push(i);
             let sub = order.restrict(&scope);
             let target_pos = scope.len() - 1; // `i` is last in `scope`
@@ -228,7 +239,7 @@ impl<S: Send + 'static> SpecChecker<S> {
                 if h[h.len() - 1] != target_pos {
                     return true;
                 }
-                if self.justifies(h, &scope, calls, &concurrent_sets) {
+                if self.justifies(h, &scope, calls, &mut evals) {
                     justified = true;
                     return false;
                 }
@@ -238,10 +249,7 @@ impl<S: Send + 'static> SpecChecker<S> {
                 bugs.push(plugin_bug(format!(
                     "justification failed: `{}#{}` returned {:?} but no justifying \
                      subhistory permits it (prefix of {} call(s))",
-                    call.name,
-                    call.id.0,
-                    call.ret,
-                    prefix.len()
+                    call.name, call.id.0, call.ret, prefix_len
                 )));
             }
         }
@@ -250,23 +258,22 @@ impl<S: Send + 'static> SpecChecker<S> {
     }
 
     /// Replay one full sequential history; `Err` = condition violated.
+    /// `evals` holds the pre-built per-call evaluation contexts; each is
+    /// re-armed (`s_ret` reset) before its pre/effect/post run.
     fn run_history(
         &self,
         h: &[usize],
         calls: &[MethodCall],
-        concurrent_sets: &[Vec<MethodCall>],
+        evals: &mut [CallEval],
     ) -> Result<(), String> {
         let mut state = (self.spec.init)();
         for &idx in h {
             let call = &calls[idx];
             let meth = self.spec.lookup(call.name).expect("validated");
-            let mut eval = CallEval {
-                call: call.clone(),
-                s_ret: cdsspec_c11::SpecVal::Unit,
-                concurrent: concurrent_sets[idx].clone(),
-            };
+            let eval = &mut evals[idx];
+            eval.s_ret = cdsspec_c11::SpecVal::Unit;
             if let Some(pre) = &meth.pre {
-                if !pre(&state, &eval) {
+                if !pre(&state, eval) {
                     return Err(format!(
                         "precondition of `{}#{}` failed",
                         call.name, call.id.0
@@ -274,10 +281,10 @@ impl<S: Send + 'static> SpecChecker<S> {
                 }
             }
             if let Some(se) = &meth.side_effect {
-                se(&mut state, &mut eval);
+                se(&mut state, eval);
             }
             if let Some(post) = &meth.post {
-                if !post(&state, &eval) {
+                if !post(&state, eval) {
                     return Err(format!(
                         "postcondition of `{}#{}` failed (C_RET={:?}, S_RET={:?})",
                         call.name, call.id.0, call.ret, eval.s_ret
@@ -295,7 +302,7 @@ impl<S: Send + 'static> SpecChecker<S> {
         h: &[usize],
         scope: &[usize],
         calls: &[MethodCall],
-        concurrent_sets: &[Vec<MethodCall>],
+        evals: &mut [CallEval],
     ) -> bool {
         let mut state = (self.spec.init)();
         let last = h.len() - 1;
@@ -303,24 +310,21 @@ impl<S: Send + 'static> SpecChecker<S> {
             let idx = scope[sub_idx];
             let call = &calls[idx];
             let meth = self.spec.lookup(call.name).expect("validated");
-            let mut eval = CallEval {
-                call: call.clone(),
-                s_ret: cdsspec_c11::SpecVal::Unit,
-                concurrent: concurrent_sets[idx].clone(),
-            };
+            let eval = &mut evals[idx];
+            eval.s_ret = cdsspec_c11::SpecVal::Unit;
             if pos == last {
                 if let Some(jpre) = &meth.justify_pre {
-                    if !jpre(&state, &eval) {
+                    if !jpre(&state, eval) {
                         return false;
                     }
                 }
             }
             if let Some(se) = &meth.side_effect {
-                se(&mut state, &mut eval);
+                se(&mut state, eval);
             }
             if pos == last {
                 if let Some(jpost) = &meth.justify_post {
-                    if !jpost(&state, &eval) {
+                    if !jpost(&state, eval) {
                         return false;
                     }
                 }

@@ -16,9 +16,12 @@ use rand::{Rng, SeedableRng};
 #[derive(Clone, Debug)]
 pub struct CallOrder {
     n: usize,
-    /// `succ[a]` = calls that must come after `a`.
-    succ: Vec<Vec<usize>>,
-    /// Direct-reachability matrix (transitively closed).
+    /// Reachability matrix: direct edges as added, transitively closed by
+    /// [`CallOrder::close`]. The sole edge store — the linear extensions
+    /// of a relation and of its closure are the same set, so enumeration
+    /// can walk closed rows and a per-vertex successor list would only
+    /// duplicate this matrix (one heap vector per call, on the hot
+    /// per-execution path).
     reach: Vec<bool>,
 }
 
@@ -27,7 +30,6 @@ impl CallOrder {
     pub fn new(n: usize) -> Self {
         CallOrder {
             n,
-            succ: vec![Vec::new(); n],
             reach: vec![false; n * n],
         }
     }
@@ -44,10 +46,12 @@ impl CallOrder {
 
     /// Add the edge `a → b`.
     pub fn add_edge(&mut self, a: usize, b: usize) {
-        if !self.succ[a].contains(&b) {
-            self.succ[a].push(b);
-        }
         self.reach[a * self.n + b] = true;
+    }
+
+    /// Successors of `a` in the (possibly closed) relation.
+    fn successors(&self, a: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&b| self.reach[a * self.n + b])
     }
 
     /// Transitively close the reachability matrix. Call once after all
@@ -141,24 +145,42 @@ pub fn for_each_history<F: FnMut(&[usize]) -> bool>(
     }
     match policy {
         HistoryPolicy::Exhaustive { cap } => {
-            let mut indegree = vec![0usize; order.n];
-            for a in 0..order.n {
-                for &b in &order.succ[a] {
-                    indegree[b] += 1;
-                }
-            }
-            let mut prefix = Vec::with_capacity(order.n);
-            let mut used = vec![false; order.n];
+            // Executions have a handful of calls; keep the bookkeeping on
+            // the stack for them (this runs per feasible execution) and
+            // fall back to heap vectors past the inline capacity.
+            const INLINE: usize = 16;
             let mut count = 0usize;
-            topo_recurse(
-                order,
-                &mut indegree,
-                &mut used,
-                &mut prefix,
-                cap,
-                &mut count,
-                &mut f,
-            );
+            if order.n <= INLINE {
+                let mut indegree = [0usize; INLINE];
+                let mut used = [false; INLINE];
+                let mut prefix = [0usize; INLINE];
+                seed_indegrees(order, &mut indegree);
+                topo_recurse(
+                    order,
+                    &mut indegree[..order.n],
+                    &mut used[..order.n],
+                    &mut prefix[..order.n],
+                    0,
+                    cap,
+                    &mut count,
+                    &mut f,
+                );
+            } else {
+                let mut indegree = vec![0usize; order.n];
+                let mut used = vec![false; order.n];
+                let mut prefix = vec![0usize; order.n];
+                seed_indegrees(order, &mut indegree);
+                topo_recurse(
+                    order,
+                    &mut indegree,
+                    &mut used,
+                    &mut prefix,
+                    0,
+                    cap,
+                    &mut count,
+                    &mut f,
+                );
+            }
             count
         }
         HistoryPolicy::Sample { count, seed } => {
@@ -176,16 +198,30 @@ pub fn for_each_history<F: FnMut(&[usize]) -> bool>(
     }
 }
 
+/// Count, for every vertex, the incoming edges of the (closed) relation.
+/// Closure edges only shift the counts, never the ready condition: a
+/// vertex hits zero exactly when all its predecessors — direct or
+/// transitive, the same set once closed — are placed.
+fn seed_indegrees(order: &CallOrder, indegree: &mut [usize]) {
+    for a in 0..order.n {
+        for b in order.successors(a) {
+            indegree[b] += 1;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn topo_recurse<F: FnMut(&[usize]) -> bool>(
     order: &CallOrder,
-    indegree: &mut Vec<usize>,
-    used: &mut Vec<bool>,
-    prefix: &mut Vec<usize>,
+    indegree: &mut [usize],
+    used: &mut [bool],
+    prefix: &mut [usize],
+    depth: usize,
     cap: usize,
     count: &mut usize,
     f: &mut F,
 ) -> bool {
-    if prefix.len() == order.n {
+    if depth == order.n {
         *count += 1;
         if !f(prefix) || *count >= cap {
             return false;
@@ -197,15 +233,14 @@ fn topo_recurse<F: FnMut(&[usize]) -> bool>(
             continue;
         }
         used[v] = true;
-        prefix.push(v);
-        for &b in &order.succ[v] {
+        prefix[depth] = v;
+        for b in order.successors(v) {
             indegree[b] -= 1;
         }
-        let keep_going = topo_recurse(order, indegree, used, prefix, cap, count, f);
-        for &b in &order.succ[v] {
+        let keep_going = topo_recurse(order, indegree, used, prefix, depth + 1, cap, count, f);
+        for b in order.successors(v) {
             indegree[b] += 1;
         }
-        prefix.pop();
         used[v] = false;
         if !keep_going {
             return false;
@@ -217,7 +252,7 @@ fn topo_recurse<F: FnMut(&[usize]) -> bool>(
 fn random_topo(order: &CallOrder, rng: &mut StdRng) -> Vec<usize> {
     let mut indegree = vec![0usize; order.n];
     for a in 0..order.n {
-        for &b in &order.succ[a] {
+        for b in order.successors(a) {
             indegree[b] += 1;
         }
     }
@@ -230,7 +265,7 @@ fn random_topo(order: &CallOrder, rng: &mut StdRng) -> Vec<usize> {
         let v = ready[rng.gen_range(0..ready.len())];
         used[v] = true;
         out.push(v);
-        for &b in &order.succ[v] {
+        for b in order.successors(v) {
             indegree[b] -= 1;
         }
     }

@@ -86,6 +86,13 @@ pub struct Config {
     /// Run the offline axiom validator on every feasible execution
     /// (expensive; used by the property-test suite).
     pub validate_axioms: bool,
+    /// Run the fast index-trusting axiom auditor
+    /// ([`cdsspec_c11::relations::audit`]) on every feasible execution.
+    /// Unlike `validate_axioms` it performs no O(n²) closure — it trusts
+    /// the trace's incremental clocks and indexes — so it is cheap enough
+    /// to leave on by default. Bench probes turn it off to measure the
+    /// bare engine. Ignored (subsumed) when `validate_axioms` is set.
+    pub debug_audit: bool,
     /// Print every explored trace (debugging).
     pub verbose: bool,
 }
@@ -113,6 +120,7 @@ impl Default for Config {
             rf_prune: true,
             stop_on_first_bug: true,
             validate_axioms: false,
+            debug_audit: true,
             verbose: false,
         }
     }
@@ -151,6 +159,7 @@ mod tests {
         assert!(c.sleep_sets);
         assert!(c.rf_prune, "rf-equivalence pruning on by default");
         assert!(!c.validate_axioms);
+        assert!(c.debug_audit, "fast auditor on by default");
         assert!(Config::validating().validate_axioms);
         assert!(c.time_budget.is_none(), "no deadline unless asked");
         assert!(c.hang_timeout.is_some(), "watchdog on by default");

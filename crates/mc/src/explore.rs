@@ -211,16 +211,26 @@ impl Explorer {
                 self.stats
                     .rf_classes
                     .insert(cdsspec_c11::relations::rf_signature(&result.trace));
-                if self.config.validate_axioms {
-                    for err in cdsspec_c11::relations::validate(&result.trace, true) {
-                        self.record_bug(
-                            Bug::AxiomViolation {
-                                message: err.to_string(),
-                            },
-                            &result.trace,
-                        );
-                        stop = Some(StopReason::FirstBug);
-                    }
+                // Two-tier axiom checking: `validate_axioms` runs the full
+                // independent oracle (O(n²) hb closure, clock cross-check);
+                // otherwise `debug_audit` runs the fast auditor that trusts
+                // the trace's incremental indexes. Both produce identical
+                // error strings for the violations they can both see.
+                let errors = if self.config.validate_axioms {
+                    cdsspec_c11::relations::validate(&result.trace, true)
+                } else if self.config.debug_audit {
+                    cdsspec_c11::relations::audit(&result.trace)
+                } else {
+                    Vec::new()
+                };
+                for err in errors {
+                    self.record_bug(
+                        Bug::AxiomViolation {
+                            message: err.to_string(),
+                        },
+                        &result.trace,
+                    );
+                    stop = Some(StopReason::FirstBug);
                 }
                 let config_stop_on_first = self.config.stop_on_first_bug;
                 plugins.with(|plugins| {

@@ -54,6 +54,7 @@ pub mod atomic;
 pub mod config;
 pub mod data;
 pub mod explore;
+pub(crate) mod fiber;
 pub mod memstate;
 pub mod msg;
 pub(crate) mod parallel;

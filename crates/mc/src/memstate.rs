@@ -20,7 +20,7 @@
 
 use cdsspec_c11::clock::CoherenceMap;
 use cdsspec_c11::{
-    Annotation, Clock, DataId, Event, EventId, EventKind, LocId, MemOrd, SpecNote, Tid, Trace, Val,
+    Annotation, Clock, DataId, EventId, EventKind, LocId, MemOrd, SpecNote, Tid, Trace, Val,
 };
 
 use crate::msg::RmwKind;
@@ -33,9 +33,9 @@ pub struct ThreadState {
     pub clock: Clock,
     /// Events performed so far (1-based seq of the last event).
     pub seq: u32,
-    /// Clock at the latest release fence, if any (C++11 29.8p2: the fence
-    /// becomes the sync source for subsequent relaxed stores).
-    rel_fence: Option<Clock>,
+    /// Payload of the latest release fence, if any (C++11 29.8p2: the
+    /// fence becomes the sync source for subsequent relaxed stores).
+    rel_fence: Option<Payload>,
     /// Accumulated sync payloads of stores read by *relaxed* loads since
     /// thread start; an acquire fence joins this (29.8p3-4).
     acq_pending: Clock,
@@ -46,8 +46,8 @@ pub struct ThreadState {
     own_stores: CoherenceMap,
     /// Thread ran to completion.
     pub finished: bool,
-    /// Clock at finish (join payload).
-    pub finish_clock: Clock,
+    /// Clock at finish (join payload, own component lazy).
+    finish_clock: Payload,
     /// Visible operations performed (divergence bound).
     pub steps: u32,
     /// Consecutive spin hints (futile-spin bound).
@@ -62,6 +62,39 @@ struct DataState {
     value: Val,
     last_write: Option<(Tid, u32)>,
     reads_since_write: Vec<(Tid, u32)>,
+}
+
+/// Release payload of a store or release fence: the source thread's clock
+/// plus the source event's own `(tid, seq)` component, kept *unapplied*.
+/// Building a payload is then pure COW Arc bumps — the deep vector copy
+/// that eagerly raising the own component would force (the payload clock
+/// shares its buffers with the still-mutating thread clock) is deferred
+/// to the reader that actually joins the payload, and never happens at
+/// all for the many release stores nobody synchronizes with.
+#[derive(Clone, Debug, Default)]
+struct Payload {
+    clock: Clock,
+    own: Option<(Tid, u32)>,
+}
+
+impl Payload {
+    /// Join this payload into a receiver clock. Raising the lazy
+    /// component after the join is equivalent to joining the raised
+    /// clock: both are component-wise max.
+    fn join_into(&self, dst: &mut Clock) {
+        dst.join(&self.clock);
+        if let Some((t, s)) = self.own {
+            dst.vc.raise(t, s);
+        }
+    }
+
+    /// Fold the lazy component into the clock (needed before this
+    /// payload can absorb a *second* own component).
+    fn flatten(&mut self) {
+        if let Some((t, s)) = self.own.take() {
+            self.clock.vc.raise(t, s);
+        }
+    }
 }
 
 /// A reads-from candidate for a load or RMW.
@@ -82,8 +115,8 @@ pub struct MemState {
     pub threads: Vec<ThreadState>,
     /// Per-atomic-location store lists live in `trace.mo`.
     data: Vec<DataState>,
-    /// Release payloads of stores, indexed like `trace.events`.
-    sync_of: Vec<Option<Clock>>,
+    /// Release payloads of stores, indexed by event id.
+    sync_of: Vec<Option<Payload>>,
     /// Per-location mo index of the latest SC store (29.3 p3-p4).
     sc_last_store: CoherenceMap,
     /// Per-location max mo index published by SC fences (29.3 p5-p6).
@@ -114,14 +147,13 @@ impl MemState {
     /// vectors keep the capacity earlier executions grew. Equivalent to
     /// `*self = MemState::new()` up to observable behavior.
     pub fn reset(&mut self, mut recycle: Trace) {
-        recycle.events.clear();
         self.mo_pool.extend(recycle.mo.drain(..).map(|mut v| {
             v.clear();
             v
         }));
-        recycle.sc_order.clear();
-        recycle.annotations.clear();
-        recycle.num_threads = 1;
+        // Clears every column and incremental index while keeping their
+        // capacity (and the `record_sw` setting).
+        recycle.clear();
         self.trace = recycle;
         self.threads.clear();
         self.threads.push(ThreadState::default());
@@ -138,7 +170,7 @@ impl MemState {
     /// `ThreadCreate` event and seeds the child clock (create ⊆ sw).
     pub fn spawn_thread(&mut self, parent: Tid) -> Tid {
         let child = Tid(self.threads.len() as u32);
-        self.push_event(parent, EventKind::ThreadCreate { child }, None);
+        self.push_event(parent, EventKind::ThreadCreate { child });
         let pth = &self.threads[parent.idx()];
         // Thread clocks leave their own component implicit; crossing to
         // another thread makes it explicit (the create event included).
@@ -185,41 +217,23 @@ impl MemState {
 
     fn store_val(&self, id: EventId) -> Val {
         self.trace
-            .event(id)
-            .kind
-            .written_val()
+            .written_val(id)
             .expect("rf target must be a write")
     }
 
-    /// Append an event for `tid` and return its id. `sc` selects
-    /// membership in the SC total order.
+    /// Commit an event for `tid` through [`Trace::push`] (which maintains
+    /// SC membership and every incremental index) and return its id.
     ///
     /// Allocation note: the thread's vector clock does *not* carry the
     /// thread's own component (it is implicit in `seq`), so the per-event
     /// snapshot below is a pure copy-on-write share — the clock buffers
     /// are only copied when a later *join* actually learns something new.
-    fn push_event(&mut self, tid: Tid, kind: EventKind, ord: Option<MemOrd>) -> EventId {
-        let id = EventId(self.trace.events.len() as u32);
+    fn push_event(&mut self, tid: Tid, kind: EventKind) -> EventId {
         let th = &mut self.threads[tid.idx()];
         th.seq += 1;
         th.steps += 1;
-        let sc_index = match ord {
-            Some(o) if o.is_seq_cst() => {
-                self.trace.sc_order.push(id);
-                Some(self.trace.sc_order.len() as u32 - 1)
-            }
-            _ => None,
-        };
         let clock = th.clock.vc.clone();
-        let seq = th.seq;
-        self.trace.events.push(Event {
-            id,
-            tid,
-            seq,
-            kind,
-            clock,
-            sc_index,
-        });
+        let id = self.trace.push(tid, th.seq, kind, clock);
         self.sync_of.push(None);
         self.last_event[tid.idx()] = Some(id);
         id
@@ -290,13 +304,11 @@ impl MemState {
             let w = stores[idx];
             if let (Some(bi), Some(be)) = (b_idx, b_event) {
                 if (idx as u32) < bi {
-                    let we = self.trace.event(w);
-                    let w_is_sc = we.kind.ord().map(|o| o.is_seq_cst()).unwrap_or(false);
-                    if w_is_sc {
+                    if self.trace.is_sc(w) {
                         continue; // older SC store: hidden by B in S
                     }
                     // hidden if it happens-before B
-                    if we.happens_before(self.trace.event(be)) {
+                    if self.trace.happens_before(w, be) {
                         continue;
                     }
                 }
@@ -414,19 +426,14 @@ impl MemState {
     pub fn apply_load(&mut self, tid: Tid, loc: LocId, ord: MemOrd, rf: Option<EventId>) -> Val {
         let val = rf.map(|w| self.store_val(w)).unwrap_or(0);
         self.absorb_read(tid, loc, ord, rf);
-        self.push_event(tid, EventKind::AtomicLoad { loc, ord, rf, val }, Some(ord));
+        self.push_event(tid, EventKind::AtomicLoad { loc, ord, rf, val });
         val
     }
 
     /// Clock effects of reading `rf` at `ord` (shared by loads and RMWs).
     fn absorb_read(&mut self, tid: Tid, loc: LocId, ord: MemOrd, rf: Option<EventId>) {
         let Some(w) = rf else { return };
-        let mo_idx = self
-            .trace
-            .event(w)
-            .kind
-            .mo_index()
-            .expect("rf target writes");
+        let mo_idx = self.trace.mo_index(w).expect("rf target writes");
         // Split borrow: join straight from the stored payload instead of
         // cloning it (a deep copy in the pre-COW layout, and still an Arc
         // bump worth skipping on every synchronizing read).
@@ -437,9 +444,9 @@ impl MemState {
         th.clock.rmax.raise(loc, mo_idx);
         if let Some(sync) = &sync_of[w.idx()] {
             if ord.is_acquire() {
-                th.clock.join(sync);
+                sync.join_into(&mut th.clock);
             } else {
-                th.acq_pending.join(sync);
+                sync.join_into(&mut th.acq_pending);
             }
         }
     }
@@ -460,7 +467,6 @@ impl MemState {
                 val,
                 mo_index,
             },
-            Some(ord),
         );
         self.trace.mo[loc.idx()].push(id);
         self.finish_write(tid, loc, ord, id, mo_index, None);
@@ -476,24 +482,34 @@ impl MemState {
         ord: MemOrd,
         id: EventId,
         mo_index: u32,
-        inherited: Option<Clock>,
+        inherited: Option<Payload>,
     ) {
         let th = &self.threads[tid.idx()];
-        let mut payload: Option<Clock> = inherited;
+        let mut payload: Option<Payload> = inherited;
         if ord.is_release() {
             // The thread clock plus this write's own (implicit) component
-            // is the event clock — the strongest correct payload.
-            let mut c = th.clock.clone();
-            c.vc.raise(tid, th.seq);
+            // is the event clock — the strongest correct payload. The own
+            // component stays lazy; see [`Payload`].
             match &mut payload {
-                Some(p) => p.join(&c),
-                None => payload = Some(c),
+                Some(p) => {
+                    // A payload carries at most one lazy component: fold
+                    // the inherited one before taking this write's.
+                    p.flatten();
+                    p.clock.join(&th.clock);
+                    p.own = Some((tid, th.seq));
+                }
+                None => {
+                    payload = Some(Payload {
+                        clock: th.clock.clone(),
+                        own: Some((tid, th.seq)),
+                    })
+                }
             }
         } else if let Some(f) = &th.rel_fence {
             // 29.8p2: a release fence sequenced before a relaxed store makes
             // the *fence* the sync source.
             match &mut payload {
-                Some(p) => p.join(f),
+                Some(p) => f.join_into(&mut p.clock),
                 None => payload = Some(f.clone()),
             }
         }
@@ -535,7 +551,6 @@ impl MemState {
                     written: Some(new),
                     mo_index,
                 },
-                Some(ord),
             );
             self.trace.mo[loc.idx()].push(id);
             self.finish_write(tid, loc, ord, id, mo_index, inherited);
@@ -556,7 +571,6 @@ impl MemState {
                     written: None,
                     mo_index: 0,
                 },
-                Some(fail_ord),
             );
             (old, false)
         }
@@ -582,33 +596,38 @@ impl MemState {
             let own = th.own_stores.clone();
             self.sc_fence_published.join(&own);
         }
-        self.push_event(tid, EventKind::Fence { ord }, Some(ord));
+        self.push_event(tid, EventKind::Fence { ord });
         if ord.is_release() {
             let th = &mut self.threads[tid.idx()];
-            // Stamp the fence's own component: the payload crosses threads.
-            let mut clock = th.clock.clone();
-            clock.vc.raise(tid, th.seq);
-            th.rel_fence = Some(clock);
+            // The fence's own component crosses threads with the payload;
+            // it stays lazy until a reader joins (see [`Payload`]).
+            th.rel_fence = Some(Payload {
+                clock: th.clock.clone(),
+                own: Some((tid, th.seq)),
+            });
         }
     }
 
     /// Record a thread's completion.
     pub fn apply_finish(&mut self, tid: Tid) {
-        self.push_event(tid, EventKind::ThreadFinish, None);
+        self.push_event(tid, EventKind::ThreadFinish);
         let th = &mut self.threads[tid.idx()];
         th.finished = true;
         // Stamp the finish event's own component: joiners are other threads.
-        th.finish_clock = th.clock.clone();
-        th.finish_clock.vc.raise(tid, th.seq);
+        th.finish_clock = Payload {
+            clock: th.clock.clone(),
+            own: Some((tid, th.seq)),
+        };
     }
 
     /// Apply a join on a finished `target` (the controller guarantees
     /// enabledness).
     pub fn apply_join(&mut self, tid: Tid, target: Tid) {
         debug_assert!(self.threads[target.idx()].finished);
+        // The clone is COW Arc bumps; it sidesteps the double borrow.
         let fc = self.threads[target.idx()].finish_clock.clone();
-        self.threads[tid.idx()].clock.join(&fc);
-        self.push_event(tid, EventKind::ThreadJoin { target }, None);
+        fc.join_into(&mut self.threads[tid.idx()].clock);
+        self.push_event(tid, EventKind::ThreadJoin { target });
     }
 
     /// Non-atomic write: race-check against unordered prior accesses, then
@@ -639,7 +658,7 @@ impl MemState {
                 }
             }
         }
-        self.push_event(tid, EventKind::DataWrite { loc }, None);
+        self.push_event(tid, EventKind::DataWrite { loc });
         let seq = self.threads[tid.idx()].seq;
         let d = &mut self.data[loc.idx()];
         d.value = val;
@@ -666,7 +685,7 @@ impl MemState {
                 }
             }
         }
-        self.push_event(tid, EventKind::DataRead { loc }, None);
+        self.push_event(tid, EventKind::DataRead { loc });
         let seq = self.threads[tid.idx()].seq;
         self.data[loc.idx()].reads_since_write.push((tid, seq));
         (self.data[loc.idx()].value, bug)
@@ -998,12 +1017,8 @@ mod tests {
             }
             let w = stores[idx];
             if let (Some(bi), Some(be)) = (b_idx, b_event) {
-                if (idx as u32) < bi {
-                    let we = m.trace.event(w);
-                    let w_is_sc = we.kind.ord().map(|o| o.is_seq_cst()).unwrap_or(false);
-                    if w_is_sc || we.happens_before(m.trace.event(be)) {
-                        continue; // hidden by the last SC store (29.3p3)
-                    }
+                if (idx as u32) < bi && (m.trace.is_sc(w) || m.trace.happens_before(w, be)) {
+                    continue; // hidden by the last SC store (29.3p3)
                 }
             }
             out.push(Some(w));

@@ -651,7 +651,10 @@ fn schedule(shared: &Shared, st: &mut ExecState, caller: Tid) {
                 return abort(shared, st, RunOutcome::Diverged);
             }
             st.replies[t.idx()] = Some(reply);
-            if t != caller {
+            // Under fiber hosting nobody waits on condvars: the parked
+            // fiber that ran this decision finds the reply itself and
+            // stack-switches to its owner (see `fiber_next`).
+            if t != caller && !crate::fiber::active() {
                 shared.cv(t).notify_one();
             }
         }
@@ -667,12 +670,37 @@ fn abort(shared: &Shared, st: &mut ExecState, outcome: RunOutcome) {
         st.outcome = Some(outcome);
     }
     st.dying = true;
+    let fiber_mode = crate::fiber::active();
     for i in 0..st.alive.len() {
         if st.alive[i] {
             st.replies[i] = Some(Reply::Die);
-            shared.cv(Tid(i as u32)).notify_one();
+            // Fiber-hosted threads drain via `fiber_next` transfers, not
+            // condvar wakeups (abort never runs on the watchdog path in
+            // fiber mode — fiber hosting requires no hang watchdog).
+            if !fiber_mode {
+                shared.cv(Tid(i as u32)).notify_one();
+            }
         }
     }
+}
+
+/// In fiber mode: the fiber a parking (or exiting) fiber must transfer
+/// control to — the thread whose deposited reply is waiting to be picked
+/// up, else the lowest spawned-but-never-run fiber (which still holds a
+/// running token, so the next scheduling decision cannot happen until it
+/// posts its first operation). `None` only when the execution has fully
+/// drained and control belongs back to the explorer.
+pub(crate) fn fiber_next(st: &ExecState) -> Option<Tid> {
+    // The `alive` filter is belt and braces: replies are only ever
+    // deposited for live threads and cleared when a thread dies, but a
+    // stale one slipping through would transfer control into a dead
+    // fiber's stack — keep the memory-safety margin explicit.
+    st.replies
+        .iter()
+        .zip(&st.alive)
+        .position(|(r, &alive)| r.is_some() && alive)
+        .map(|i| Tid(i as u32))
+        .or_else(crate::fiber::first_unstarted)
 }
 
 // ---------------------------------------------------------------------
@@ -695,6 +723,7 @@ pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
     // (the common case), the reply is already deposited and the cvs lock
     // is never touched. Fetching under `inner` follows the established
     // inner→cvs lock order (see `spawn_thread` and `schedule`).
+    let fiber_mode = crate::fiber::active();
     let mut cv = None;
     loop {
         if let Some(reply) = st.replies[me.idx()].take() {
@@ -705,7 +734,20 @@ pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
             st.running += 1;
             return reply;
         }
-        cv.get_or_insert_with(|| shared.cv(me)).wait(&mut st);
+        if fiber_mode {
+            // No reply for this thread yet: hand the CPU straight to the
+            // fiber that can make progress instead of parking an OS
+            // thread. Control comes back (with the lock released) once
+            // some later decision deposits this thread's reply and a
+            // parking fiber switches here.
+            let next =
+                fiber_next(&st).expect("fiber host: a parked thread has no runnable successor");
+            drop(st);
+            crate::fiber::switch_to(next);
+            st = shared.inner.lock();
+        } else {
+            cv.get_or_insert_with(|| shared.cv(me)).wait(&mut st);
+        }
     }
 }
 
@@ -735,6 +777,16 @@ pub(crate) fn spawn_thread(
     st.mem.spawn_thread(me);
     st.running += 1; // the child runs until its first visible op
     st.active_jobs += 1;
+    if crate::fiber::active() {
+        // Fiber hosting: the child becomes a fiber of this OS thread. It
+        // runs when a parking fiber picks it via `fiber_next` (it holds a
+        // running token until its first visible op, so that is guaranteed
+        // before the next scheduling decision). Creation cannot fail —
+        // there is no pool to exhaust.
+        drop(st);
+        crate::fiber::spawn_fiber(child, Arc::clone(shared), closure);
+        return child;
+    }
     let pool = Arc::clone(&shared.pool);
     drop(st);
     let dispatched = pool.lock().dispatch(Job {
@@ -786,6 +838,11 @@ pub(crate) fn thread_aborted(shared: &Shared, me: Tid) {
         // panicked out of visible_op/spawn before re-incrementing, so it
         // is *not* counted in `running` here. Nothing to decrement.
     }
+    // A thread that died *without starting* (spawned, then the execution
+    // aborted before its first visible op) never picked up the `Die` the
+    // abort deposited for it. Clear it: a stale reply for a dead thread
+    // would otherwise steer `fiber_next` into a dead fiber.
+    st.replies[me.idx()] = None;
 }
 
 /// Called by the job wrapper when the closure panicked for real.
@@ -797,6 +854,8 @@ pub(crate) fn thread_panicked(shared: &Shared, me: Tid, message: String) {
         let bug = Bug::UserPanic { tid: me, message };
         abort(shared, &mut st, RunOutcome::BugFound(bug));
     }
+    // See `thread_aborted`: no stale reply may outlive its thread.
+    st.replies[me.idx()] = None;
 }
 
 /// Job-exit accounting: the last job out signals the explorer.
@@ -851,7 +910,11 @@ pub(crate) fn run_once(
     sampler: Option<StdRng>,
     reuse: &mut Reuse,
 ) -> RunResult {
-    let recycle = reuse.trace.take().unwrap_or_default();
+    let mut recycle = reuse.trace.take().unwrap_or_default();
+    // sw-edge recording feeds the post-hoc oracle's delta cross-check; it
+    // is only consumed by the validating test suites, so tie it to the
+    // same flag. `Trace::clear` preserves the setting across reuse.
+    recycle.record_sw = config.validate_axioms;
     let shared = match reuse.shared.take() {
         Some(shared) => {
             shared.inner.lock().reset(script, sampler, recycle);
@@ -866,7 +929,11 @@ pub(crate) fn run_once(
         }
         None => Arc::new(Shared {
             inner: Mutex::new(ExecState {
-                mem: MemState::new(),
+                mem: {
+                    let mut mem = MemState::new();
+                    mem.trace.record_sw = config.validate_axioms;
+                    mem
+                },
                 config: config.clone(),
                 script: script.to_vec(),
                 cursor: 0,
@@ -909,12 +976,17 @@ pub(crate) fn run_once(
         st.active_jobs = 1;
     }
     let t2 = Arc::clone(&test);
-    // Run the main modeled thread inline on this (explorer) thread: two
-    // fewer futex round-trips per execution. Requires the explorer to be
-    // free for the duration — with a hang watchdog to poll, or when
-    // already inside a modeled thread (nested explore), dispatch to the
-    // pool as before.
-    if config.hang_timeout.is_none() && !crate::worker::in_model() {
+    // Fastest host first. Fibers run *every* modeled thread of the
+    // execution on this (explorer) thread with userspace stack switches —
+    // zero kernel handshakes per token transfer. Where fibers are not
+    // implemented, running just the main modeled thread inline still
+    // saves two futex round-trips per execution. Both require the
+    // explorer to be free for the duration — with a hang watchdog to
+    // poll, or when already inside a modeled thread (nested explore),
+    // dispatch to the pool as before.
+    if crate::fiber::enabled_here(config) {
+        crate::fiber::run_execution(&shared, Box::new(move || t2()));
+    } else if config.hang_timeout.is_none() && !crate::worker::in_model() {
         crate::worker::run_main_inline(&shared, Box::new(move || t2()));
     } else {
         let dispatched = pool.lock().dispatch(Job {

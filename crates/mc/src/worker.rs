@@ -32,19 +32,36 @@ thread_local! {
 
 /// Run `f` with the current modeled-thread context. Panics (with a clear
 /// message) when called outside `mc::explore`/`mc::model`.
+///
+/// The context is cloned out (a `Tid` copy plus one `Arc` bump) so the
+/// `RefCell` borrow is released *before* `f` runs. This is load-bearing
+/// under fiber hosting: `f` may suspend the calling fiber mid-operation,
+/// and the fiber that runs next re-points `CTX` for itself — a borrow
+/// held across the switch would make that re-point panic.
 pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
-    CTX.with(|c| {
+    let ctx = CTX.with(|c| {
         let b = c.borrow();
         let ctx = b
             .as_ref()
             .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
-        f(ctx)
-    })
+        Ctx {
+            tid: ctx.tid,
+            shared: Arc::clone(&ctx.shared),
+        }
+    });
+    f(&ctx)
 }
 
 /// Is the caller inside a modeled thread?
 pub fn in_model() -> bool {
     CTX.with(|c| c.borrow().is_some())
+}
+
+/// Install (or clear) the modeled-thread context directly — used by the
+/// fiber host, which multiplexes many modeled threads on one OS thread
+/// and must re-point the context at every stack switch.
+pub(crate) fn set_fiber_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
 }
 
 /// A unit of work for a pooled OS thread: run `closure` as modeled thread
@@ -219,7 +236,11 @@ pub(crate) fn run_main_inline(shared: &Arc<Shared>, closure: Box<dyn FnOnce() + 
     });
 }
 
-fn run_job(job: Job) {
+/// Host one modeled thread to completion: install its context, run the
+/// closure, catch any unwind, and report the exit to the runtime. The
+/// body of every pool worker, of [`run_main_inline`], and of every fiber
+/// root (`crate::fiber`).
+pub(crate) fn run_job(job: Job) {
     let Job {
         tid,
         shared,
