@@ -111,7 +111,7 @@ fn per(n: u64, d: u64) -> f64 {
 }
 
 /// Explore one registered benchmark exhaustively and record the row.
-fn figure7_probe(name: &str, workers: usize, variant: &str) -> BenchRow {
+fn figure7_probe(name: &str, workers: usize, variant: &str, watchdog: bool) -> BenchRow {
     let bench = benchmarks()
         .into_iter()
         .find(|b| b.name == name)
@@ -122,11 +122,16 @@ fn figure7_probe(name: &str, workers: usize, variant: &str) -> BenchRow {
         // Probes measure the bare engine; the per-execution axiom audit
         // is a debugging aid, priced separately by micro:relations_finalize.
         debug_audit: false,
-        // No hang watchdog: these closures are known-terminating, and a
-        // free explorer lets the runtime host all modeled threads on
-        // userspace fibers (the fastest path — the one a tuned production
-        // campaign runs). A genuine wedge would hit the CI job timeout.
-        hang_timeout: None,
+        // Fiber hosting engages either way (a configured watchdog now
+        // rides fibers via the monitor thread). `watchdog` keeps
+        // `Config::default`'s hang_timeout so the row prices the monitor
+        // thread + per-execution registry against the watchdog-free
+        // fast path; these closures are known-terminating in both modes.
+        hang_timeout: if watchdog {
+            mc::Config::default().hang_timeout
+        } else {
+            None
+        },
         ..mc::Config::default()
     };
     let (stats, elapsed_ns, allocations) = measured(|| bench.check_default(config));
@@ -362,6 +367,7 @@ struct Args {
     baseline: Option<PathBuf>,
     smoke: bool,
     guard: Option<PathBuf>,
+    watchdog: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -371,6 +377,7 @@ fn parse_args() -> Result<Args, String> {
         baseline: None,
         smoke: false,
         guard: None,
+        watchdog: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -381,6 +388,11 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => args.baseline = Some(PathBuf::from(val("--baseline")?)),
             "--smoke" => args.smoke = true,
             "--guard" => args.guard = Some(PathBuf::from(val("--guard")?)),
+            // Measure the figure7 probes with `Config::default`'s hang
+            // watchdog armed (micro probes are host-independent and are
+            // skipped). Pair with `--variant fiber-watchdog` to record
+            // the A/B rows against the watchdog-free variant.
+            "--watchdog" => args.watchdog = true,
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -422,7 +434,7 @@ fn main() {
         let committed = extract_bench_rows(&text);
         let mut failed = false;
         for name in benches {
-            let row = figure7_probe(name, 1, "guard");
+            let row = figure7_probe(name, 1, "guard", args.watchdog);
             let best = committed
                 .iter()
                 .filter(|r| r.probe == row.probe && r.workers == 1 && r.allocations > 0)
@@ -459,7 +471,7 @@ fn main() {
     let mut rows = Vec::new();
     for &w in worker_counts {
         for name in benches {
-            let row = figure7_probe(name, w, &args.variant);
+            let row = figure7_probe(name, w, &args.variant, args.watchdog);
             eprintln!(
                 "{:<28} workers={} {:>9} exec {:>10.0} exec/s {:>8.1} allocs/exec",
                 row.probe, row.workers, row.executions, row.exec_per_sec, row.allocs_per_exec
@@ -467,12 +479,14 @@ fn main() {
             rows.push(row);
         }
     }
-    for row in micro_probes(&args.variant, iters) {
-        eprintln!(
-            "{:<28} workers={} {:>9} iter {:>10.0} iter/s {:>8.1} allocs/iter",
-            row.probe, row.workers, row.executions, row.exec_per_sec, row.allocs_per_exec
-        );
-        rows.push(row);
+    if !args.watchdog {
+        for row in micro_probes(&args.variant, iters) {
+            eprintln!(
+                "{:<28} workers={} {:>9} iter {:>10.0} iter/s {:>8.1} allocs/iter",
+                row.probe, row.workers, row.executions, row.exec_per_sec, row.allocs_per_exec
+            );
+            rows.push(row);
+        }
     }
 
     // Carry forward baseline rows this run did not re-measure.

@@ -27,7 +27,7 @@
 //! allocation per event. Unit-test workloads never exceed a handful of
 //! threads and locations, so both [`VecClock`] and [`CoherenceMap`] store
 //! their table inline first and spill to the shared heap form only past
-//! [`INLINE`] entries:
+//! `INLINE` entries:
 //!
 //! * tables with at most `INLINE` entries live in a fixed array inside the
 //!   struct: `clone()` is a memcpy, mutation writes in place, and no heap

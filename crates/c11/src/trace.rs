@@ -15,11 +15,11 @@
 //! columns — `tids`/`seqs`/`tags`/`locs`/`rfs`/`mo_indices`/`sc_indices`
 //! for the hot fields the candidate scans and relation queries touch,
 //! copy-on-write clock snapshots in `clocks`, and the cold payloads
-//! (orderings and values) in a side [`PayloadArena`]. All columns keep
+//! (orderings and values) in a side `PayloadArena`. All columns keep
 //! their capacity across executions: `cdsspec-mc`'s `runtime::Reuse`
 //! machinery recycles the whole `Trace` through [`Trace::clear`], so a
 //! warm harness commits events without allocating. Sentinel `u32::MAX`
-//! ([`NONE`]) encodes "no rf" / "not a write" / "not SC" in the dense
+//! (`NONE`) encodes "no rf" / "not a write" / "not SC" in the dense
 //! columns; a failed compare-exchange is a `Rmw` tag whose `mo_indices`
 //! entry is the sentinel.
 //!
@@ -33,7 +33,7 @@
 //!   thread is program order, so these double as the sb chains;
 //! * **per-location reader chains** (`readers`) — the rf side of the
 //!   per-location rf/mo structure (`mo` itself is already per-location);
-//! * **the canonical-signature state** ([`SigState`]) — thread spawn-path
+//! * **the canonical-signature state** (`SigState`) — thread spawn-path
 //!   names, per-event canonical ids, and per-location minima, folded
 //!   exactly as `relations::rf_signature` historically derived them
 //!   post-hoc (the retained reference is

@@ -93,7 +93,9 @@ pub fn progress_hint() {
     if !crate::worker::in_model() {
         return;
     }
-    with_ctx(|ctx| ctx.shared.inner.lock().heartbeat());
+    // Lock-free: the heartbeat is an atomic on `Shared`, so the hint
+    // costs one fetch_add — cheap enough to sprinkle into tight loops.
+    with_ctx(|ctx| ctx.shared.heartbeat());
 }
 
 /// Allocate `v` for the duration of the current execution and return a raw

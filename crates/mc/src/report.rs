@@ -55,10 +55,29 @@ pub enum Bug {
     },
     /// An execution made no scheduling progress for `stalled_ms`
     /// milliseconds and was aborted by the watchdog — the modeled code
-    /// wedged an OS worker (e.g. an unannotated infinite non-atomic loop).
+    /// wedged its host (e.g. an unannotated infinite non-atomic loop).
     InternalHang {
-        /// How long the scheduler was stalled before the abort.
+        /// The configured stall threshold that was exceeded. The
+        /// *configured* value, not the measured wall-clock stall, so the
+        /// rendered message — the bug dedup key — is deterministic.
         stalled_ms: u64,
+        /// The modeled thread last granted the scheduling token before
+        /// progress stopped. Under fiber hosting this is exactly the
+        /// wedged fiber; under the OS-thread pool it is the runtime's
+        /// best estimate (several threads may hold running tokens).
+        /// `None` only for hangs reported before any thread ran.
+        tid: Option<Tid>,
+        /// Short tag of the last visible operation committed before the
+        /// stall (`event-id:kind@thread`), when any event was committed.
+        last_op: Option<String>,
+    },
+    /// A modeled closure overran its fiber stack. On Linux the `PROT_NONE`
+    /// guard region below the stack converts the overflow into this clean
+    /// report; elsewhere a canary word checked at every fiber switch
+    /// catches it (best-effort — the guard page is the hard stop).
+    StackOverflow {
+        /// The overflowing modeled thread.
+        tid: Tid,
     },
     /// The exploration engine itself failed (e.g. the OS thread pool could
     /// not keep workers alive after bounded respawn attempts). Not a
@@ -94,6 +113,7 @@ impl Bug {
             Bug::AxiomViolation { .. } => BugCategory::Internal,
             Bug::EngineFailure { .. } => BugCategory::Internal,
             Bug::InternalHang { .. } => BugCategory::BuiltIn,
+            Bug::StackOverflow { .. } => BugCategory::BuiltIn,
             Bug::Restored { category, .. } => *category,
         }
     }
@@ -120,11 +140,26 @@ impl std::fmt::Display for Bug {
             Bug::Plugin { plugin, message } => write!(f, "[{plugin}] {message}"),
             Bug::AxiomViolation { message } => write!(f, "AXIOM VIOLATION (internal): {message}"),
             Bug::EngineFailure { message } => write!(f, "engine failure: {message}"),
-            Bug::InternalHang { stalled_ms } => {
+            Bug::InternalHang {
+                stalled_ms,
+                tid,
+                last_op,
+            } => {
                 write!(
                     f,
                     "internal hang: no scheduling progress for {stalled_ms} ms"
-                )
+                )?;
+                if let Some(tid) = tid {
+                    write!(f, " ({tid} wedged")?;
+                    if let Some(op) = last_op {
+                        write!(f, " after {op}")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
+            Bug::StackOverflow { tid } => {
+                write!(f, "stack overflow: {tid} overran its fiber stack")
             }
             // Print the message verbatim: the dedup key of a restored bug
             // must equal the key of the live bug it was serialized from.
@@ -756,8 +791,28 @@ mod tests {
             message: "postcondition failed".into(),
         };
         assert_eq!(spec.category(), BugCategory::Assertion);
-        let hang = Bug::InternalHang { stalled_ms: 250 };
+        let hang = Bug::InternalHang {
+            stalled_ms: 250,
+            tid: Some(Tid(2)),
+            last_op: Some("e7:Store@T2".into()),
+        };
         assert_eq!(hang.category(), BugCategory::BuiltIn);
+        assert_eq!(
+            hang.to_string(),
+            "internal hang: no scheduling progress for 250 ms (T2 wedged after e7:Store@T2)"
+        );
+        let bare = Bug::InternalHang {
+            stalled_ms: 250,
+            tid: None,
+            last_op: None,
+        };
+        assert_eq!(
+            bare.to_string(),
+            "internal hang: no scheduling progress for 250 ms"
+        );
+        let overflow = Bug::StackOverflow { tid: Tid(1) };
+        assert_eq!(overflow.category(), BugCategory::BuiltIn);
+        assert!(overflow.to_string().contains("T1"));
     }
 
     #[test]

@@ -113,10 +113,6 @@ pub(crate) struct ExecState {
     outcome: Option<RunOutcome>,
     /// Abort in progress: remaining workers unwind on wakeup.
     dying: bool,
-    /// Heartbeat counter: bumped on every scheduling decision (and by
-    /// `crate::api::progress_hint`). The watchdog in [`run_once`] aborts
-    /// the execution when this stops moving for `Config::hang_timeout`.
-    progress: u64,
     /// When set, choice points past the replay script are resolved by
     /// this PRNG instead of depth-first (deadline-degraded sampling).
     sampler: Option<StdRng>,
@@ -153,6 +149,13 @@ pub(crate) struct ExecState {
 /// primitives.
 pub(crate) struct Shared {
     pub inner: Mutex<ExecState>,
+    /// Heartbeat counter: bumped on every scheduling decision (and by
+    /// `crate::api::progress_hint`). Watchdogs abort the execution when
+    /// it stops moving for `Config::hang_timeout`. Lives on `Shared` as
+    /// a lock-free atomic — not in `ExecState` — because the fiber
+    /// watchdog's monitor thread must sample it while a wedged host may
+    /// never release `inner`.
+    pub(crate) progress: std::sync::atomic::AtomicU64,
     /// Per-modeled-thread wakeups (indexed by tid; grown under the lock).
     cvs: Mutex<Vec<Arc<Condvar>>>,
     /// Explorer wakeup: outcome decided and all jobs drained.
@@ -193,6 +196,12 @@ impl Shared {
         self.pending_bug_flag
             .store(true, std::sync::atomic::Ordering::Release);
     }
+
+    /// Feed the watchdogs (see the `progress` field).
+    pub(crate) fn heartbeat(&self) {
+        self.progress
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
 }
 
 impl ExecState {
@@ -219,11 +228,6 @@ impl ExecState {
         });
         self.cursor += 1;
         picked
-    }
-
-    /// Feed the watchdog (see the `progress` field).
-    pub(crate) fn heartbeat(&mut self) {
-        self.progress = self.progress.wrapping_add(1);
     }
 
     fn register_thread(&mut self) -> Tid {
@@ -269,9 +273,22 @@ impl ExecState {
         self.last_sched = Tid::MAIN;
         self.outcome = None;
         self.dying = false;
-        self.progress = 0;
         self.sampler = sampler;
         self.pruned = 0;
+    }
+
+    /// Render the watchdog bug for this execution: the *configured*
+    /// limit (not the measured stall — measured values differ run to run
+    /// and would defeat bug-string dedup and fiber/pool equivalence),
+    /// the last thread the scheduler handed the token to (the wedged
+    /// thread: nothing else can run until it posts an operation), and
+    /// the last-committed trace event as a human-readable anchor.
+    fn hang_bug(&self, limit: Duration) -> Bug {
+        Bug::InternalHang {
+            stalled_ms: limit.as_millis() as u64,
+            tid: Some(self.last_sched),
+            last_op: last_op_tag(&self.mem.trace),
+        }
     }
 
     /// True when the current decision point is being visited for the first
@@ -488,7 +505,7 @@ fn schedule(shared: &Shared, st: &mut ExecState, caller: Tid) {
     if st.outcome.is_some() {
         return;
     }
-    st.heartbeat();
+    shared.heartbeat();
 
     // Worker-side race found since the last decision? (Atomic fast path:
     // the mutex is only touched when a bug was actually posted.)
@@ -675,13 +692,76 @@ fn abort(shared: &Shared, st: &mut ExecState, outcome: RunOutcome) {
         if st.alive[i] {
             st.replies[i] = Some(Reply::Die);
             // Fiber-hosted threads drain via `fiber_next` transfers, not
-            // condvar wakeups (abort never runs on the watchdog path in
-            // fiber mode — fiber hosting requires no hang watchdog).
+            // condvar wakeups — nobody parks on a condvar in fiber mode,
+            // including the host-side watchdog-rescue abort (which runs
+            // with `fiber::active()` still true and drains the survivors
+            // through `run_execution`'s switch loop).
             if !fiber_mode {
                 shared.cv(Tid(i as u32)).notify_one();
             }
         }
     }
+}
+
+/// Human-readable anchor for hang reports: the last event committed to
+/// the trace, rendered `event-id:kind@thread` (e.g. `e7:Store@T2`).
+fn last_op_tag(trace: &Trace) -> Option<String> {
+    if trace.is_empty() {
+        return None;
+    }
+    let id = EventId(trace.len() as u32 - 1);
+    Some(format!("{id}:{:?}@{}", trace.tag(id), trace.tid(id)))
+}
+
+/// Repair the scheduler's accounting after a signal rescue abandoned the
+/// wedged fiber `wedged` mid-flight, and abort the execution with the
+/// corresponding bug. Called by `fiber::run_execution` on the host, with
+/// the wedged fiber already marked dead+abandoned.
+///
+/// The preemption gate guarantees the rescue interrupted *user* code —
+/// i.e. the wedged thread held the running token — so it is counted in
+/// `running` (unless it had already passed `thread_finished`, in which
+/// case `alive` is false and there is nothing to undo). Its pending op
+/// and reply are cleared so no stale state can steer `fiber_next`, and
+/// its job-exit is accounted here (the fiber's root will never run
+/// `job_exited`).
+pub(crate) fn fiber_rescued(
+    shared: &Arc<Shared>,
+    wedged: Tid,
+    overflow: bool,
+    limit: Option<Duration>,
+) {
+    let _gate = crate::fiber::engine_section();
+    let mut st = shared.inner.lock();
+    if st.alive.get(wedged.idx()).copied().unwrap_or(false) {
+        st.alive[wedged.idx()] = false;
+        st.running = st.running.saturating_sub(1);
+    }
+    if let Some(p) = st.pending.get_mut(wedged.idx()) {
+        *p = None;
+    }
+    if let Some(r) = st.replies.get_mut(wedged.idx()) {
+        *r = None;
+    }
+    st.active_jobs = st.active_jobs.saturating_sub(1);
+    if st.outcome.is_none() {
+        let bug = if overflow {
+            Bug::StackOverflow { tid: wedged }
+        } else {
+            st.hang_bug(limit.unwrap_or_default())
+        };
+        abort(shared, &mut st, RunOutcome::BugFound(bug));
+    }
+    if st.active_jobs == 0 {
+        shared.done.notify_all();
+    }
+    drop(st);
+    // Critical: reset the monitor's stall clock. The rescue itself bumps
+    // no progress, so without this the monitor would re-request a rescue
+    // immediately and could preempt a *draining* (unwinding) fiber in a
+    // gate-open window; with it, the drain gets a full fresh timeout —
+    // and a genuinely wedged drain still gets rescued after one.
+    shared.heartbeat();
 }
 
 /// In fiber mode: the fiber a parking (or exiting) fiber must transfer
@@ -709,6 +789,10 @@ pub(crate) fn fiber_next(st: &ExecState) -> Option<Tid> {
 
 /// Perform a visible operation as modeled thread `me`.
 pub(crate) fn visible_op(shared: &Shared, me: Tid, op: Op) -> Reply {
+    // Close the preemption gate: a signal rescue must never abandon a
+    // fiber holding `inner` or mid-bookkeeping. (The gate is per-fiber —
+    // saved/restored across the suspension inside `switch_to`.)
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     if st.dying {
         drop(st);
@@ -757,6 +841,7 @@ pub(crate) fn spawn_thread(
     me: Tid,
     closure: Box<dyn FnOnce() + Send + 'static>,
 ) -> Tid {
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     if st.dying {
         drop(st);
@@ -772,7 +857,7 @@ pub(crate) fn spawn_thread(
         std::panic::panic_any(DieMarker);
     }
     let child = st.register_thread();
-    st.heartbeat();
+    shared.heartbeat();
     shared.ensure_cv(child);
     st.mem.spawn_thread(me);
     st.running += 1; // the child runs until its first visible op
@@ -818,6 +903,7 @@ pub(crate) fn spawn_thread(
 
 /// Called by the job wrapper when the closure returns normally.
 pub(crate) fn thread_finished(shared: &Shared, me: Tid) {
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     if st.alive[me.idx()] {
         st.mem.apply_finish(me);
@@ -831,6 +917,7 @@ pub(crate) fn thread_finished(shared: &Shared, me: Tid) {
 
 /// Called by the job wrapper when the closure unwound with [`DieMarker`].
 pub(crate) fn thread_aborted(shared: &Shared, me: Tid) {
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     if st.alive[me.idx()] {
         st.alive[me.idx()] = false;
@@ -847,6 +934,7 @@ pub(crate) fn thread_aborted(shared: &Shared, me: Tid) {
 
 /// Called by the job wrapper when the closure panicked for real.
 pub(crate) fn thread_panicked(shared: &Shared, me: Tid, message: String) {
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     if st.alive[me.idx()] {
         st.alive[me.idx()] = false;
@@ -860,6 +948,7 @@ pub(crate) fn thread_panicked(shared: &Shared, me: Tid, message: String) {
 
 /// Job-exit accounting: the last job out signals the explorer.
 pub(crate) fn job_exited(shared: &Shared) {
+    let _gate = crate::fiber::engine_section();
     let mut st = shared.inner.lock();
     st.active_jobs -= 1;
     if st.active_jobs == 0 && st.outcome.is_some() {
@@ -949,7 +1038,6 @@ pub(crate) fn run_once(
                 last_sched: Tid::MAIN,
                 outcome: None,
                 dying: false,
-                progress: 0,
                 sampler,
                 cand_buf: Vec::new(),
                 rmw_buf: Vec::new(),
@@ -958,6 +1046,7 @@ pub(crate) fn run_once(
                 pruned: 0,
                 wake_floor: Vec::new(),
             }),
+            progress: std::sync::atomic::AtomicU64::new(0),
             cvs: Mutex::new(Vec::new()),
             done: Condvar::new(),
             pending_bug: Mutex::new(None),
@@ -976,36 +1065,42 @@ pub(crate) fn run_once(
         st.active_jobs = 1;
     }
     let t2 = Arc::clone(&test);
-    // Fastest host first. Fibers run *every* modeled thread of the
-    // execution on this (explorer) thread with userspace stack switches —
-    // zero kernel handshakes per token transfer. Where fibers are not
-    // implemented, running just the main modeled thread inline still
-    // saves two futex round-trips per execution. Both require the
-    // explorer to be free for the duration — with a hang watchdog to
-    // poll, or when already inside a modeled thread (nested explore),
-    // dispatch to the pool as before.
-    if crate::fiber::enabled_here(config) {
-        crate::fiber::run_execution(&shared, Box::new(move || t2()));
-    } else if config.hang_timeout.is_none() && !crate::worker::in_model() {
-        crate::worker::run_main_inline(&shared, Box::new(move || t2()));
-    } else {
-        let dispatched = pool.lock().dispatch(Job {
-            tid: Tid::MAIN,
-            shared: Arc::clone(&shared),
-            closure: Box::new(move || t2()),
-        });
-        if !dispatched {
-            // No worker could host even the main modeled thread: void the
-            // execution up front instead of waiting on a job that will
-            // never run.
-            let mut st = shared.inner.lock();
-            st.alive[Tid::MAIN.idx()] = false;
-            st.running -= 1;
-            st.active_jobs -= 1;
-            st.outcome = Some(RunOutcome::EngineError(
-                "worker pool exhausted its respawn budget dispatching the main thread".into(),
-            ));
-            shared.done.notify_all();
+    // Host selection is centralized in `fiber::host_choice` (shared with
+    // `fiber::enabled_here` so the gating logic cannot drift). Fibers run
+    // *every* modeled thread of the execution on this (explorer) thread
+    // with userspace stack switches — zero kernel handshakes per token
+    // transfer — and, with a hang_timeout, arm the monitor-thread
+    // watchdog for signal-directed rescue. Where fibers are unavailable,
+    // running just the main modeled thread inline still saves two futex
+    // round-trips per execution, but only when the explorer has no
+    // watchdog polling to do; the OS-thread pool covers the rest
+    // (notably nested explorations).
+    match crate::fiber::host_choice(config) {
+        crate::fiber::HostChoice::Fiber => {
+            crate::fiber::run_execution(&shared, Box::new(move || t2()), config.hang_timeout);
+        }
+        crate::fiber::HostChoice::Inline => {
+            crate::worker::run_main_inline(&shared, Box::new(move || t2()));
+        }
+        crate::fiber::HostChoice::Pool => {
+            let dispatched = pool.lock().dispatch(Job {
+                tid: Tid::MAIN,
+                shared: Arc::clone(&shared),
+                closure: Box::new(move || t2()),
+            });
+            if !dispatched {
+                // No worker could host even the main modeled thread: void
+                // the execution up front instead of waiting on a job that
+                // will never run.
+                let mut st = shared.inner.lock();
+                st.alive[Tid::MAIN.idx()] = false;
+                st.running -= 1;
+                st.active_jobs -= 1;
+                st.outcome = Some(RunOutcome::EngineError(
+                    "worker pool exhausted its respawn budget dispatching the main thread".into(),
+                ));
+                shared.done.notify_all();
+            }
         }
     }
 
@@ -1024,16 +1119,22 @@ pub(crate) fn run_once(
                 }
             }
             Some(limit) => {
+                // Fiber-hosted executions return from `run_execution`
+                // fully drained (their watchdog lives on the monitor
+                // thread), so this loop exits on its first check there;
+                // the polling below is the OS-thread path's watchdog.
                 let slice = (limit / 4).max(Duration::from_millis(10));
-                let mut last_progress = st.progress;
+                let progress = || shared.progress.load(std::sync::atomic::Ordering::Relaxed);
+                let mut last_progress = progress();
                 let mut last_change = Instant::now();
                 loop {
                     if st.outcome.is_some() && st.active_jobs == 0 {
                         break;
                     }
                     shared.done.wait_for(&mut st, slice);
-                    if st.progress != last_progress {
-                        last_progress = st.progress;
+                    let now_progress = progress();
+                    if now_progress != last_progress {
+                        last_progress = now_progress;
                         last_change = Instant::now();
                         continue;
                     }
@@ -1042,9 +1143,7 @@ pub(crate) fn run_once(
                         continue;
                     }
                     if st.outcome.is_none() {
-                        let bug = Bug::InternalHang {
-                            stalled_ms: stalled.as_millis() as u64,
-                        };
+                        let bug = st.hang_bug(limit);
                         abort(&shared, &mut st, RunOutcome::BugFound(bug));
                         // Fresh grace period for the surviving jobs to
                         // unwind and drain.

@@ -39,21 +39,28 @@ thread_local! {
 /// and the fiber that runs next re-points `CTX` for itself — a borrow
 /// held across the switch would make that re-point panic.
 pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
-    let ctx = CTX.with(|c| {
-        let b = c.borrow();
-        let ctx = b
-            .as_ref()
-            .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
-        Ctx {
-            tid: ctx.tid,
-            shared: Arc::clone(&ctx.shared),
-        }
-    });
+    let ctx = {
+        // Preemption gate: a signal rescue must never abandon a fiber
+        // holding the `RefCell` borrow — that would permanently poison
+        // the borrow flag on the host OS thread.
+        let _gate = crate::fiber::engine_section();
+        CTX.with(|c| {
+            let b = c.borrow();
+            let ctx = b
+                .as_ref()
+                .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
+            Ctx {
+                tid: ctx.tid,
+                shared: Arc::clone(&ctx.shared),
+            }
+        })
+    };
     f(&ctx)
 }
 
 /// Is the caller inside a modeled thread?
 pub fn in_model() -> bool {
+    let _gate = crate::fiber::engine_section();
     CTX.with(|c| c.borrow().is_some())
 }
 
@@ -61,6 +68,7 @@ pub fn in_model() -> bool {
 /// fiber host, which multiplexes many modeled threads on one OS thread
 /// and must re-point the context at every stack switch.
 pub(crate) fn set_fiber_ctx(ctx: Option<Ctx>) {
+    let _gate = crate::fiber::engine_section();
     CTX.with(|c| *c.borrow_mut() = ctx);
 }
 
@@ -246,16 +254,23 @@ pub(crate) fn run_job(job: Job) {
         shared,
         closure,
     } = job;
-    CTX.with(|c| {
-        *c.borrow_mut() = Some(Ctx {
-            tid,
-            shared: Arc::clone(&shared),
+    {
+        // Gate the `RefCell` borrow against signal rescue (see with_ctx).
+        let _gate = crate::fiber::engine_section();
+        CTX.with(|c| {
+            *c.borrow_mut() = Some(Ctx {
+                tid,
+                shared: Arc::clone(&shared),
+            });
         });
-    });
+    }
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(closure));
-    CTX.with(|c| {
-        *c.borrow_mut() = None;
-    });
+    {
+        let _gate = crate::fiber::engine_section();
+        CTX.with(|c| {
+            *c.borrow_mut() = None;
+        });
+    }
     match result {
         Ok(()) => runtime::thread_finished(&shared, tid),
         Err(payload) => {

@@ -1,19 +1,22 @@
 //! Fiber hosting must be a pure transport change.
 //!
-//! With `hang_timeout: None` on x86_64 the runtime hosts every modeled
-//! thread of an execution on the explorer's own OS thread, moving control
-//! with userspace stack switches (`crate::fiber`); with a watchdog
-//! configured it hosts them on pooled OS threads parked on condvars. The
-//! scheduling *decisions* are made by the same code on the same state in
-//! both modes, so an exploration must be indistinguishable between them:
-//! same executions in the same DFS order, same per-execution traces, same
-//! bugs, same prune counters.
+//! With `Config::fiber_hosting` (the default) on x86_64 the runtime hosts
+//! every modeled thread of an execution on the explorer's own OS thread,
+//! moving control with userspace stack switches (`crate::fiber`) — on
+//! Linux even with a hang watchdog configured, whose stall detection then
+//! runs on a monitor thread. With `fiber_hosting: false` it hosts them on
+//! pooled OS threads parked on condvars. The scheduling *decisions* are
+//! made by the same code on the same state in all modes, so an
+//! exploration must be indistinguishable between them: same executions in
+//! the same DFS order, same per-execution traces, same bugs, same prune
+//! counters.
 //!
 //! These tests pin that equivalence: random weakly-ordered programs are
-//! explored under both hosts and every deterministic statistic plus the
-//! exact per-execution rf-signature *sequence* must match; the bug paths
-//! (user panics — i.e. unwinds through a fiber root — and divergence
-//! bounds) are exercised explicitly.
+//! explored under the fiber host (watchdog-free *and* watchdog-on) and
+//! the OS-thread reference host, and every deterministic statistic plus
+//! the exact per-execution rf-signature *sequence* must match; the bug
+//! paths (user panics — i.e. unwinds through a fiber root — divergence
+//! bounds, and watchdog hang injection) are exercised explicitly.
 
 use std::sync::{Arc, Mutex};
 
@@ -128,8 +131,7 @@ impl Plugin for SigLog {
     }
 }
 
-/// Fiber hosting engages when no hang watchdog is configured; the
-/// OS-thread reference host is the same config with one.
+/// The watchdog-free fiber host (the original fiber fast path).
 fn fiber_config() -> Config {
     Config {
         max_executions: 300_000,
@@ -138,8 +140,21 @@ fn fiber_config() -> Config {
     }
 }
 
+/// The *default*-shaped fiber host: watchdog on, stall detection on the
+/// monitor thread. On targets without watchdog preemption this resolves
+/// to the pool — the equivalence assertions hold trivially there.
+fn fiber_watchdog_config() -> Config {
+    Config {
+        hang_timeout: Some(std::time::Duration::from_secs(30)),
+        ..fiber_config()
+    }
+}
+
+/// The OS-thread reference host: `fiber_hosting: false` is the explicit
+/// host switch (a configured watchdog no longer implies the pool).
 fn os_thread_config() -> Config {
     Config {
+        fiber_hosting: false,
         hang_timeout: Some(std::time::Duration::from_secs(30)),
         ..fiber_config()
     }
@@ -177,13 +192,17 @@ fn run(
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 
-    /// Random programs: both hosts walk the identical DFS.
+    /// Random programs: all three hosts — watchdog-free fibers,
+    /// watchdog-on fibers (the `Config::default` shape), and the
+    /// OS-thread pool — walk the identical DFS.
     #[test]
     fn fiber_and_os_hosting_explore_identically(prog in program_strategy(3, 3, 2)) {
         let prog = Arc::new(prog);
         let fib = run(fiber_config(), Arc::clone(&prog));
+        let wd = run(fiber_watchdog_config(), Arc::clone(&prog));
         let os = run(os_thread_config(), prog);
-        prop_assert_eq!(fib, os);
+        prop_assert_eq!(&fib, &os);
+        prop_assert_eq!(&wd, &os);
     }
 }
 
@@ -345,6 +364,59 @@ fn divergence_abort_drains_fibers() {
         (fib.executions, fib.feasible, fib.diverged, fib.peak_depth),
         (os.executions, os.feasible, os.diverged, os.peak_depth),
     );
+}
+
+/// Hang injection: one rf-branch of the program wedges forever. Under
+/// the OS-thread host the explorer's watchdog poll detects the stall and
+/// leaks the wedged worker; under the fiber host the monitor thread
+/// preempts the wedged fiber with a signal and the explorer drains in
+/// place. Both must report the *same* `InternalHang` rendering (built
+/// from the configured limit and the deterministic trace, never from
+/// measured time) and keep exploring the remaining branches with
+/// identical counters.
+#[test]
+fn injected_hang_reported_identically_and_exploration_continues() {
+    let body = || {
+        let flag = Atomic::new(0i32);
+        let t = mc::thread::spawn(move || {
+            flag.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            // Wedge: no visible op, no progress hint — only the watchdog
+            // can end this branch. Parking (rather than spinning) keeps
+            // the leaked OS-thread-host worker from burning CPU for the
+            // rest of the test process.
+            loop {
+                std::thread::park();
+            }
+        }
+        t.join();
+    };
+    let short = |base: Config| Config {
+        hang_timeout: Some(std::time::Duration::from_millis(300)),
+        stop_on_first_bug: false,
+        ..base
+    };
+    let fib = mc::explore(short(fiber_watchdog_config()), body);
+    let os = mc::explore(short(os_thread_config()), body);
+    assert!(fib.buggy(), "injected hang not detected under fibers");
+    assert!(
+        fib.bugs
+            .iter()
+            .any(|f| f.bug.to_string().contains("internal hang")),
+        "{:?}",
+        fib.bugs
+    );
+    // Exploration continued past the wedged branch: the read-from-init
+    // branch completed as a feasible execution too.
+    assert!(fib.executions > 1, "{}", fib.summary());
+    assert!(fib.feasible > 0, "{}", fib.summary());
+    let render = |s: &mc::Stats| {
+        let mut b: Vec<String> = s.bugs.iter().map(|f| f.bug.to_string()).collect();
+        b.sort();
+        (s.executions, s.feasible, s.diverged, b)
+    };
+    assert_eq!(render(&fib), render(&os));
 }
 
 /// Deeper thread fan-out than the default probe programs: exercises fiber
