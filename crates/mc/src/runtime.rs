@@ -280,13 +280,16 @@ impl ExecState {
     /// Render the watchdog bug for this execution: the *configured*
     /// limit (not the measured stall — measured values differ run to run
     /// and would defeat bug-string dedup and fiber/pool equivalence),
-    /// the last thread the scheduler handed the token to (the wedged
-    /// thread: nothing else can run until it posts an operation), and
-    /// the last-committed trace event as a human-readable anchor.
-    fn hang_bug(&self, limit: Duration) -> Bug {
+    /// the `wedged` thread, and the last-committed trace event as a
+    /// human-readable anchor. The fiber rescue path knows the wedged
+    /// fiber exactly (the signal handler recorded it); the OS-thread
+    /// watchdog passes `last_sched`, its best estimate — a freshly
+    /// spawned job wedging before its first visible op was never
+    /// scheduled and can be misattributed there.
+    fn hang_bug(&self, limit: Duration, wedged: Tid) -> Bug {
         Bug::InternalHang {
             stalled_ms: limit.as_millis() as u64,
-            tid: Some(self.last_sched),
+            tid: Some(wedged),
             last_op: last_op_tag(&self.mem.trace),
         }
     }
@@ -748,7 +751,10 @@ pub(crate) fn fiber_rescued(
         let bug = if overflow {
             Bug::StackOverflow { tid: wedged }
         } else {
-            st.hang_bug(limit.unwrap_or_default())
+            // `wedged` came from the signal handler: exact even for a
+            // fiber that wedged before its first visible op (which
+            // `last_sched` would misattribute).
+            st.hang_bug(limit.unwrap_or_default(), wedged)
         };
         abort(shared, &mut st, RunOutcome::BugFound(bug));
     }
@@ -1143,7 +1149,8 @@ pub(crate) fn run_once(
                         continue;
                     }
                     if st.outcome.is_none() {
-                        let bug = st.hang_bug(limit);
+                        let wedged = st.last_sched;
+                        let bug = st.hang_bug(limit, wedged);
                         abort(&shared, &mut st, RunOutcome::BugFound(bug));
                         // Fresh grace period for the surviving jobs to
                         // unwind and drain.

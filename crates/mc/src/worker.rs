@@ -39,22 +39,25 @@ thread_local! {
 /// and the fiber that runs next re-points `CTX` for itself — a borrow
 /// held across the switch would make that re-point panic.
 pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> R {
-    let ctx = {
-        // Preemption gate: a signal rescue must never abandon a fiber
-        // holding the `RefCell` borrow — that would permanently poison
-        // the borrow flag on the host OS thread.
-        let _gate = crate::fiber::engine_section();
-        CTX.with(|c| {
-            let b = c.borrow();
-            let ctx = b
-                .as_ref()
-                .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
-            Ctx {
-                tid: ctx.tid,
-                shared: Arc::clone(&ctx.shared),
-            }
-        })
-    };
+    // Preemption gate, held across `f` as well as the `RefCell` borrow:
+    // every `with_ctx` callback is engine code (they lock `Shared::inner`,
+    // the arena, or the pending-bug slot), and a signal rescue abandoning
+    // a fiber inside one of those locks would deadlock the explorer when
+    // the host relocks on its side. Holding the gate across a suspension
+    // inside `f` is fine — the switch paths save/restore each fiber's
+    // depth — but the borrow still must not span a switch, so it stays
+    // scoped tightly below.
+    let _gate = crate::fiber::engine_section();
+    let ctx = CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("cdsspec-mc primitives may only be used inside mc::explore/mc::model");
+        Ctx {
+            tid: ctx.tid,
+            shared: Arc::clone(&ctx.shared),
+        }
+    });
     f(&ctx)
 }
 

@@ -167,3 +167,84 @@ fn os_host_stack_overflow_aborts_cleanly() {
         "expected std's overflow abort, got: {err}"
     );
 }
+
+/// Regression for a rescue-vs-engine-lock deadlock. Invisible operations
+/// (`Data` accesses, `Atomic::new`, `mc::alloc`, …) lock `Shared::inner`
+/// through `with_ctx` without posting a visible op, so a thread wedged in
+/// a pure `Data::read` spin loop holds the engine lock for a large
+/// fraction of every iteration while never feeding the heartbeat — the
+/// exact workload the watchdog exists for. The preemption gate must cover
+/// those acquisitions: a rescue landing inside one would abandon the
+/// fiber with `inner` locked, and the explorer's own relock in
+/// `fiber_rescued` would deadlock permanently. With the gate held across
+/// the whole `with_ctx` body, the retried rescue signal can only land in
+/// the gate-open window between iterations, and this exploration
+/// terminates.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn invisible_op_spin_wedge_is_rescued_without_deadlock() {
+    let body = || {
+        let d = mc::Data::new(0u32);
+        let flag = Atomic::new(0i32);
+        let t = mc::thread::spawn(move || {
+            flag.store(1, Release);
+        });
+        if flag.load(Acquire) == 1 {
+            // Wedge entirely in invisible ops: every iteration locks the
+            // engine, none posts a visible op or feeds the heartbeat.
+            while d.read() == 0 {}
+        }
+        t.join();
+    };
+    let stats = mc::explore(
+        Config {
+            fiber_hosting: true,
+            stop_on_first_bug: false,
+            ..watchdog_config(250)
+        },
+        body,
+    );
+    assert!(stats.buggy(), "invisible-op wedge not detected");
+    let rendered: Vec<String> = stats.bugs.iter().map(|f| f.bug.to_string()).collect();
+    assert!(
+        rendered.iter().any(|b| b.contains("internal hang")),
+        "{rendered:?}"
+    );
+    // Exploration survived the rescue and finished the clean branch.
+    assert!(stats.executions > 1, "{}", stats.summary());
+    assert!(stats.feasible > 0, "{}", stats.summary());
+}
+
+/// A freshly spawned fiber runs until its first visible operation without
+/// any scheduling decision (`fiber_next` transfers to it directly), so a
+/// child that wedges before its first visible op was never `last_sched`.
+/// The rescue path must report the tid the signal handler actually
+/// preempted — not the scheduler's last pick (the parent).
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn hang_report_names_a_never_scheduled_child() {
+    let stats = mc::explore(
+        Config {
+            fiber_hosting: true,
+            ..watchdog_config(250)
+        },
+        || {
+            let t = mc::thread::spawn(|| {
+                // Wedge before the first visible op: this thread never
+                // becomes the target of a scheduling decision.
+                loop {
+                    std::thread::park();
+                }
+            });
+            t.join();
+        },
+    );
+    assert!(stats.buggy(), "wedged child not detected");
+    let rendered: Vec<String> = stats.bugs.iter().map(|f| f.bug.to_string()).collect();
+    assert!(
+        rendered
+            .iter()
+            .any(|b| b.contains("internal hang") && b.contains("T1 wedged")),
+        "the report must name the wedged child, not the last-scheduled parent: {rendered:?}"
+    );
+}
