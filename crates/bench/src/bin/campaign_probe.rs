@@ -1,0 +1,297 @@
+//! Networked-campaign performance probe: records warm-cache re-check
+//! latency and daemon dispatch throughput into a machine-readable
+//! `BENCH_campaign.json`, the campaign-layer sibling of the hotpath
+//! probe's `BENCH_hotpath.json`.
+//!
+//! ```text
+//! cargo run -p cdsspec-bench --release --bin campaign_probe -- \
+//!     [--variant <name>] [--out <path>] [--smoke]
+//! ```
+//!
+//! The probe hosts the whole networked stack inside one process, over
+//! real loopback TCP:
+//!
+//! 1. bind `127.0.0.1:0` and serve a `cdsspec-netd` daemon
+//!    ([`cdsspec_campaign::run_daemon_on`]) on a thread, backed by a
+//!    fresh result-cache directory;
+//! 2. attach two TCP workers ([`cdsspec_campaign::net::attach_worker`])
+//!    on threads of their own;
+//! 3. run one **cold** figure7 campaign through
+//!    [`cdsspec_campaign::net::remote_campaign`] — every row computes
+//!    live, so its elapsed time prices the dispatch path end to end
+//!    (frame, ship, explore, frame back, cache store);
+//! 4. run the byte-identical campaign again **warm** — the daemon must
+//!    answer every row from the cache with *zero* shard dispatches, so
+//!    its elapsed time is the pure served-cache re-check latency.
+//!
+//! The probe asserts the serving contract while measuring it: the warm
+//! report must be byte-identical to the cold one, the warm summary must
+//! show `dispatches=0`, `live=0`, and `cache_hits=<benches>`. A probe
+//! run that violates any of those fails loudly — CI runs this binary in
+//! `--smoke` mode, so the invariant is re-proved on every push, not
+//! just recorded once.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use cdsspec_campaign::net::{attach_worker, remote_campaign, request_status, AttachOpts};
+use cdsspec_campaign::{
+    run_daemon_on, CampaignRequest, DaemonOpts, SupervisorOpts, WorkerOpts, EXIT_CLEAN,
+};
+
+/// Schema tag written into every campaign benchmark file.
+const SCHEMA: &str = "cdsspec-bench-campaign-v1";
+
+/// Figure 7 benchmarks the full probe campaigns over: the same weight
+/// spread the hotpath probe uses, so the two files price the same
+/// workload at different layers (bare engine vs networked campaign).
+const PROBE_BENCHES: &[&str] = &[
+    "MPMC Queue",
+    "Linux RW Lock",
+    "Seqlock",
+    "M&S Queue",
+    "MCS Lock",
+];
+
+/// Smoke-mode subset: the cheapest probes only (CI re-proves the
+/// serving contract; the committed file carries the full figures).
+const SMOKE_BENCHES: &[&str] = &["Seqlock", "M&S Queue"];
+
+/// Attached TCP workers serving the daemon's dispatches.
+const WORKERS: usize = 2;
+
+/// One measured campaign row of `BENCH_campaign.json`.
+struct CampaignProbeRow {
+    /// `campaign:cold` (all rows computed live through the worker pool)
+    /// or `campaign:warm` (all rows served from the result cache).
+    probe: String,
+    /// Build variant the row was measured on.
+    variant: String,
+    /// Attached TCP workers during the run.
+    workers: usize,
+    /// Benchmark rows in the served report.
+    benches: u64,
+    /// Rows computed live (cold: all; warm: must be 0).
+    live: u64,
+    /// Rows answered from the result cache (warm: all).
+    cache_hits: u64,
+    /// Shard tasks dispatched to workers (warm: must be 0).
+    dispatches: u64,
+    /// Tasks requeued after worker trouble.
+    requeues: u64,
+    /// Client-observed wall-clock for the whole request, request frame
+    /// to report frame, in nanoseconds.
+    elapsed_ns: u128,
+    /// Dispatches per second of client-observed time (0.0 for warm
+    /// runs: nothing is dispatched).
+    dispatch_per_sec: f64,
+}
+
+impl CampaignProbeRow {
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"probe\":\"{}\",\"variant\":\"{}\",\"workers\":{},\"benches\":{},\
+             \"live\":{},\"cache_hits\":{},\"dispatches\":{},\"requeues\":{},\
+             \"elapsed_ns\":{},\"dispatch_per_sec\":{:.1}}}",
+            self.probe,
+            self.variant,
+            self.workers,
+            self.benches,
+            self.live,
+            self.cache_hits,
+            self.dispatches,
+            self.requeues,
+            self.elapsed_ns,
+            self.dispatch_per_sec,
+        )
+    }
+}
+
+fn render_json(rows: &[CampaignProbeRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("\"schema\": \"{SCHEMA}\",\n"));
+    out.push_str("\"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&r.to_json_line());
+        if i + 1 < rows.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Pull one `key=value` counter out of a `campaign-summary:` line.
+fn summary_field(summary: &str, key: &str) -> u64 {
+    let tag = format!("{key}=");
+    summary
+        .lines()
+        .find(|l| l.starts_with("campaign-summary:"))
+        .and_then(|l| {
+            l.split_whitespace()
+                .find_map(|kv| kv.strip_prefix(&tag))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or_else(|| panic!("summary lacks {key}= counter:\n{summary}"))
+}
+
+struct Args {
+    variant: String,
+    out: PathBuf,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        variant: "dev".into(),
+        out: PathBuf::from("BENCH_campaign.json"),
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--variant" => args.variant = val("--variant")?,
+            "--out" => args.out = PathBuf::from(val("--out")?),
+            "--smoke" => args.smoke = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("campaign_probe: {e}");
+            exit(2);
+        }
+    };
+    let benches = if args.smoke {
+        SMOKE_BENCHES
+    } else {
+        PROBE_BENCHES
+    };
+
+    // Fresh cache directory: the cold run must actually be cold.
+    let cache = std::env::temp_dir().join(format!("cdsspec-campaign-probe-{}", std::process::id()));
+    std::fs::create_dir_all(&cache).expect("create probe cache dir");
+
+    // The daemon, on a thread, with the listener pre-bound so the port
+    // is known before the accept loop starts.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let daemon = {
+        let opts = DaemonOpts {
+            listen: addr.clone(),
+            cache_dir: Some(cache.clone()),
+            sup: SupervisorOpts {
+                workers: WORKERS,
+                ..SupervisorOpts::default()
+            },
+            // Exactly the probe's two campaigns, then a clean exit so
+            // the thread can be joined.
+            max_campaigns: Some(2),
+        };
+        std::thread::spawn(move || run_daemon_on(listener, opts))
+    };
+
+    // Two TCP workers. Their threads end on their own once the daemon
+    // exits and the reconnect budget runs dry.
+    for _ in 0..WORKERS {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            attach_worker(&AttachOpts {
+                addr,
+                worker: WorkerOpts {
+                    heartbeat: Duration::from_millis(500),
+                    worker_threads: 1,
+                    poison: None,
+                },
+                reconnect_budget: Duration::from_secs(2),
+            })
+        });
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match request_status(&addr) {
+            Ok(s) if s.workers.len() >= WORKERS => break,
+            _ if Instant::now() > deadline => panic!("workers never attached"),
+            _ => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+
+    let req = CampaignRequest {
+        bench_filter: Some(benches.iter().map(|s| s.to_string()).collect()),
+        split: 0,
+        max_executions: 1_000_000,
+        // Masked wall-clock, so cold and warm reports can be compared
+        // byte for byte.
+        stable: true,
+        weaken: Vec::new(),
+    };
+    let run = |probe: &str| -> (Vec<u8>, CampaignProbeRow) {
+        let mut report = Vec::new();
+        let t0 = Instant::now();
+        let (code, summary) =
+            remote_campaign(&addr, &req, &mut report).expect("remote campaign failed");
+        let elapsed_ns = t0.elapsed().as_nanos();
+        assert_eq!(code, EXIT_CLEAN, "probe campaign must finish clean");
+        let dispatches = summary_field(&summary, "dispatches");
+        let row = CampaignProbeRow {
+            probe: probe.to_string(),
+            variant: args.variant.clone(),
+            workers: WORKERS,
+            benches: summary_field(&summary, "benches"),
+            live: summary_field(&summary, "live"),
+            cache_hits: summary_field(&summary, "cache_hits"),
+            dispatches,
+            requeues: summary_field(&summary, "requeues"),
+            elapsed_ns,
+            dispatch_per_sec: cdsspec_bench::exec_per_sec(dispatches, elapsed_ns),
+        };
+        eprintln!(
+            "{:<14} benches={} dispatches={} cache_hits={} {:>12} ns  {:>8.1} dispatch/s",
+            row.probe,
+            row.benches,
+            row.dispatches,
+            row.cache_hits,
+            row.elapsed_ns,
+            row.dispatch_per_sec
+        );
+        (report, row)
+    };
+
+    let (cold_report, cold) = run("campaign:cold");
+    let (warm_report, warm) = run("campaign:warm");
+
+    // The serving contract, asserted while measured (see module docs).
+    assert_eq!(
+        cold_report, warm_report,
+        "cache-served report differs from the live one"
+    );
+    assert!(cold.dispatches > 0, "cold campaign dispatched nothing");
+    assert_eq!(cold.live, cold.benches, "cold campaign was not cold");
+    assert_eq!(warm.dispatches, 0, "warm campaign dispatched shards");
+    assert_eq!(warm.live, 0, "warm campaign computed rows live");
+    assert_eq!(
+        warm.cache_hits, warm.benches,
+        "warm campaign missed the cache"
+    );
+
+    let rows = [cold, warm];
+    if let Err(e) = std::fs::write(&args.out, render_json(&rows)) {
+        eprintln!("campaign_probe: cannot write {}: {e}", args.out.display());
+        exit(1);
+    }
+    eprintln!("wrote {} row(s) to {}", rows.len(), args.out.display());
+    let _ = std::io::stderr().flush();
+    let _ = daemon.join();
+    let _ = std::fs::remove_dir_all(&cache);
+}

@@ -1,0 +1,94 @@
+//! `cdsspec-netd` — the long-running networked exploration daemon.
+//!
+//! ```text
+//! cdsspec-netd [--listen ADDR] [--cache-dir DIR] [--workers N]
+//!              [--lease-ms N] [--heartbeat-ms N] [--max-attempts N]
+//!              [--attach-timeout-ms N] [--max-campaigns N]
+//! ```
+//!
+//! Prints `cdsspec-netd listening on <addr>` once bound (scripts parse
+//! this to learn the port when `--listen` ends in `:0`). Workers join
+//! with `cdsspec-campaign --attach ADDR`; clients run campaigns with
+//! `cdsspec-campaign --connect ADDR ...` and read counters with
+//! `--connect ADDR --status`.
+//!
+//! Exit codes: `0` clean shutdown (`--max-campaigns` reached), `1`
+//! startup error (unbindable address, bad flags).
+
+use cdsspec_campaign::{DaemonOpts, EXIT_ERROR};
+use std::time::Duration;
+
+const USAGE: &str = "usage: cdsspec-netd [options]
+  --listen ADDR          listen address (default 127.0.0.1:0; the bound
+                         address is printed on stdout)
+  --cache-dir DIR        content-addressed result cache served to clients
+  --workers N            max concurrent shard leases (default 2)
+  --lease-ms N           lease duration in ms (default 30000)
+  --heartbeat-ms N       heartbeat interval workers are asked to use (default 500)
+  --max-attempts N       dispatch attempts per shard before quarantine (default 3)
+  --attach-timeout-ms N  how long a campaign waits for a worker to attach
+                         before abandoning (default 30000)
+  --max-campaigns N      exit cleanly after serving N campaigns (testing)
+exit codes: 0 clean shutdown, 1 error";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(args));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let mut opts = DaemonOpts::default();
+    let mut it = args.into_iter();
+    let missing = |flag: &str| {
+        eprintln!("cdsspec-netd: {flag} needs a value\n{USAGE}");
+        EXIT_ERROR
+    };
+    while let Some(arg) = it.next() {
+        macro_rules! value {
+            () => {
+                match it.next() {
+                    Some(v) => v,
+                    None => return missing(&arg),
+                }
+            };
+        }
+        macro_rules! parse {
+            ($ty:ty) => {
+                match value!().parse::<$ty>() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("cdsspec-netd: bad value for {arg}: {e}");
+                        return EXIT_ERROR;
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--listen" => opts.listen = value!(),
+            "--cache-dir" => opts.cache_dir = Some(value!().into()),
+            "--workers" => opts.sup.workers = parse!(usize),
+            "--lease-ms" => opts.sup.lease = Duration::from_millis(parse!(u64)),
+            "--heartbeat-ms" => opts.sup.heartbeat = Duration::from_millis(parse!(u64)),
+            "--max-attempts" => opts.sup.max_attempts = parse!(u32),
+            "--attach-timeout-ms" => {
+                opts.sup.attach_timeout = Duration::from_millis(parse!(u64));
+            }
+            "--max-campaigns" => opts.max_campaigns = Some(parse!(u64)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => {
+                eprintln!("cdsspec-netd: unknown flag {other:?}\n{USAGE}");
+                return EXIT_ERROR;
+            }
+        }
+    }
+    match cdsspec_campaign::run_daemon(opts) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("cdsspec-netd: {message}");
+            EXIT_ERROR
+        }
+    }
+}

@@ -27,7 +27,7 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::journal::Journal;
 use crate::json::Json;
 use crate::lease::{Outcome, TaskSpec, TaskTable};
-use crate::supervisor::{Supervisor, SupervisorOpts};
+use crate::supervisor::{SlotStats, Supervisor, SupervisorOpts, SupervisorStats, Transport};
 use crate::wire::{config_hash, spec_hash, stats_from_json, stats_to_json, task_key};
 use crate::{EXIT_BUG, EXIT_CLEAN, EXIT_RESUMABLE};
 use cdsspec_mc::{Config, ShardSpec, Stats, StopReason};
@@ -123,8 +123,105 @@ struct JournalState {
     benches: HashMap<String, (Stats, usize, usize)>,
 }
 
-/// Run a campaign; returns the process exit code.
+/// Campaign counters, rendered as the `campaign-summary:` stderr block.
+/// Returned structured (not just printed) so the daemon can aggregate
+/// across served campaigns and ship the text to the remote client.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignSummary {
+    /// Rows in the report.
+    pub benches: usize,
+    /// Rows computed live this run.
+    pub live: usize,
+    /// Rows answered from the result cache.
+    pub cache_hits: usize,
+    /// Rows answered from journal replay.
+    pub journal_hits: usize,
+    /// Worker-pool counters (zeroed for in-process runs).
+    pub sup: SupervisorStats,
+    /// Per-slot counters, in slot order (empty for in-process runs).
+    pub slots: Vec<SlotStats>,
+    /// Shards abandoned because the pool died.
+    pub abandoned: usize,
+    /// Shards quarantined as suspect.
+    pub suspects: usize,
+    /// Did `--halt-after` stop the run early?
+    pub halted: bool,
+    /// Live benchmarks completed before a halt.
+    pub live_done: usize,
+}
+
+impl CampaignSummary {
+    /// The stderr block local runs print and remote runs ship to the
+    /// client: the `campaign-summary:` counters line, one
+    /// `worker-report:` line per pool slot (requeue/reconnect churn is
+    /// reported, never silently absorbed), and the halt notice.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "campaign-summary: benches={} live={} cache_hits={} journal_hits={} \
+             worker_deaths={} chaos_kills={} quarantined={} abandoned={} suspects={} halted={} \
+             dispatches={} requeues={}",
+            self.benches,
+            self.live,
+            self.cache_hits,
+            self.journal_hits,
+            self.sup.worker_deaths,
+            self.sup.chaos_kills,
+            self.sup.quarantined,
+            self.abandoned,
+            self.suspects,
+            self.halted,
+            self.sup.dispatches,
+            self.sup.requeues,
+        );
+        for (i, slot) in self.slots.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "worker-report: slot={i} spawns={} deaths={} requeues={} completed={}",
+                slot.spawns, slot.deaths, slot.requeues, slot.completed
+            );
+        }
+        if self.halted {
+            let _ = writeln!(
+                s,
+                "cdsspec-campaign: halted after {} benchmark(s); \
+                 resume with the same --journal to continue",
+                self.live_done
+            );
+        }
+        s
+    }
+}
+
+/// A finished campaign: the exit code plus its summary counters.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Process-style exit code ([`crate::EXIT_CLEAN`] etc.).
+    pub code: i32,
+    /// The counters behind the `campaign-summary:` block.
+    pub summary: CampaignSummary,
+}
+
+/// Run a campaign; returns the process exit code. Prints the summary
+/// block to stderr (the structured variant is [`run_campaign_with`]).
 pub fn run_campaign(opts: &CampaignOpts, out: &mut dyn Write) -> Result<i32, String> {
+    let outcome = run_campaign_with(opts, out, None)?;
+    eprint!("{}", outcome.summary.render());
+    Ok(outcome.code)
+}
+
+/// Run a campaign over an explicit worker transport (`None` = the
+/// default: in-process when `opts.in_process`, else local
+/// subprocesses). The report is written to `out`; the summary is
+/// *returned*, not printed — callers decide where it goes (the CLI
+/// prints it to stderr, the daemon ships it to the remote client).
+pub fn run_campaign_with(
+    opts: &CampaignOpts,
+    out: &mut dyn Write,
+    transport: Option<Box<dyn Transport>>,
+) -> Result<CampaignOutcome, String> {
     let base_config = opts.base_config();
     let cfg_hash = {
         // Weakened orderings change every result, so they are part of the
@@ -155,12 +252,15 @@ pub fn run_campaign(opts: &CampaignOpts, out: &mut dyn Write) -> Result<i32, Str
         Some(dir) => Some(ResultCache::open(dir).map_err(|e| e.to_string())?),
         None => None,
     };
-    let mut sup = if opts.in_process {
+    let mut sup = if opts.in_process && transport.is_none() {
         None
     } else {
         let mut sup_opts = opts.sup.clone();
         sup_opts.weaken = opts.weaken.clone();
-        Some(Supervisor::new(sup_opts))
+        Some(match transport {
+            Some(t) => Supervisor::with_transport(sup_opts, t),
+            None => Supervisor::new(sup_opts),
+        })
     };
 
     let mut rows: Vec<Row> = Vec::new();
@@ -237,35 +337,27 @@ pub fn run_campaign(opts: &CampaignOpts, out: &mut dyn Write) -> Result<i32, Str
     let abandoned: usize = rows.iter().map(|r| r.abandoned).sum();
     let bugs: usize = rows.iter().map(|r| r.stats.bugs.len()).sum();
     let count = |s: Source| rows.iter().filter(|r| r.source == s).count();
-    let sup_stats = sup.as_ref().map(|s| s.stats).unwrap_or_default();
-    eprintln!(
-        "campaign-summary: benches={} live={} cache_hits={} journal_hits={} \
-         worker_deaths={} chaos_kills={} quarantined={} abandoned={} suspects={} halted={}",
-        rows.len(),
-        count(Source::Live),
-        count(Source::Cache),
-        count(Source::JournalReplay),
-        sup_stats.worker_deaths,
-        sup_stats.chaos_kills,
-        sup_stats.quarantined,
+    let summary = CampaignSummary {
+        benches: rows.len(),
+        live: count(Source::Live),
+        cache_hits: count(Source::Cache),
+        journal_hits: count(Source::JournalReplay),
+        sup: sup.as_ref().map(|s| s.stats).unwrap_or_default(),
+        slots: sup.as_ref().map(|s| s.slot_stats()).unwrap_or_default(),
         abandoned,
         suspects,
         halted,
-    );
-    if halted {
-        eprintln!(
-            "cdsspec-campaign: halted after {live_done} benchmark(s); \
-             resume with the same --journal to continue"
-        );
-    }
+        live_done,
+    };
 
-    Ok(if halted || suspects + abandoned > 0 {
+    let code = if halted || suspects + abandoned > 0 {
         EXIT_RESUMABLE
     } else if bugs > 0 {
         EXIT_BUG
     } else {
         EXIT_CLEAN
-    })
+    };
+    Ok(CampaignOutcome { code, summary })
 }
 
 fn select_benches(opts: &CampaignOpts) -> Result<Vec<Benchmark>, String> {

@@ -14,8 +14,9 @@
 //! A lease carries a deadline; [`TaskTable::expired`] surfaces leases
 //! whose owner has stopped heartbeating so the supervisor can kill the
 //! worker and requeue the shard. Requeues back off exponentially
-//! (`backoff * 2^(attempt-1)`, capped) so a shard that keeps crashing its
-//! worker cannot monopolize the pool, and after `max_attempts` failures
+//! (`backoff * 2^(attempt-1)`, hard-capped at [`MAX_REQUEUE_BACKOFF`])
+//! so a shard that keeps crashing its worker cannot monopolize the pool
+//! yet is never parked for minutes either, and after `max_attempts` failures
 //! the shard is **quarantined**: reported as suspect instead of retried
 //! forever.
 //!
@@ -25,6 +26,13 @@
 
 use cdsspec_mc::{ShardSpec, Stats};
 use std::time::{Duration, Instant};
+
+/// Hard ceiling on the requeue backoff, regardless of base delay or
+/// attempt count. Before this cap existed, the exponent clamp alone
+/// still let `backoff * 2^10` reach minutes for campaign-scale base
+/// delays, which silently stalled a shard far beyond any lease; now a
+/// crashing shard is never parked longer than this between attempts.
+pub const MAX_REQUEUE_BACKOFF: Duration = Duration::from_secs(2);
 
 /// One unit of campaign work: a shard of one benchmark's choice tree.
 #[derive(Clone, Debug)]
@@ -216,9 +224,10 @@ impl TaskTable {
             ))
         } else {
             // attempts >= 1 here (lease consumed one), so the shift is
-            // well-defined; cap the exponent to keep the delay sane.
+            // well-defined; cap the exponent to keep the arithmetic
+            // sane and the delay itself at MAX_REQUEUE_BACKOFF.
             let exp = (task.attempts - 1).min(10);
-            let delay = self.backoff * 2u32.pow(exp);
+            let delay = (self.backoff * 2u32.pow(exp)).min(MAX_REQUEUE_BACKOFF);
             task.state = State::Pending {
                 not_before: now + delay,
             };
@@ -367,6 +376,43 @@ mod tests {
             t.outcomes()[0],
             Outcome::Quarantined { attempts: 3 }
         ));
+    }
+
+    #[test]
+    fn requeue_backoff_is_capped() {
+        // A large base delay would exceed MAX_REQUEUE_BACKOFF by the
+        // third attempt without the cap (500ms * 2^2 = 2s * 2^... );
+        // assert every requeue delay respects the ceiling.
+        let specs = vec![TaskSpec {
+            bench: "b".into(),
+            shard: ShardSpec::root(),
+            max_executions: 1,
+        }];
+        let mut t = TaskTable::new(
+            specs,
+            Duration::from_millis(100),
+            Duration::from_millis(1500),
+            10,
+        );
+        let mut now = Instant::now();
+        for attempt in 1..=5u32 {
+            t.lease(0, 0, now);
+            let (_, out) = t.fail(0, now).unwrap();
+            match out {
+                FailOutcome::Requeued { delay, attempt: a } => {
+                    assert_eq!(a, attempt);
+                    assert!(
+                        delay <= MAX_REQUEUE_BACKOFF,
+                        "attempt {attempt}: delay {delay:?} exceeds cap"
+                    );
+                    if attempt >= 2 {
+                        assert_eq!(delay, MAX_REQUEUE_BACKOFF, "cap binds from attempt 2");
+                    }
+                    now += delay + Duration::from_millis(1);
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -52,21 +52,25 @@ pub const EXIT_RESUMABLE: i32 = 3;
 
 pub mod cache;
 pub mod campaign;
+pub mod daemon;
 pub mod error;
 pub mod fsio;
 pub mod hash;
 pub mod journal;
 pub mod json;
 pub mod lease;
+pub mod net;
 pub mod proto;
 pub mod supervisor;
 pub mod wire;
 pub mod worker;
 
 pub use cache::{CacheKey, ResultCache};
-pub use campaign::{run_campaign, CampaignOpts};
+pub use campaign::{run_campaign, run_campaign_with, CampaignOpts, CampaignOutcome};
+pub use daemon::{run_daemon, run_daemon_on, DaemonOpts};
 pub use error::ParseError;
 pub use journal::{Journal, Recovery};
 pub use lease::{Outcome, TaskSpec, TaskTable};
-pub use supervisor::{Supervisor, SupervisorOpts, SupervisorStats};
+pub use net::{AttachOpts, CampaignRequest, StatusReport};
+pub use supervisor::{Supervisor, SupervisorOpts, SupervisorStats, Transport, WorkerLink};
 pub use worker::{worker_main, WorkerOpts};

@@ -1,19 +1,24 @@
 //! The multi-process campaign supervisor.
 //!
-//! A fixed pool of worker *subprocesses* (the same binary re-invoked with
-//! `--worker-mode`) executes tasks from a [`TaskTable`]. All scheduling
-//! decisions live here; all crash-isolation comes from the process
-//! boundary:
+//! A fixed pool of worker *links* executes tasks from a [`TaskTable`].
+//! Historically a link was always a subprocess (the same binary
+//! re-invoked with `--worker-mode`); since the networked-campaign work
+//! the pool is generic over a [`Transport`] that provisions links, so
+//! the same lease, heartbeat, epoch-tagging, and requeue logic drives
+//! local subprocesses and remote TCP workers unchanged. All scheduling
+//! decisions live here; all crash-isolation comes from the link
+//! boundary (process exit or socket death):
 //!
 //! - Each dispatched task is covered by a **lease**. Workers heartbeat
 //!   while running; a lease that outlives its deadline means the worker
-//!   is wedged or dead, so the supervisor SIGKILLs it and requeues the
-//!   shard with exponential backoff.
-//! - A worker death (crash, chaos kill, kill -9 from outside) surfaces as
-//!   EOF on its stdout; its leased shard requeues the same way. Partial
-//!   output is discarded wholesale — only complete, checksummed `result`
-//!   lines ever reach the merge — so a rerun is byte-identical to an
-//!   undisturbed run.
+//!   is wedged or dead, so the supervisor kills the link and requeues
+//!   the shard with exponential backoff (capped at
+//!   [`crate::lease::MAX_REQUEUE_BACKOFF`]).
+//! - A worker death (crash, chaos kill, kill -9 from outside, TCP
+//!   disconnect) surfaces as EOF on its link; its leased shard requeues
+//!   the same way. Partial output is discarded wholesale — only
+//!   complete, checksummed `result` lines ever reach the merge — so a
+//!   rerun is byte-identical to an undisturbed run.
 //! - A shard that keeps killing workers quarantines after
 //!   `max_attempts` dispatches (reported as *suspect*), and a slot that
 //!   keeps dying in quick succession is retired after
@@ -21,7 +26,10 @@
 //!   is below the slot cap, so a poison shard quarantines before it can
 //!   take the pool down.
 //! - If every slot dies anyway, remaining tasks are *abandoned* and the
-//!   campaign reports a resumable exit instead of spinning.
+//!   campaign reports a resumable exit instead of spinning. Likewise, a
+//!   transport that stays [`Provision::Unavailable`] (no remote worker
+//!   attached) for longer than `attach_timeout` abandons the batch
+//!   rather than waiting forever.
 //!
 //! Chaos mode (`chaos_kill_pct`) kills a freshly-dispatched worker with
 //! seeded probability — only on a task's **first** attempt, so fault
@@ -42,7 +50,7 @@ use std::time::{Duration, Instant};
 /// Supervisor tuning.
 #[derive(Clone, Debug)]
 pub struct SupervisorOpts {
-    /// Worker subprocess slots.
+    /// Worker link slots (subprocesses or attached remote workers).
     pub workers: usize,
     /// Explorer threads inside each worker.
     pub worker_threads: usize,
@@ -65,6 +73,13 @@ pub struct SupervisorOpts {
     pub weaken: Vec<usize>,
     /// Worker executable; `None` = `std::env::current_exe()`.
     pub worker_exe: Option<PathBuf>,
+    /// How long the whole pool may sit with zero live links and zero
+    /// retired slots (a transport with no workers attached yet) before
+    /// the batch is abandoned as resumable. Subprocess transports spawn
+    /// on demand and never get near this; it exists so a daemon
+    /// campaign with no attached remote workers fails fast instead of
+    /// spinning forever.
+    pub attach_timeout: Duration,
 }
 
 impl Default for SupervisorOpts {
@@ -80,6 +95,7 @@ impl Default for SupervisorOpts {
             poison: None,
             weaken: Vec::new(),
             worker_exe: None,
+            attach_timeout: Duration::from_secs(30),
         }
     }
 }
@@ -87,7 +103,7 @@ impl Default for SupervisorOpts {
 /// Counters describing what the pool went through.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SupervisorStats {
-    /// Worker processes spawned (including respawns).
+    /// Worker links provisioned (including respawns/re-attaches).
     pub spawns: u64,
     /// Worker deaths observed (all causes, chaos included).
     pub worker_deaths: u64,
@@ -101,23 +117,91 @@ pub struct SupervisorStats {
     pub dead_slots: u64,
     /// Tasks quarantined at the attempt cap.
     pub quarantined: u64,
+    /// Tasks dispatched to workers (first attempts and retries alike).
+    pub dispatches: u64,
+    /// Tasks sent back to `Pending` after a worker failure (the retry
+    /// half of `worker_deaths` + in-worker errors; quarantines are
+    /// counted separately).
+    pub requeues: u64,
 }
 
-enum Event {
+/// Per-slot counters, surfaced in the final campaign report so requeue
+/// and reconnect churn is visible instead of silently absorbed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SlotStats {
+    /// Links provisioned on this slot (spawns or remote re-attaches).
+    pub spawns: u64,
+    /// Link deaths observed on this slot.
+    pub deaths: u64,
+    /// Tasks requeued because this slot's worker failed them.
+    pub requeues: u64,
+    /// Tasks this slot completed.
+    pub completed: u64,
+}
+
+/// One transport event: a complete protocol line from a worker link,
+/// or the link's death. Tagged with the slot index and the provision
+/// epoch so output from a revoked incarnation can be dropped.
+pub enum Event {
+    /// One complete NDJSON line from the link on `(slot, epoch)`.
     Line(usize, u64, String),
+    /// The link on `(slot, epoch)` died (EOF / socket close).
     Eof(usize, u64),
 }
 
+/// Result of asking a [`Transport`] for a worker link.
+pub enum Provision {
+    /// A live link, ready for [`ToWorker`] messages.
+    Link(Box<dyn WorkerLink>),
+    /// No worker is available *right now* but one may appear (e.g. no
+    /// remote worker attached yet). Not a failure: the slot is not
+    /// charged a death and the supervisor retries on the next tick.
+    Unavailable,
+    /// Provisioning failed outright (spawn error). The slot is charged
+    /// a death: backed off and eventually retired.
+    Failed,
+}
+
+/// A live bidirectional channel to one worker.
+///
+/// Implementations must have delivered every incoming protocol line as
+/// [`Event::Line`] and exactly one [`Event::Eof`] on the channel given
+/// to [`Transport::provision`], tagged with that provision's
+/// `(slot, epoch)`.
+pub trait WorkerLink: Send {
+    /// Send one message; `false` means the link is dead (the supervisor
+    /// treats it like any other worker death).
+    fn send(&mut self, msg: &ToWorker) -> bool;
+    /// Hard-kill the worker behind the link (SIGKILL / socket
+    /// shutdown). Idempotent; called on lease expiry and chaos kills.
+    fn kill(&mut self);
+    /// Graceful disposal at batch/campaign end: a subprocess link sends
+    /// `Exit` and reaps the child; a network link returns the still-
+    /// live worker to its registry for the next campaign.
+    fn release(self: Box<Self>);
+}
+
+/// Provisions [`WorkerLink`]s for supervisor slots. The transport owns
+/// *where* workers come from (spawned subprocesses, attached TCP
+/// connections); the supervisor owns every scheduling decision.
+pub trait Transport: Send {
+    /// Try to produce a link for `slot`. The transport must arrange for
+    /// the link's incoming lines and eventual EOF to arrive on `tx`
+    /// tagged `(slot, epoch)`.
+    fn provision(&mut self, slot: usize, epoch: u64, tx: &mpsc::Sender<Event>) -> Provision;
+}
+
 struct Slot {
-    child: Option<(Child, ChildStdin)>,
-    /// Spawn generation; events tagged with an older epoch are stale.
+    link: Option<Box<dyn WorkerLink>>,
+    /// Provision generation; events tagged with an older epoch are stale.
     epoch: u64,
     /// Consecutive deaths without a completed task in between.
     fast_deaths: u32,
-    /// Earliest instant a respawn may happen (death backoff).
+    /// Earliest instant a re-provision may happen (death backoff).
     respawn_after: Instant,
     /// Permanently retired.
     dead: bool,
+    stats: SlotStats,
 }
 
 /// The worker pool + event loop. One instance supervises a whole
@@ -125,6 +209,7 @@ struct Slot {
 /// completion at a time, reusing live workers across batches.
 pub struct Supervisor {
     opts: SupervisorOpts,
+    transport: Box<dyn Transport>,
     slots: Vec<Slot>,
     tx: mpsc::Sender<Event>,
     rx: mpsc::Receiver<Event>,
@@ -140,30 +225,51 @@ impl Supervisor {
     /// any slot is retired.
     pub const FAST_DEATH_CAP: u32 = 5;
 
-    /// Base backoff applied before respawning a slot after a death
-    /// (doubles per consecutive death).
+    /// Base backoff applied before re-provisioning a slot after a death
+    /// (doubles per consecutive death, capped at
+    /// [`Supervisor::MAX_RESPAWN_BACKOFF`]).
     const RESPAWN_BACKOFF: Duration = Duration::from_millis(20);
+
+    /// Hard ceiling on the per-slot respawn backoff. Keeps a slot that
+    /// has died a few times from sitting out for unbounded stretches:
+    /// the exponential curve exists to damp crash loops, not to retire
+    /// the slot by stealth.
+    pub const MAX_RESPAWN_BACKOFF: Duration = Duration::from_secs(1);
 
     /// Event-loop poll interval (bounds lease-expiry detection latency).
     const POLL: Duration = Duration::from_millis(25);
 
-    /// A pool with `opts.workers` empty slots; workers spawn lazily on
-    /// first dispatch.
+    /// A pool with `opts.workers` empty slots over the default
+    /// subprocess transport (workers spawn lazily on first dispatch).
     pub fn new(opts: SupervisorOpts) -> Supervisor {
+        let transport = SubprocessTransport {
+            worker_exe: opts.worker_exe.clone(),
+            heartbeat: opts.heartbeat,
+            worker_threads: opts.worker_threads,
+            poison: opts.poison.clone(),
+        };
+        Supervisor::with_transport(opts, Box::new(transport))
+    }
+
+    /// A pool with `opts.workers` empty slots over an arbitrary
+    /// transport (the networked daemon passes its attach registry).
+    pub fn with_transport(opts: SupervisorOpts, transport: Box<dyn Transport>) -> Supervisor {
         let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         let slots = (0..opts.workers.max(1))
             .map(|_| Slot {
-                child: None,
+                link: None,
                 epoch: 0,
                 fast_deaths: 0,
                 respawn_after: now,
                 dead: false,
+                stats: SlotStats::default(),
             })
             .collect();
         let rng = StdRng::seed_from_u64(opts.chaos_seed);
         Supervisor {
             opts,
+            transport,
             slots,
             tx,
             rx,
@@ -171,6 +277,11 @@ impl Supervisor {
             rng,
             stats: SupervisorStats::default(),
         }
+    }
+
+    /// Per-slot counters, in slot order (readable between batches).
+    pub fn slot_stats(&self) -> Vec<SlotStats> {
+        self.slots.iter().map(|s| s.stats).collect()
     }
 
     /// Drive `table` until every task is terminal (`Done`, `Quarantined`,
@@ -183,6 +294,7 @@ impl Supervisor {
         table: &mut TaskTable,
         mut on_complete: impl FnMut(usize, &Stats),
     ) {
+        let mut linkless_since: Option<Instant> = None;
         while table.unfinished() {
             let now = Instant::now();
 
@@ -192,13 +304,13 @@ impl Supervisor {
                 self.fail_slot(slot, table, now);
             }
 
-            // Respawn slots whose backoff has elapsed.
+            // Re-provision slots whose backoff has elapsed.
             for i in 0..self.slots.len() {
                 if !self.slots[i].dead
-                    && self.slots[i].child.is_none()
+                    && self.slots[i].link.is_none()
                     && self.slots[i].respawn_after <= now
                 {
-                    self.spawn_worker(i, now);
+                    self.provision_slot(i, now);
                 }
             }
 
@@ -213,6 +325,21 @@ impl Supervisor {
             if self.slots.iter().all(|s| s.dead) {
                 table.abandon_unfinished();
                 break;
+            }
+
+            // A pool with zero links (and at least one non-retired slot,
+            // or we'd have broken above) is waiting on the transport. A
+            // subprocess transport resolves this within one tick; a
+            // network transport may wait on a worker attaching. Give it
+            // `attach_timeout`, then abandon the batch as resumable.
+            if self.slots.iter().all(|s| s.link.is_none()) {
+                let since = *linkless_since.get_or_insert(now);
+                if now.duration_since(since) >= self.opts.attach_timeout {
+                    table.abandon_unfinished();
+                    break;
+                }
+            } else {
+                linkless_since = None;
             }
 
             match self.rx.recv_timeout(Self::POLL) {
@@ -230,22 +357,19 @@ impl Supervisor {
         }
     }
 
-    /// Ask every live worker to exit and reap it.
+    /// Gracefully dispose of every live link (subprocesses are asked to
+    /// exit and reaped; remote workers are returned to their registry).
     pub fn shutdown(&mut self) {
         for slot in &mut self.slots {
-            if let Some((_, stdin)) = &mut slot.child {
-                let _ = writeln!(stdin, "{}", ToWorker::Exit.encode());
-            }
-            if let Some((mut child, stdin)) = slot.child.take() {
-                drop(stdin); // EOF backstop in case the Exit write raced
-                let _ = child.wait();
+            if let Some(link) = slot.link.take() {
+                link.release();
             }
         }
     }
 
     fn idle_slot(&self, table: &TaskTable) -> Option<usize> {
         (0..self.slots.len()).find(|&i| {
-            !self.slots[i].dead && self.slots[i].child.is_some() && table.leased_by(i).is_none()
+            !self.slots[i].dead && self.slots[i].link.is_some() && table.leased_by(i).is_none()
         })
     }
 
@@ -259,6 +383,7 @@ impl Supervisor {
     ) {
         let spec = table.spec(id).clone();
         table.lease(id, slot, now);
+        self.stats.dispatches += 1;
         let mut config = base_config.clone();
         config.max_executions = spec.max_executions;
         let msg = ToWorker::Run {
@@ -268,13 +393,13 @@ impl Supervisor {
             config,
             weaken: self.opts.weaken.clone(),
         };
-        let sent = match &mut self.slots[slot].child {
-            Some((_, stdin)) => writeln!(stdin, "{}", msg.encode()).is_ok(),
+        let sent = match &mut self.slots[slot].link {
+            Some(link) => link.send(&msg),
             None => false,
         };
         if !sent {
-            // The worker died between spawn and dispatch; normal failure
-            // path (requeue + respawn with backoff).
+            // The worker died between provision and dispatch; normal
+            // failure path (requeue + re-provision with backoff).
             self.fail_slot(slot, table, now);
             return;
         }
@@ -290,79 +415,53 @@ impl Supervisor {
         }
     }
 
-    fn spawn_worker(&mut self, slot: usize, now: Instant) {
-        let exe = match &self.opts.worker_exe {
-            Some(p) => p.clone(),
-            None => match std::env::current_exe() {
-                Ok(p) => p,
-                Err(_) => {
-                    self.retire_or_backoff(slot, now);
-                    return;
-                }
-            },
-        };
-        let mut cmd = Command::new(exe);
-        cmd.arg("--worker-mode")
-            .arg("--heartbeat-ms")
-            .arg(self.opts.heartbeat.as_millis().to_string())
-            .arg("--worker-threads")
-            .arg(self.opts.worker_threads.max(1).to_string());
-        if let Some(poison) = &self.opts.poison {
-            cmd.arg("--poison").arg(poison);
-        }
-        cmd.stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
-        let mut child = match cmd.spawn() {
-            Ok(c) => c,
-            Err(_) => {
-                self.retire_or_backoff(slot, now);
-                return;
-            }
-        };
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+    fn provision_slot(&mut self, slot: usize, now: Instant) {
         self.next_epoch += 1;
         let epoch = self.next_epoch;
-        self.slots[slot].epoch = epoch;
-        self.slots[slot].child = Some((child, stdin));
-        self.stats.spawns += 1;
-        let tx = self.tx.clone();
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stdout);
-            for line in reader.lines() {
-                match line {
-                    Ok(l) => {
-                        if tx.send(Event::Line(slot, epoch, l)).is_err() {
-                            return;
-                        }
-                    }
-                    Err(_) => break,
-                }
+        match self.transport.provision(slot, epoch, &self.tx) {
+            Provision::Link(link) => {
+                self.slots[slot].epoch = epoch;
+                self.slots[slot].link = Some(link);
+                self.stats.spawns += 1;
+                self.slots[slot].stats.spawns += 1;
             }
-            let _ = tx.send(Event::Eof(slot, epoch));
-        });
+            Provision::Unavailable => {
+                // Nobody to link to yet (no remote worker attached).
+                // Not the slot's fault: retry next tick, no backoff.
+            }
+            Provision::Failed => self.retire_or_backoff(slot, now),
+        }
     }
 
     /// Kill the worker on `slot` (if any), requeue or quarantine its
-    /// lease, and schedule a backed-off respawn (or retire the slot).
+    /// lease, and schedule a backed-off re-provision (or retire the
+    /// slot).
     fn fail_slot(&mut self, slot: usize, table: &mut TaskTable, now: Instant) {
         // Bump the epoch first: everything the dying worker already wrote
         // is stale from this point on.
         self.next_epoch += 1;
         self.slots[slot].epoch = self.next_epoch;
-        if let Some((mut child, stdin)) = self.slots[slot].child.take() {
-            drop(stdin);
-            let _ = child.kill();
-            let _ = child.wait();
+        if let Some(mut link) = self.slots[slot].link.take() {
+            link.kill();
         }
         self.stats.worker_deaths += 1;
+        self.slots[slot].stats.deaths += 1;
+        self.charge_task_failure(slot, table, now);
+        self.retire_or_backoff(slot, now);
+    }
+
+    /// Requeue-or-quarantine the task leased by `slot`, updating the
+    /// requeue/quarantine counters.
+    fn charge_task_failure(&mut self, slot: usize, table: &mut TaskTable, now: Instant) {
         if let Some((_, outcome)) = table.fail(slot, now) {
-            if matches!(outcome, FailOutcome::Quarantined { .. }) {
-                self.stats.quarantined += 1;
+            match outcome {
+                FailOutcome::Quarantined { .. } => self.stats.quarantined += 1,
+                FailOutcome::Requeued { .. } => {
+                    self.stats.requeues += 1;
+                    self.slots[slot].stats.requeues += 1;
+                }
             }
         }
-        self.retire_or_backoff(slot, now);
     }
 
     fn retire_or_backoff(&mut self, slot: usize, now: Instant) {
@@ -373,7 +472,8 @@ impl Supervisor {
             self.stats.dead_slots += 1;
         } else {
             let exp = (s.fast_deaths - 1).min(10);
-            s.respawn_after = now + Self::RESPAWN_BACKOFF * 2u32.pow(exp);
+            let delay = (Self::RESPAWN_BACKOFF * 2u32.pow(exp)).min(Self::MAX_RESPAWN_BACKOFF);
+            s.respawn_after = now + delay;
         }
     }
 
@@ -398,6 +498,7 @@ impl Supervisor {
                         if let Some(id) = table.complete(slot, stats.clone()) {
                             // A completed task proves the slot healthy.
                             self.slots[slot].fast_deaths = 0;
+                            self.slots[slot].stats.completed += 1;
                             on_complete(id, &stats);
                         } else {
                             self.stats.stale_results += 1;
@@ -406,11 +507,7 @@ impl Supervisor {
                     Ok(FromWorker::Error { message, .. }) => {
                         // The task failed *inside* a healthy worker (it
                         // replied cleanly): charge the task, not the slot.
-                        if let Some((_, outcome)) = table.fail(slot, now) {
-                            if matches!(outcome, FailOutcome::Quarantined { .. }) {
-                                self.stats.quarantined += 1;
-                            }
-                        }
+                        self.charge_task_failure(slot, table, now);
                         let _ = message;
                     }
                     Err(_) => {
@@ -433,11 +530,105 @@ impl Supervisor {
 impl Drop for Supervisor {
     fn drop(&mut self) {
         for slot in &mut self.slots {
-            if let Some((mut child, stdin)) = slot.child.take() {
-                drop(stdin);
-                let _ = child.kill();
-                let _ = child.wait();
+            if let Some(mut link) = slot.link.take() {
+                link.kill();
             }
         }
+    }
+}
+
+/// The classic transport: spawn the campaign binary with
+/// `--worker-mode` and speak NDJSON over its stdin/stdout.
+struct SubprocessTransport {
+    worker_exe: Option<PathBuf>,
+    heartbeat: Duration,
+    worker_threads: usize,
+    poison: Option<String>,
+}
+
+impl Transport for SubprocessTransport {
+    fn provision(&mut self, slot: usize, epoch: u64, tx: &mpsc::Sender<Event>) -> Provision {
+        let exe = match &self.worker_exe {
+            Some(p) => p.clone(),
+            None => match std::env::current_exe() {
+                Ok(p) => p,
+                Err(_) => return Provision::Failed,
+            },
+        };
+        let mut cmd = Command::new(exe);
+        cmd.arg("--worker-mode")
+            .arg("--heartbeat-ms")
+            .arg(self.heartbeat.as_millis().to_string())
+            .arg("--worker-threads")
+            .arg(self.worker_threads.max(1).to_string());
+        if let Some(poison) = &self.poison {
+            cmd.arg("--poison").arg(poison);
+        }
+        cmd.stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(_) => return Provision::Failed,
+        };
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(Event::Line(slot, epoch, l)).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send(Event::Eof(slot, epoch));
+        });
+        Provision::Link(Box::new(SubprocessLink {
+            child: Some((child, Some(stdin))),
+        }))
+    }
+}
+
+struct SubprocessLink {
+    child: Option<(Child, Option<ChildStdin>)>,
+}
+
+impl WorkerLink for SubprocessLink {
+    fn send(&mut self, msg: &ToWorker) -> bool {
+        match &mut self.child {
+            Some((_, Some(stdin))) => writeln!(stdin, "{}", msg.encode()).is_ok(),
+            _ => false,
+        }
+    }
+
+    fn kill(&mut self) {
+        if let Some((mut child, stdin)) = self.child.take() {
+            drop(stdin);
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn release(mut self: Box<Self>) {
+        if let Some((_, stdin)) = &mut self.child {
+            if let Some(stdin) = stdin {
+                let _ = writeln!(stdin, "{}", ToWorker::Exit.encode());
+            }
+            *stdin = None; // EOF backstop in case the Exit write raced
+        }
+        if let Some((mut child, _)) = self.child.take() {
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for SubprocessLink {
+    fn drop(&mut self) {
+        self.kill();
     }
 }

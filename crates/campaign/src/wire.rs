@@ -224,9 +224,10 @@ pub fn stats_from_json(v: &Json) -> Result<Stats, String> {
 /// change what an exploration computes. Deliberately excluded — and
 /// therefore free to differ between cache hits — are `workers` and
 /// `steal_batch` (parallelism changes wall-clock, not results: the PR 2
-/// partition invariant), `fiber_hosting` (a pure transport switch: the
-/// fiber and OS-thread hosts walk the identical DFS, pinned by
-/// `tests/fiber_equivalence.rs`), `verbose` (output only), and the
+/// partition invariant), `fiber_hosting` and `fiber_stack` (pure hosting
+/// knobs: the fiber and OS-thread hosts walk the identical DFS at any
+/// non-overflowing stack size, pinned by `tests/fiber_equivalence.rs`),
+/// `verbose` (output only), and the
 /// `resume_*` channels (per-task inputs, carried separately by the wire
 /// protocol).
 pub fn config_to_json(config: &Config) -> Json {

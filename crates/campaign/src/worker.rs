@@ -12,6 +12,7 @@
 //! serialized under one mutex — heartbeats can never split a result line.
 
 use crate::proto::{FromWorker, ToWorker};
+use cdsspec_mc::{Config, ShardSpec};
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -30,7 +31,70 @@ pub struct WorkerOpts {
 }
 
 /// Sentinel meaning "no task running" in the heartbeat cell.
-const IDLE: u64 = u64::MAX;
+pub(crate) const IDLE: u64 = u64::MAX;
+
+/// Execute one `Run` dispatch end to end: poison check, registry
+/// lookup, ordering weakening, exploration, panic containment. Returns
+/// exactly one reply (`Result` or `Error`). `current` is the heartbeat
+/// cell, set to `task` for the duration of the check so the heartbeat
+/// thread keeps the supervisor's lease alive. Shared by the stdio
+/// worker loop and the TCP attach worker — the transports differ, the
+/// task semantics must not.
+pub(crate) fn execute_run(
+    task: u64,
+    bench: String,
+    shard: ShardSpec,
+    mut config: Config,
+    weaken: Vec<usize>,
+    opts: &WorkerOpts,
+    current: &AtomicU64,
+) -> FromWorker {
+    if opts.poison.as_deref() == Some(bench.as_str()) {
+        // Fault injection: die exactly the way a native crash
+        // would — no unwinding, no reply, just SIGABRT.
+        std::process::abort();
+    }
+    let all = cdsspec_structures::registry::benchmarks();
+    let Some(b) = all.iter().find(|b| b.name == bench) else {
+        return FromWorker::Error {
+            task,
+            message: format!("unknown benchmark {bench:?}"),
+        };
+    };
+    config.workers = opts.worker_threads.max(1);
+    config.resume_script = None;
+    config.resume_shards = Some(vec![shard]);
+    let mut ords = b.default_ords();
+    if let Some(&s) = weaken.iter().find(|&&s| s >= ords.len()) {
+        return FromWorker::Error {
+            task,
+            message: format!(
+                "weaken site {s} out of range for {bench:?} ({} sites)",
+                ords.len()
+            ),
+        };
+    }
+    for &s in &weaken {
+        ords.weaken(s);
+    }
+    current.store(task, Ordering::Relaxed);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (b.check)(config, ords)));
+    current.store(IDLE, Ordering::Relaxed);
+    match result {
+        Ok(stats) => FromWorker::Result { task, stats },
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "check panicked".into());
+            FromWorker::Error {
+                task,
+                message: format!("check panicked: {message}"),
+            }
+        }
+    }
+}
 
 fn send(lock: &Mutex<()>, msg: &FromWorker) {
     let _guard = lock.lock().unwrap_or_else(|p| p.into_inner());
@@ -75,68 +139,11 @@ pub fn worker_main(opts: WorkerOpts) -> i32 {
                 task,
                 bench,
                 shard,
-                mut config,
+                config,
                 weaken,
             }) => {
-                if opts.poison.as_deref() == Some(bench.as_str()) {
-                    // Fault injection: die exactly the way a native crash
-                    // would — no unwinding, no reply, just SIGABRT.
-                    std::process::abort();
-                }
-                let all = cdsspec_structures::registry::benchmarks();
-                let Some(b) = all.iter().find(|b| b.name == bench) else {
-                    send(
-                        &out_lock,
-                        &FromWorker::Error {
-                            task,
-                            message: format!("unknown benchmark {bench:?}"),
-                        },
-                    );
-                    continue;
-                };
-                config.workers = opts.worker_threads.max(1);
-                config.resume_script = None;
-                config.resume_shards = Some(vec![shard]);
-                let mut ords = b.default_ords();
-                let bad_site = weaken.iter().find(|&&s| s >= ords.len());
-                if let Some(&s) = bad_site {
-                    send(
-                        &out_lock,
-                        &FromWorker::Error {
-                            task,
-                            message: format!(
-                                "weaken site {s} out of range for {bench:?} ({} sites)",
-                                ords.len()
-                            ),
-                        },
-                    );
-                    continue;
-                }
-                for &s in &weaken {
-                    ords.weaken(s);
-                }
-                current.store(task, Ordering::Relaxed);
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    (b.check)(config, ords)
-                }));
-                current.store(IDLE, Ordering::Relaxed);
-                match result {
-                    Ok(stats) => send(&out_lock, &FromWorker::Result { task, stats }),
-                    Err(payload) => {
-                        let message = payload
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| payload.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "check panicked".into());
-                        send(
-                            &out_lock,
-                            &FromWorker::Error {
-                                task,
-                                message: format!("check panicked: {message}"),
-                            },
-                        );
-                    }
-                }
+                let reply = execute_run(task, bench, shard, config, weaken, &opts, &current);
+                send(&out_lock, &reply);
             }
             Ok(ToWorker::Exit) => return 0,
             Err(e) => {

@@ -105,6 +105,16 @@ pub struct Config {
     /// (used to re-run whole suites against the reference host without
     /// code changes).
     pub fiber_hosting: bool,
+    /// Usable stack size, in bytes, of each fiber when `fiber_hosting`
+    /// is in effect (the guard region is extra). Rounded up to a whole
+    /// number of pages and clamped to a 64 KiB floor at use; `0` means
+    /// "the built-in default" (1 MiB). Like `workers` and
+    /// `fiber_hosting` this is a hosting-mechanism knob — the explored
+    /// tree is identical at any size that doesn't overflow — so it is
+    /// excluded from the campaign layer's semantic config hash. The
+    /// default is overridable process-wide with `CDSSPEC_FIBER_STACK`
+    /// (a byte count, e.g. `262144`).
+    pub fiber_stack: usize,
     /// Print every explored trace (debugging).
     pub verbose: bool,
 }
@@ -136,6 +146,10 @@ impl Default for Config {
             fiber_hosting: std::env::var("CDSSPEC_FIBER_HOSTING")
                 .map(|v| v != "0")
                 .unwrap_or(true),
+            fiber_stack: std::env::var("CDSSPEC_FIBER_STACK")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(crate::fiber::DEFAULT_STACK_SIZE),
             verbose: false,
         }
     }
@@ -185,6 +199,11 @@ mod tests {
             .map(|v| v != "0")
             .unwrap_or(true);
         assert_eq!(c.fiber_hosting, want, "fiber hosting on unless overridden");
+        let want_stack = std::env::var("CDSSPEC_FIBER_STACK")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(crate::fiber::DEFAULT_STACK_SIZE);
+        assert_eq!(c.fiber_stack, want_stack, "stack default env-resolved");
         assert_eq!(c.deadline_samples, 0, "sampling degradation is opt-in");
         assert!(c.resume_script.is_none());
         assert!(c.resume_shards.is_none());

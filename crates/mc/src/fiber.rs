@@ -175,10 +175,31 @@ pub(crate) fn enabled_here(config: &Config) -> bool {
     matches!(host_choice(config), HostChoice::Fiber)
 }
 
-/// Fiber stack size (usable, excluding the guard region). Untouched pages
-/// stay uncommitted; generous because modeled closures may nest a whole
-/// inner exploration.
-const STACK_SIZE: usize = 1 << 20;
+/// Default fiber stack size (usable, excluding the guard region) when
+/// `Config::fiber_stack` is 0 or untouched. Untouched pages stay
+/// uncommitted; generous because modeled closures may nest a whole inner
+/// exploration.
+pub(crate) const DEFAULT_STACK_SIZE: usize = 1 << 20;
+
+/// Smallest usable stack this module will hand out, whatever the config
+/// asks for: enough for the trampoline, the entry frames, and the engine
+/// code a fiber runs before its first switch-out.
+const MIN_STACK_SIZE: usize = 64 << 10;
+
+/// Page granularity stack sizes are rounded to.
+const PAGE: usize = 4096;
+
+/// Resolve a requested `Config::fiber_stack` into the size actually
+/// mapped: 0 means the default, everything is rounded up to a whole page
+/// and clamped to [`MIN_STACK_SIZE`].
+fn effective_stack_size(requested: usize) -> usize {
+    let want = if requested == 0 {
+        DEFAULT_STACK_SIZE
+    } else {
+        requested
+    };
+    want.max(MIN_STACK_SIZE).div_ceil(PAGE) * PAGE
+}
 
 /// Size of the `PROT_NONE` guard region below each mapped stack.
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
@@ -307,20 +328,29 @@ enum StackMem {
     /// Uninitialized on purpose — zeroing would commit every page of
     /// every stack up front.
     Heap(Box<[MaybeUninit<u8>]>),
-    /// Raw `mmap` of `GUARD_SIZE + STACK_SIZE` bytes with the low
-    /// `GUARD_SIZE` bytes `PROT_NONE` (`base` is the mapping start; the
-    /// usable stack begins at `base + GUARD_SIZE`).
+    /// Raw `mmap` of `GUARD_SIZE + size` bytes with the low `GUARD_SIZE`
+    /// bytes `PROT_NONE` (`base` is the mapping start; the usable stack
+    /// begins at `base + GUARD_SIZE`).
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-    Mapped { base: *mut u8 },
+    Mapped { base: *mut u8, size: usize },
 }
 
 impl StackMem {
-    fn new() -> StackMem {
+    fn new(size: usize) -> StackMem {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-        if let Some(base) = map_guarded() {
-            return StackMem::Mapped { base };
+        if let Some(base) = map_guarded(size) {
+            return StackMem::Mapped { base, size };
         }
-        StackMem::Heap(Box::new_uninit_slice(STACK_SIZE))
+        StackMem::Heap(Box::new_uninit_slice(size))
+    }
+
+    /// Usable stack bytes (the guard region is extra).
+    fn size(&self) -> usize {
+        match self {
+            StackMem::Heap(b) => b.len(),
+            #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+            StackMem::Mapped { size, .. } => *size,
+        }
     }
 
     /// Lowest usable stack byte.
@@ -328,7 +358,7 @@ impl StackMem {
         match self {
             StackMem::Heap(b) => b.as_ptr() as *const u8,
             #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-            StackMem::Mapped { base } => unsafe { base.add(GUARD_SIZE) },
+            StackMem::Mapped { base, .. } => unsafe { base.add(GUARD_SIZE) },
         }
     }
 
@@ -336,7 +366,7 @@ impl StackMem {
         match self {
             StackMem::Heap(b) => b.as_mut_ptr() as *mut u8,
             #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-            StackMem::Mapped { base } => unsafe { base.add(GUARD_SIZE) },
+            StackMem::Mapped { base, .. } => unsafe { base.add(GUARD_SIZE) },
         }
     }
 }
@@ -344,8 +374,8 @@ impl StackMem {
 impl Drop for StackMem {
     fn drop(&mut self) {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-        if let StackMem::Mapped { base } = self {
-            unsafe { sys::munmap(*base as *mut core::ffi::c_void, GUARD_SIZE + STACK_SIZE) };
+        if let StackMem::Mapped { base, size } = self {
+            unsafe { sys::munmap(*base as *mut core::ffi::c_void, GUARD_SIZE + *size) };
         }
     }
 }
@@ -354,9 +384,9 @@ impl Drop for StackMem {
 /// region re-protected to `PROT_NONE`. `None` on any failure (the caller
 /// falls back to a heap stack).
 #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-fn map_guarded() -> Option<*mut u8> {
+fn map_guarded(size: usize) -> Option<*mut u8> {
     unsafe {
-        let len = GUARD_SIZE + STACK_SIZE;
+        let len = GUARD_SIZE + size;
         let base = sys::mmap(
             std::ptr::null_mut(),
             len,
@@ -386,13 +416,18 @@ struct Stack {
 }
 
 impl Stack {
-    fn new() -> Self {
+    fn new(size: usize) -> Self {
         let mut s = Stack {
-            mem: StackMem::new(),
+            mem: StackMem::new(size),
             sp: Box::new(0),
         };
         s.arm_canary();
         s
+    }
+
+    /// Usable stack bytes.
+    fn size(&self) -> usize {
+        self.mem.size()
     }
 
     /// Write the canary words at the lowest usable bytes. Unaligned
@@ -417,7 +452,7 @@ impl Stack {
         match &self.mem {
             StackMem::Heap(_) => (0, 0),
             #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-            StackMem::Mapped { base } => {
+            StackMem::Mapped { base, .. } => {
                 let lo = *base as usize;
                 (lo, lo + GUARD_SIZE)
             }
@@ -430,7 +465,7 @@ impl Stack {
     /// and re-arm the canary. `false` ⇒ discard the stack.
     fn reverify(&mut self) -> bool {
         #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
-        if let StackMem::Mapped { base } = &self.mem {
+        if let StackMem::Mapped { base, .. } = &self.mem {
             let ok = unsafe {
                 sys::mprotect(*base as *mut core::ffi::c_void, GUARD_SIZE, sys::PROT_NONE) == 0
             };
@@ -449,18 +484,22 @@ thread_local! {
     static STACK_POOL: RefCell<Vec<Stack>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Take a sanitized stack from the pool (re-arming its canary and
-/// re-verifying its guard), or map a fresh one.
-fn checkout_stack() -> Stack {
+/// Take a sanitized stack of exactly `size` usable bytes from the pool
+/// (re-arming its canary and re-verifying its guard), or map a fresh
+/// one. Other sizes stay pooled: an execution at a custom
+/// `Config::fiber_stack` must never inherit a smaller (or wastefully
+/// larger) stack mapped for an earlier config.
+fn checkout_stack(size: usize) -> Stack {
     STACK_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
-        while let Some(mut s) = pool.pop() {
+        while let Some(at) = pool.iter().position(|s| s.size() == size) {
+            let mut s = pool.swap_remove(at);
             if s.reverify() {
                 return s;
             }
             // Unverifiable guard: drop (unmaps) rather than reuse.
         }
-        Stack::new()
+        Stack::new(size)
     })
 }
 
@@ -513,6 +552,9 @@ struct FiberRt {
     current: Option<Tid>,
     /// A rescue happened: discard the stack pool at teardown.
     poisoned: bool,
+    /// Usable bytes per fiber stack for this execution (already
+    /// page-rounded and clamped by [`effective_stack_size`]).
+    stack_size: usize,
 }
 
 /// Is a fiber-hosted execution in progress on this OS thread?
@@ -546,6 +588,7 @@ pub(crate) fn run_execution(
     shared: &Arc<Shared>,
     closure: Box<dyn FnOnce() + Send + 'static>,
     hang_timeout: Option<Duration>,
+    stack_size: usize,
 ) {
     RT.with(|rt| {
         let prev = rt.borrow_mut().replace(FiberRt {
@@ -554,6 +597,7 @@ pub(crate) fn run_execution(
             host_sp: Box::new(0),
             current: None,
             poisoned: false,
+            stack_size: effective_stack_size(stack_size),
         });
         debug_assert!(prev.is_none(), "nested fiber executions on one thread");
     });
@@ -634,7 +678,13 @@ pub(crate) fn spawn_fiber(
     closure: Box<dyn FnOnce() + Send + 'static>,
 ) {
     let _gate = engine_section();
-    let mut stack = checkout_stack();
+    let size = RT.with(|rt| {
+        rt.borrow()
+            .as_ref()
+            .expect("spawn_fiber outside a fiber execution")
+            .stack_size
+    });
+    let mut stack = checkout_stack(size);
     let job = Box::new(Job {
         tid,
         shared,
@@ -1275,7 +1325,7 @@ mod watchdog {
 /// [`fiber_entry`] on a fresh stack.
 #[cfg(all(target_arch = "x86_64", unix))]
 mod arch {
-    use super::{fiber_entry, Stack, STACK_SIZE};
+    use super::{fiber_entry, Stack};
 
     /// Save the callee-saved register state on the current stack, park the
     /// resulting stack pointer in `*save_sp`, adopt `load_sp`, restore its
@@ -1331,7 +1381,7 @@ mod arch {
     /// `rsp % 16 == 8` at its entry.
     pub(super) fn craft_initial_frame(stack: &mut Stack, arg: usize) {
         let base = stack.mem.lo_mut() as usize;
-        let top = (base + STACK_SIZE) & !15;
+        let top = (base + stack.size()) & !15;
         unsafe {
             let mut p = top as *mut usize;
             p = p.sub(1);
@@ -1377,11 +1427,11 @@ mod switch_tests {
     /// host ... verifying control lands where expected with data intact.
     #[test]
     fn raw_switch_round_trips() {
-        let mut stack = Stack::new();
+        let mut stack = Stack::new(DEFAULT_STACK_SIZE);
         // Abuse the craft path with `side_entry` via a stand-in: craft
         // pushes `fiber_entry`, so hand-roll the same frame here.
         let base = stack.mem.lo_mut() as usize;
-        let top = (base + STACK_SIZE) & !15;
+        let top = (base + stack.size()) & !15;
         unsafe {
             let mut p = top as *mut usize;
             p = p.sub(1);
@@ -1470,13 +1520,13 @@ mod guard_tests {
 
     #[test]
     fn fresh_stack_has_armed_canary() {
-        let s = Stack::new();
+        let s = Stack::new(DEFAULT_STACK_SIZE);
         assert!(s.canary_ok());
     }
 
     #[test]
     fn smashed_canary_is_detected() {
-        let mut s = Stack::new();
+        let mut s = Stack::new(DEFAULT_STACK_SIZE);
         unsafe { s.mem.lo_mut().write(0xAB) };
         assert!(!s.canary_ok());
     }
@@ -1485,23 +1535,66 @@ mod guard_tests {
     fn checkout_rearms_pooled_canary() {
         // A contaminated stack returned to the pool must come back out
         // sanitized (or not at all).
-        let mut s = Stack::new();
+        let mut s = Stack::new(DEFAULT_STACK_SIZE);
         unsafe { s.mem.lo_mut().add(8).write(0xCD) };
         assert!(!s.canary_ok());
         STACK_POOL.with(|p| p.borrow_mut().push(s));
-        let out = checkout_stack();
+        let out = checkout_stack(DEFAULT_STACK_SIZE);
         assert!(out.canary_ok(), "checkout must re-arm the canary");
         poison_pool();
     }
 
     #[test]
     fn poisoned_pool_hands_out_fresh_stacks_only() {
-        STACK_POOL.with(|p| p.borrow_mut().push(Stack::new()));
-        STACK_POOL.with(|p| p.borrow_mut().push(Stack::new()));
+        STACK_POOL.with(|p| p.borrow_mut().push(Stack::new(DEFAULT_STACK_SIZE)));
+        STACK_POOL.with(|p| p.borrow_mut().push(Stack::new(DEFAULT_STACK_SIZE)));
         poison_pool();
         assert_eq!(pool_size(), 0, "poisoning empties the pool");
-        let s = checkout_stack();
+        let s = checkout_stack(DEFAULT_STACK_SIZE);
         assert!(s.canary_ok());
+    }
+
+    #[test]
+    fn effective_size_rounds_and_clamps() {
+        assert_eq!(effective_stack_size(0), DEFAULT_STACK_SIZE);
+        assert_eq!(effective_stack_size(1), MIN_STACK_SIZE);
+        assert_eq!(effective_stack_size(MIN_STACK_SIZE), MIN_STACK_SIZE);
+        assert_eq!(
+            effective_stack_size(MIN_STACK_SIZE + 1),
+            MIN_STACK_SIZE + PAGE
+        );
+        assert_eq!(effective_stack_size(256 << 10), 256 << 10);
+    }
+
+    #[test]
+    fn custom_sized_stacks_keep_guard_and_canary() {
+        // The guard/canary machinery must hold at non-default sizes.
+        let sz = effective_stack_size(256 << 10);
+        let mut s = Stack::new(sz);
+        assert_eq!(s.size(), sz);
+        assert!(s.canary_ok());
+        #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+        if let StackMem::Mapped { .. } = &s.mem {
+            let (lo, hi) = s.guard_range();
+            assert_eq!(hi - lo, GUARD_SIZE);
+            assert_eq!(hi, s.mem.lo() as usize, "guard sits just below the stack");
+        }
+        assert!(s.reverify(), "reverify holds at custom sizes");
+    }
+
+    #[test]
+    fn checkout_is_keyed_by_size() {
+        poison_pool();
+        let small = effective_stack_size(128 << 10);
+        STACK_POOL.with(|p| p.borrow_mut().push(Stack::new(small)));
+        // Asking for the default size must not hand out the small stack.
+        let big = checkout_stack(DEFAULT_STACK_SIZE);
+        assert_eq!(big.size(), DEFAULT_STACK_SIZE);
+        assert_eq!(pool_size(), 1, "the small stack stays pooled");
+        let reused = checkout_stack(small);
+        assert_eq!(reused.size(), small);
+        assert_eq!(pool_size(), 0, "size match reuses the pooled stack");
+        poison_pool();
     }
 
     #[test]
@@ -1522,7 +1615,7 @@ mod guard_tests {
     #[cfg(all(target_arch = "x86_64", target_os = "linux"))]
     #[test]
     fn mapped_stacks_have_guard_regions() {
-        let s = Stack::new();
+        let s = Stack::new(DEFAULT_STACK_SIZE);
         match &s.mem {
             StackMem::Mapped { .. } => {
                 let (lo, hi) = s.guard_range();

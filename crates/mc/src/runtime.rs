@@ -1083,7 +1083,12 @@ pub(crate) fn run_once(
     // (notably nested explorations).
     match crate::fiber::host_choice(config) {
         crate::fiber::HostChoice::Fiber => {
-            crate::fiber::run_execution(&shared, Box::new(move || t2()), config.hang_timeout);
+            crate::fiber::run_execution(
+                &shared,
+                Box::new(move || t2()),
+                config.hang_timeout,
+                config.fiber_stack,
+            );
         }
         crate::fiber::HostChoice::Inline => {
             crate::worker::run_main_inline(&shared, Box::new(move || t2()));

@@ -128,6 +128,68 @@ fn fiber_stack_overflow_reports_cleanly() {
     );
 }
 
+/// `Config::fiber_stack` really sizes the stacks: a recursion that fits
+/// comfortably inside the default 1 MiB overflows a 64 KiB stack, and the
+/// guard-page machinery converts it into the same deterministic
+/// `Bug::StackOverflow` at the smaller size. The flip side — the same
+/// workload is clean at the default — pins that the small-stack report
+/// comes from the configured size, not from a latent bug.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn fiber_stack_config_sizes_the_guarded_stacks() {
+    // ~40 frames x ~4 KiB ≈ 160 KiB: inside the 1 MiB default, far
+    // outside a 64 KiB stack.
+    let body = || {
+        let a = Atomic::new(0i64);
+        a.store(1, Relaxed);
+        std::hint::black_box(deep(40));
+    };
+    let small = mc::explore(
+        Config {
+            fiber_stack: 64 << 10,
+            ..watchdog_config(30_000)
+        },
+        body,
+    );
+    assert!(small.buggy(), "64 KiB stack survived a 160 KiB recursion");
+    let rendered: Vec<String> = small.bugs.iter().map(|f| f.bug.to_string()).collect();
+    assert!(
+        rendered.iter().any(|b| b.contains("stack overflow")),
+        "{rendered:?}"
+    );
+
+    let roomy = mc::explore(watchdog_config(30_000), body);
+    assert!(
+        !roomy.buggy(),
+        "default stack must fit the same recursion: {:?}",
+        roomy.bugs
+    );
+    assert!(roomy.feasible > 0);
+}
+
+/// A custom (non-default, non-overflowing) stack size hosts a normal
+/// multi-threaded exploration cleanly — the canary, pooling, and switch
+/// machinery have no hidden dependence on the default size.
+#[test]
+fn custom_fiber_stack_hosts_cleanly() {
+    let stats = mc::explore(
+        Config {
+            fiber_stack: 256 << 10,
+            ..watchdog_config(30_000)
+        },
+        || {
+            let a = Atomic::new(0i64);
+            let t = mc::thread::spawn(move || {
+                a.fetch_add(1, mc::MemOrd::AcqRel);
+            });
+            t.join();
+            mc::mc_assert!(a.load(Acquire) == 1);
+        },
+    );
+    assert!(!stats.buggy(), "{:?}", stats.bugs);
+    assert!(stats.feasible > 0);
+}
+
 /// Under the OS-thread reference host the same recursion overflows a pool
 /// worker's native stack. There is no in-process report to give — std's
 /// own guard page turns it into the standard "has overflowed its stack"
